@@ -1,0 +1,42 @@
+//! Ablation: heartbeat failure-detector configuration versus detection
+//! latency and sweep cost (DESIGN.md design-choice ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilience::{DetectorConfig, FailureDetector, MemberId};
+
+fn bench_detector_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_sweep");
+    group.sample_size(20);
+    for &members in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, &n| {
+            let mut detector = FailureDetector::new(DetectorConfig::default_lan());
+            for i in 0..n {
+                detector.watch(MemberId::new(format!("w{i}"), 0), 0);
+            }
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 250;
+                // Heartbeat half the members; sweep finds the silent half once.
+                for i in 0..n / 2 {
+                    detector.heartbeat(&MemberId::new(format!("w{i}"), 0), t);
+                }
+                detector.sweep(t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn print_detection_latencies(_c: &mut Criterion) {
+    println!("Worst-case detection latency (sweep every 100 ms):");
+    for (period, misses) in [(100u64, 2u32), (250, 4), (500, 4), (1000, 3)] {
+        let d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: period, miss_threshold: misses });
+        println!(
+            "  period {period:>5} ms, {misses} misses -> {:>6} ms",
+            d.worst_case_detection_ms(100)
+        );
+    }
+}
+
+criterion_group!(detector_ablation, bench_detector_sweep, print_detection_latencies);
+criterion_main!(detector_ablation);

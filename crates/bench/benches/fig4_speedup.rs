@@ -1,0 +1,25 @@
+//! Criterion wrapper around the Figure 4 points: each benchmark sample runs
+//! the full discrete-event simulation of one (processors, resiliency)
+//! configuration.  The interesting output is the printed table from
+//! `cargo run -p bench --bin fig4_speedup`; this bench tracks the simulator
+//! cost itself so regressions in the substrate are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pct::distributed_sim::{simulate_fusion, SimParams};
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_simulation");
+    group.sample_size(10);
+    for &procs in &[1usize, 4, 16] {
+        for &resilient in &[false, true] {
+            let label = format!("P{}_{}", procs, if resilient { "resilient" } else { "plain" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &(procs, resilient), |b, &(p, r)| {
+                b.iter(|| simulate_fusion(&SimParams::figure4(p, r)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig4, bench_figure4);
+criterion_main!(fig4);

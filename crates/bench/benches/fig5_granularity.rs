@@ -1,0 +1,21 @@
+//! Criterion wrapper around the Figure 5 points (granularity control).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pct::distributed_sim::{simulate_fusion, SimParams};
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_simulation");
+    group.sample_size(10);
+    for &procs in &[2usize, 16] {
+        for &mult in &[1usize, 2, 3] {
+            let label = format!("P{procs}_x{mult}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &(procs, mult), |b, &(p, m)| {
+                b.iter(|| simulate_fusion(&SimParams::figure5(p, m)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(fig5, bench_figure5);
+criterion_main!(fig5);

@@ -1,0 +1,50 @@
+//! Regenerates Figure 4: time and speed-up versus processors, with and
+//! without level-2 resiliency, plus the overhead decomposition quoted in the
+//! paper's conclusion ("approximately a 10% reduction in overall performance
+//! above that expected by the cost of replication").
+
+use bench::figure4_rows;
+
+fn main() {
+    let rows = figure4_rows();
+    let reference = rows
+        .iter()
+        .find(|r| r.processors == 1)
+        .map(|r| r.plain_secs)
+        .expect("the single-processor row exists");
+
+    println!("Figure 4 — concurrent spectral-screening PCT, 320x320x105 cube");
+    println!("(simulated 300 MHz workstation cluster, 100BaseT-era LAN)\n");
+    println!(
+        "{:>10} {:>16} {:>16} {:>12} {:>12} {:>10}",
+        "procs", "no-resil (s)", "resil-2 (s)", "speedup", "speedup-r2", "ratio"
+    );
+    for row in &rows {
+        println!(
+            "{:>10} {:>16.1} {:>16.1} {:>12.2} {:>12.2} {:>10.2}",
+            row.processors,
+            row.plain_secs,
+            row.resilient_secs,
+            row.plain_speedup(reference),
+            row.resilient_speedup(reference),
+            row.overhead_ratio(),
+        );
+    }
+
+    // Decompose the resiliency overhead: replication alone would double the
+    // time; anything beyond that is protocol overhead.
+    println!("\nOverhead decomposition (resilient / plain):");
+    for row in rows.iter().filter(|r| r.processors >= 2) {
+        let ratio = row.overhead_ratio();
+        let protocol_pct = (ratio / 2.0 - 1.0) * 100.0;
+        println!(
+            "  P={:>2}: total x{:.2} = replication x2.00 + protocol {:+.1}%",
+            row.processors, ratio, protocol_pct
+        );
+    }
+    let p16 = rows.iter().find(|r| r.processors == 16).unwrap();
+    println!(
+        "\nAt 16 processors the non-resilient run reaches {:.1}% of linear speed-up; the paper reports operating within 20% of linear.",
+        100.0 * p16.plain_speedup(reference) / 16.0
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: fusion time versus processors for
+//! `#sub-cubes = #proc`, `#proc x 2` and `#proc x 3`, plus the fine-grain
+//! tail-off the paper describes past ~32 sub-cubes.
+
+use bench::{figure5_cells, FIGURE5_PROCESSORS};
+use pct::distributed_sim::{simulate_fusion, SimParams};
+
+fn main() {
+    let cells = figure5_cells();
+    println!("Figure 5 — granularity control, 320x320x105 cube\n");
+    println!(
+        "{:>10} {:>18} {:>18} {:>18}",
+        "procs", "#sub = #proc (s)", "#sub = #proc x2 (s)", "#sub = #proc x3 (s)"
+    );
+    for &p in &FIGURE5_PROCESSORS {
+        let t = |m: usize| {
+            cells
+                .iter()
+                .find(|c| c.processors == p && c.multiplier == m)
+                .unwrap()
+                .report
+                .elapsed_secs
+        };
+        println!("{:>10} {:>18.1} {:>18.1} {:>18.1}", p, t(1), t(2), t(3));
+    }
+
+    // The paper: "The performance tailed off when the problem was split into
+    // more than n = 32 sub-cubes."  Sweep the total sub-cube count at 16
+    // processors to show the same qualitative tail-off.
+    println!("\nFine-granularity sweep at 16 processors (total sub-cubes vs time):");
+    for per_worker in [1usize, 2, 3, 5, 10, 20] {
+        let report = simulate_fusion(&SimParams::figure5(16, per_worker)).expect("simulation runs");
+        println!(
+            "  {:>4} sub-cubes: {:>8.1} s",
+            report.sub_cubes, report.elapsed_secs
+        );
+    }
+}

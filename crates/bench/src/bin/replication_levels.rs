@@ -1,0 +1,26 @@
+//! Ablation: how the resiliency cost scales with the replication level
+//! (an extension of Figure 4 — the paper only evaluates level 2).
+
+use pct::distributed_sim::{simulate_fusion, SimParams};
+use resilience::OverheadModel;
+
+fn main() {
+    println!("Replication-level ablation, 320x320x105 cube, 8 processors\n");
+    println!("{:>8} {:>12} {:>10} {:>16}", "level", "time (s)", "ratio", "predicted ratio");
+
+    let mut baseline = None;
+    for level in 1..=4usize {
+        let mut params = SimParams::figure4(8, false);
+        params.overhead = OverheadModel::with_level(level);
+        let report = simulate_fusion(&params).expect("simulation runs");
+        let base = *baseline.get_or_insert(report.elapsed_secs);
+        println!(
+            "{:>8} {:>12.1} {:>10.2} {:>16.2}",
+            level,
+            report.elapsed_secs,
+            report.elapsed_secs / base,
+            OverheadModel::with_level(level).predicted_slowdown(),
+        );
+    }
+    println!("\nMeasured ratios should track the predicted `level x 1.10` slowdown.");
+}

@@ -1,0 +1,245 @@
+//! Image and cube file I/O.
+//!
+//! Provides binary PGM (P5) output for single spectral bands (the Figure 2
+//! frames), binary PPM (P6) output for fused colour composites (Figure 3),
+//! and a minimal binary container (`.hsc`, "hyper-spectral cube") for
+//! persisting and reloading synthetic cubes so experiments can be re-run on
+//! identical data without regenerating scenes.
+
+use crate::cube::{CubeDims, HyperCube};
+use crate::rgb::RgbImage;
+use crate::{HsiError, Result};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary cube container format.
+const HSC_MAGIC: &[u8; 4] = b"HSC1";
+
+/// Linearly rescales a band plane to 8-bit grey values.
+///
+/// A constant plane maps to mid-grey so the output is still a valid image.
+pub fn plane_to_gray(plane: &[f64]) -> Vec<u8> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in plane {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if plane.is_empty() || !min.is_finite() || !max.is_finite() {
+        return vec![0; plane.len()];
+    }
+    let range = max - min;
+    if range <= 0.0 {
+        return vec![128; plane.len()];
+    }
+    plane
+        .iter()
+        .map(|&v| (((v - min) / range) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .collect()
+}
+
+/// Writes one spectral band of a cube as a binary PGM file.
+pub fn write_band_pgm<P: AsRef<Path>>(cube: &HyperCube, band: usize, path: P) -> Result<()> {
+    let plane = cube.band_plane(band)?;
+    let gray = plane_to_gray(&plane);
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "P5\n{} {}\n255\n", cube.width(), cube.height())?;
+    w.write_all(&gray)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an RGB image as a binary PPM file.
+pub fn write_ppm<P: AsRef<Path>>(image: &RgbImage, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "P6\n{} {}\n255\n", image.width(), image.height())?;
+    w.write_all(image.raw())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a binary PPM file back into an [`RgbImage`] (used by tests that
+/// verify the example binaries produce well-formed output).
+pub fn read_ppm<P: AsRef<Path>>(path: P) -> Result<RgbImage> {
+    let mut bytes = Vec::new();
+    BufReader::new(std::fs::File::open(path)?).read_to_end(&mut bytes)?;
+    parse_ppm(&bytes)
+}
+
+fn parse_ppm(bytes: &[u8]) -> Result<RgbImage> {
+    let bad = |msg: &str| HsiError::InvalidConfig(format!("malformed PPM: {msg}"));
+    let mut pos = 0usize;
+    let mut next_token = |bytes: &[u8]| -> Result<String> {
+        // Skip whitespace and comments.
+        while pos < bytes.len() {
+            if bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            } else if bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(bad("unexpected end of header"));
+        }
+        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+    };
+
+    if next_token(bytes)? != "P6" {
+        return Err(bad("missing P6 magic"));
+    }
+    let width: usize = next_token(bytes)?.parse().map_err(|_| bad("bad width"))?;
+    let height: usize = next_token(bytes)?.parse().map_err(|_| bad("bad height"))?;
+    let maxval: usize = next_token(bytes)?.parse().map_err(|_| bad("bad maxval"))?;
+    if maxval != 255 {
+        return Err(bad("only maxval 255 supported"));
+    }
+    // Exactly one whitespace byte separates the header from pixel data.
+    pos += 1;
+    let expected = width * height * 3;
+    if bytes.len() < pos + expected {
+        return Err(bad("truncated pixel data"));
+    }
+    RgbImage::from_raw(width, height, bytes[pos..pos + expected].to_vec())
+}
+
+/// Writes a cube to the binary `.hsc` container.
+///
+/// Layout: magic, three little-endian u64 dimensions, then all samples as
+/// little-endian f64 in BIP order.
+pub fn write_cube<P: AsRef<Path>>(cube: &HyperCube, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(HSC_MAGIC)?;
+    w.write_all(&(cube.width() as u64).to_le_bytes())?;
+    w.write_all(&(cube.height() as u64).to_le_bytes())?;
+    w.write_all(&(cube.bands() as u64).to_le_bytes())?;
+    for &s in cube.samples() {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a cube from the binary `.hsc` container.
+pub fn read_cube<P: AsRef<Path>>(path: P) -> Result<HyperCube> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != HSC_MAGIC {
+        return Err(HsiError::InvalidConfig("not an HSC cube file".to_string()));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<std::fs::File>| -> Result<u64> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let width = read_u64(&mut r)? as usize;
+    let height = read_u64(&mut r)? as usize;
+    let bands = read_u64(&mut r)? as usize;
+    let dims = CubeDims::new(width, height, bands);
+    let mut data = Vec::with_capacity(dims.samples());
+    let mut f64buf = [0u8; 8];
+    for _ in 0..dims.samples() {
+        r.read_exact(&mut f64buf)?;
+        data.push(f64::from_le_bytes(f64buf));
+    }
+    HyperCube::from_samples(dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SceneConfig, SceneGenerator};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hsi_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn plane_to_gray_scales_to_full_range() {
+        let gray = plane_to_gray(&[0.0, 5.0, 10.0]);
+        assert_eq!(gray, vec![0, 128, 255]);
+    }
+
+    #[test]
+    fn plane_to_gray_constant_plane_is_midgray() {
+        assert_eq!(plane_to_gray(&[3.3; 4]), vec![128; 4]);
+    }
+
+    #[test]
+    fn plane_to_gray_empty_is_empty() {
+        assert!(plane_to_gray(&[]).is_empty());
+    }
+
+    #[test]
+    fn ppm_round_trip_preserves_pixels() {
+        let mut img = RgbImage::black(7, 5);
+        for y in 0..5 {
+            for x in 0..7 {
+                img.set(x, y, [(x * 30) as u8, (y * 40) as u8, ((x + y) * 10) as u8])
+                    .unwrap();
+            }
+        }
+        let path = temp_path("roundtrip.ppm");
+        write_ppm(&img, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn parse_ppm_rejects_garbage() {
+        assert!(parse_ppm(b"not an image").is_err());
+        assert!(parse_ppm(b"P6\n2 2\n255\n\x00").is_err()); // truncated
+        assert!(parse_ppm(b"P6\n2 2\n65535\n").is_err()); // unsupported depth
+    }
+
+    #[test]
+    fn pgm_writer_produces_valid_header_and_size() {
+        let cube = SceneGenerator::new(SceneConfig::small(2)).unwrap().generate();
+        let path = temp_path("band.pgm");
+        write_band_pgm(&cube, 3, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(bytes.starts_with(b"P5\n32 32\n255\n"));
+        assert_eq!(bytes.len(), "P5\n32 32\n255\n".len() + 32 * 32);
+    }
+
+    #[test]
+    fn pgm_writer_rejects_bad_band() {
+        let cube = SceneGenerator::new(SceneConfig::small(2)).unwrap().generate();
+        assert!(write_band_pgm(&cube, 99, temp_path("never.pgm")).is_err());
+    }
+
+    #[test]
+    fn cube_container_round_trip() {
+        let cube = SceneGenerator::new(SceneConfig::small(4)).unwrap().generate();
+        let path = temp_path("cube.hsc");
+        write_cube(&cube, &path).unwrap();
+        let back = read_cube(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cube, back);
+    }
+
+    #[test]
+    fn cube_reader_rejects_wrong_magic() {
+        let path = temp_path("bad.hsc");
+        std::fs::write(&path, b"XXXXGARBAGE").unwrap();
+        let result = read_cube(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! Synthetic HYDICE-like scene generation.
+//!
+//! The paper's test data is a 210-channel HYDICE acquisition of foliated
+//! scenes (400 nm – 2.5 µm) containing mechanized vehicles in open fields and
+//! under camouflage.  That data set is not redistributable, so this module
+//! synthesises scenes with the same *statistical* structure:
+//!
+//! * each pixel is a mixture of a small number of material signatures,
+//!   producing strongly correlated bands (which is what makes PCT useful);
+//! * background materials (forest, grass, soil) dominate spatially;
+//! * a few rare, spectrally distinct targets (vehicles, some under a
+//!   camouflage net that blends their signature towards foliage) are placed
+//!   in the scene — these are exactly the objects spectral screening is
+//!   designed to keep from being washed out by the PCT;
+//! * per-band Gaussian sensor noise and smooth spatial texture.
+//!
+//! Generation is fully deterministic for a given [`SceneConfig`] and seed, so
+//! every experiment in the benchmark harness is reproducible.
+
+use crate::cube::{CubeDims, HyperCube};
+use crate::{HsiError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Spectral range of the HYDICE sensor in nanometres.
+pub const HYDICE_MIN_WAVELENGTH_NM: f64 = 400.0;
+/// Upper end of the HYDICE spectral range in nanometres (2.5 µm).
+pub const HYDICE_MAX_WAVELENGTH_NM: f64 = 2500.0;
+
+/// Scene material classes with HYDICE-plausible reflectance behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Deciduous/coniferous forest canopy (dominant background).
+    Forest,
+    /// Open grassland.
+    Grass,
+    /// Bare soil / dirt track.
+    Soil,
+    /// Paved road or packed gravel.
+    Road,
+    /// Open water.
+    Water,
+    /// Mechanized-vehicle paint (the target of interest).
+    VehiclePaint,
+    /// Camouflage netting: vegetation-like in the visible range but with a
+    /// synthetic-fibre signature in the short-wave infrared.
+    CamouflageNet,
+    /// Shadowed ground.
+    Shadow,
+}
+
+impl Material {
+    /// All materials, in a stable order.
+    pub const ALL: [Material; 8] = [
+        Material::Forest,
+        Material::Grass,
+        Material::Soil,
+        Material::Road,
+        Material::Water,
+        Material::VehiclePaint,
+        Material::CamouflageNet,
+        Material::Shadow,
+    ];
+
+    /// Reflectance of the material at `wavelength_nm`, in `[0, 1]`.
+    ///
+    /// The curves are smooth analytic approximations of published field
+    /// spectra: vegetation has the chlorophyll well in the visible, the red
+    /// edge near 700 nm, high NIR plateau and water-absorption dips at 1400
+    /// and 1900 nm; soil/road rise slowly with wavelength; water reflectance
+    /// decays to almost zero in the infrared; vehicle paint is relatively
+    /// flat with a distinctive absorption near 900 nm; camouflage tracks
+    /// vegetation in the visible but diverges in the SWIR.
+    pub fn reflectance(&self, wavelength_nm: f64) -> f64 {
+        let w = wavelength_nm;
+        let gauss = |centre: f64, width: f64| (-((w - centre) / width).powi(2)).exp();
+        let sigmoid = |centre: f64, width: f64| 1.0 / (1.0 + (-(w - centre) / width).exp());
+        let vegetation = {
+            let green_bump = 0.08 * gauss(550.0, 40.0);
+            let red_edge = 0.45 * sigmoid(715.0, 18.0);
+            let base = 0.04 + green_bump + red_edge;
+            let water_dips = 0.23 * gauss(1450.0, 70.0) + 0.28 * gauss(1940.0, 90.0);
+            let swir_rolloff = 0.15 * sigmoid(1300.0, 200.0);
+            (base - water_dips - swir_rolloff).clamp(0.01, 1.0)
+        };
+        let value = match self {
+            Material::Forest => 0.9 * vegetation,
+            Material::Grass => (vegetation + 0.05 * gauss(550.0, 60.0)).clamp(0.01, 1.0),
+            Material::Soil => (0.08 + 0.25 * sigmoid(1000.0, 400.0) - 0.06 * gauss(1900.0, 120.0))
+                .clamp(0.01, 1.0),
+            Material::Road => (0.12 + 0.10 * sigmoid(900.0, 500.0)).clamp(0.01, 1.0),
+            Material::Water => (0.07 * gauss(450.0, 120.0) + 0.015).clamp(0.001, 1.0),
+            Material::VehiclePaint => {
+                (0.30 - 0.12 * gauss(900.0, 80.0) - 0.05 * gauss(1700.0, 150.0) + 0.04 * sigmoid(2000.0, 300.0))
+                    .clamp(0.01, 1.0)
+            }
+            Material::CamouflageNet => {
+                // Vegetation-like below ~1000nm, synthetic fibre above.
+                let blend = sigmoid(1050.0, 60.0);
+                let fibre = 0.50 + 0.10 * gauss(1650.0, 200.0) - 0.05 * gauss(1940.0, 90.0);
+                ((1.0 - blend) * vegetation + blend * fibre).clamp(0.01, 1.0)
+            }
+            Material::Shadow => 0.25 * vegetation + 0.01,
+        };
+        value.clamp(0.0, 1.0)
+    }
+
+    /// A short stable label, used in traces and example output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Material::Forest => "forest",
+            Material::Grass => "grass",
+            Material::Soil => "soil",
+            Material::Road => "road",
+            Material::Water => "water",
+            Material::VehiclePaint => "vehicle",
+            Material::CamouflageNet => "camouflage",
+            Material::Shadow => "shadow",
+        }
+    }
+}
+
+/// A vehicle target placed in the synthetic scene.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Target {
+    /// Spatial x of the target centre.
+    pub x: usize,
+    /// Spatial y of the target centre.
+    pub y: usize,
+    /// Half-width of the target footprint in pixels.
+    pub half_size: usize,
+    /// Whether the vehicle sits under a camouflage net, which mixes the
+    /// paint signature with the net signature.
+    pub camouflaged: bool,
+}
+
+/// Configuration of the synthetic scene generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Cube dimensions to generate.
+    pub dims: CubeDims,
+    /// RNG seed; the same seed and config always produce the same cube.
+    pub seed: u64,
+    /// Standard deviation of per-sample Gaussian sensor noise, as a fraction
+    /// of full scale.
+    pub noise_sigma: f64,
+    /// Peak radiance full scale (HYDICE delivers 16-bit counts; we use a
+    /// floating point full scale of 4095 by default, matching a 12-bit ADC).
+    pub full_scale: f64,
+    /// Vehicle targets to embed.
+    pub targets: Vec<Target>,
+    /// Fraction of the scene covered by open field (grass/soil) as opposed to
+    /// forest, in `[0, 1]`.
+    pub open_field_fraction: f64,
+}
+
+impl SceneConfig {
+    /// The configuration used for the performance experiments (Figures 4–5):
+    /// the 320×320×105 cube the paper states was the initial cube size.
+    pub fn paper_eval(seed: u64) -> Self {
+        Self {
+            dims: CubeDims::paper_eval(),
+            seed,
+            noise_sigma: 0.01,
+            full_scale: 4095.0,
+            targets: default_targets(320, 320),
+            open_field_fraction: 0.35,
+        }
+    }
+
+    /// The full 210-band configuration used for the qualitative fusion result
+    /// (Figure 3).
+    pub fn paper_full(seed: u64) -> Self {
+        Self {
+            dims: CubeDims::paper_full(),
+            seed,
+            noise_sigma: 0.01,
+            full_scale: 4095.0,
+            targets: default_targets(320, 320),
+            open_field_fraction: 0.35,
+        }
+    }
+
+    /// A small configuration for unit tests and the quickstart example.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            dims: CubeDims::new(32, 32, 16),
+            seed,
+            noise_sigma: 0.01,
+            full_scale: 4095.0,
+            targets: vec![
+                Target { x: 8, y: 24, half_size: 2, camouflaged: true },
+                Target { x: 24, y: 8, half_size: 2, camouflaged: false },
+            ],
+            open_field_fraction: 0.4,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.dims.width == 0 || self.dims.height == 0 || self.dims.bands == 0 {
+            return Err(HsiError::InvalidConfig(
+                "cube dimensions must be non-zero".to_string(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.open_field_fraction) {
+            return Err(HsiError::InvalidConfig(format!(
+                "open_field_fraction {} outside [0, 1]",
+                self.open_field_fraction
+            )));
+        }
+        if self.noise_sigma < 0.0 {
+            return Err(HsiError::InvalidConfig("noise_sigma must be >= 0".to_string()));
+        }
+        if self.full_scale <= 0.0 {
+            return Err(HsiError::InvalidConfig("full_scale must be > 0".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// Default target layout mirroring the paper's description: vehicles in open
+/// fields plus one camouflaged vehicle in the lower-left corner (which the
+/// paper's Figure 3 discussion highlights).
+fn default_targets(width: usize, height: usize) -> Vec<Target> {
+    vec![
+        Target {
+            x: width / 8,
+            y: height - height / 6,
+            half_size: 4,
+            camouflaged: true,
+        },
+        Target {
+            x: width / 2,
+            y: height / 3,
+            half_size: 5,
+            camouflaged: false,
+        },
+        Target {
+            x: width - width / 4,
+            y: height / 2,
+            half_size: 4,
+            camouflaged: false,
+        },
+    ]
+}
+
+/// Deterministic synthetic scene generator.
+#[derive(Debug, Clone)]
+pub struct SceneGenerator {
+    config: SceneConfig,
+}
+
+impl SceneGenerator {
+    /// Creates a generator after validating the configuration.
+    pub fn new(config: SceneConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration the generator was built with.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Wavelength (nm) of spectral band `b`, spread uniformly over the
+    /// HYDICE range.
+    pub fn wavelength(&self, band: usize) -> f64 {
+        let bands = self.config.dims.bands.max(1);
+        if bands == 1 {
+            return HYDICE_MIN_WAVELENGTH_NM;
+        }
+        HYDICE_MIN_WAVELENGTH_NM
+            + (HYDICE_MAX_WAVELENGTH_NM - HYDICE_MIN_WAVELENGTH_NM) * band as f64
+                / (bands - 1) as f64
+    }
+
+    /// Index of the band whose wavelength is closest to `wavelength_nm`
+    /// (used by the examples to pick the 400 nm and 1998 nm frames shown in
+    /// Figure 2).
+    pub fn band_for_wavelength(&self, wavelength_nm: f64) -> usize {
+        let mut best = 0;
+        let mut best_dist = f64::INFINITY;
+        for b in 0..self.config.dims.bands {
+            let d = (self.wavelength(b) - wavelength_nm).abs();
+            if d < best_dist {
+                best_dist = d;
+                best = b;
+            }
+        }
+        best
+    }
+
+    /// The dominant background material at `(x, y)` before targets are
+    /// placed.  Layout: a river along one edge, a road crossing the scene,
+    /// and a forest/field split controlled by `open_field_fraction` with a
+    /// wavy boundary so the classes are spatially coherent.
+    pub fn background_material(&self, x: usize, y: usize) -> Material {
+        let w = self.config.dims.width as f64;
+        let h = self.config.dims.height as f64;
+        let fx = x as f64 / w.max(1.0);
+        let fy = y as f64 / h.max(1.0);
+
+        // River along the top edge.
+        if fy < 0.06 {
+            return Material::Water;
+        }
+        // Road: a diagonal band.
+        let road_pos = 0.15 + 0.6 * fx;
+        if (fy - road_pos).abs() < 0.015 {
+            return Material::Road;
+        }
+        // Wavy forest/field boundary.
+        let boundary = self.config.open_field_fraction
+            + 0.08 * (fx * 9.0).sin() * (fy * 7.0).cos();
+        if fy > 1.0 - boundary {
+            // Open field: alternate grass and soil patches.
+            let patch = ((x / 13) + (y / 17)) % 5;
+            if patch == 0 {
+                Material::Soil
+            } else {
+                Material::Grass
+            }
+        } else {
+            // Forest with occasional shadow pockets.
+            if ((x / 7) * 31 + (y / 7) * 17) % 23 == 0 {
+                Material::Shadow
+            } else {
+                Material::Forest
+            }
+        }
+    }
+
+    /// The material of pixel `(x, y)` after target placement.
+    pub fn material_at(&self, x: usize, y: usize) -> Material {
+        for t in &self.config.targets {
+            let dx = x as isize - t.x as isize;
+            let dy = y as isize - t.y as isize;
+            if dx.unsigned_abs() <= t.half_size && dy.unsigned_abs() <= t.half_size {
+                return if t.camouflaged {
+                    Material::CamouflageNet
+                } else {
+                    Material::VehiclePaint
+                };
+            }
+        }
+        self.background_material(x, y)
+    }
+
+    /// Generates the cube.
+    pub fn generate(&self) -> HyperCube {
+        let dims = self.config.dims;
+        let mut cube = HyperCube::zeros(dims);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let full_scale = self.config.full_scale;
+        // Solar-illumination-like envelope: brighter in the visible/NIR,
+        // falling off into the SWIR, shared by all materials so bands stay
+        // strongly correlated (the property PCT exploits).
+        let illumination: Vec<f64> = (0..dims.bands)
+            .map(|b| {
+                let w = self.wavelength(b);
+                0.35 + 0.65 * (-((w - 800.0) / 900.0).powi(2)).exp()
+            })
+            .collect();
+
+        let mut pixel = vec![0.0_f64; dims.bands];
+        for y in 0..dims.height {
+            for x in 0..dims.width {
+                let material = self.material_at(x, y);
+                // Smooth per-pixel brightness texture (terrain slope, canopy
+                // density), identical across bands.
+                let fx = x as f64 * 0.11;
+                let fy = y as f64 * 0.07;
+                let texture = 1.0 + 0.10 * (fx.sin() * fy.cos()) + 0.05 * ((fx * 0.37).cos());
+                // Camouflaged targets mix net and paint signatures.
+                let is_camouflaged_target = material == Material::CamouflageNet;
+                for (b, value) in pixel.iter_mut().enumerate() {
+                    let w = self.wavelength(b);
+                    let mut reflectance = material.reflectance(w);
+                    if is_camouflaged_target {
+                        reflectance = 0.7 * reflectance + 0.3 * Material::VehiclePaint.reflectance(w);
+                    }
+                    let clean = full_scale * illumination[b] * reflectance * texture;
+                    let noise = if self.config.noise_sigma > 0.0 {
+                        // Box–Muller from two uniform draws keeps us on the
+                        // rand API surface available offline.
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        z * self.config.noise_sigma * full_scale
+                    } else {
+                        0.0
+                    };
+                    *value = (clean + noise).max(0.0);
+                }
+                cube.set_pixel(x, y, &pixel).expect("generator writes in bounds");
+            }
+        }
+        cube
+    }
+
+    /// Generates the cube and also returns the ground-truth material map in
+    /// row-major spatial order (used by tests that check targets remain
+    /// distinguishable after fusion).
+    pub fn generate_with_truth(&self) -> (HyperCube, Vec<Material>) {
+        let cube = self.generate();
+        let dims = self.config.dims;
+        let mut truth = Vec::with_capacity(dims.pixels());
+        for y in 0..dims.height {
+            for x in 0..dims.width {
+                truth.push(self.material_at(x, y));
+            }
+        }
+        (cube, truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Vector;
+
+    #[test]
+    fn reflectances_stay_in_unit_interval() {
+        for material in Material::ALL {
+            for band in 0..500 {
+                let w = 400.0 + band as f64 * 4.2;
+                let r = material.reflectance(w);
+                assert!((0.0..=1.0).contains(&r), "{material:?} at {w}nm = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn vegetation_has_red_edge() {
+        // NIR reflectance of forest should far exceed red reflectance.
+        let red = Material::Forest.reflectance(660.0);
+        let nir = Material::Forest.reflectance(860.0);
+        assert!(nir > 3.0 * red, "red {red}, nir {nir}");
+    }
+
+    #[test]
+    fn water_is_dark_in_infrared() {
+        assert!(Material::Water.reflectance(1600.0) < 0.05);
+    }
+
+    #[test]
+    fn camouflage_tracks_vegetation_in_visible_but_not_swir() {
+        let vis_diff =
+            (Material::CamouflageNet.reflectance(700.0) - Material::Forest.reflectance(700.0)).abs();
+        let swir_diff =
+            (Material::CamouflageNet.reflectance(1650.0) - Material::Forest.reflectance(1650.0)).abs();
+        assert!(swir_diff > 2.0 * vis_diff, "vis {vis_diff}, swir {swir_diff}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let config = SceneConfig::small(7);
+        let a = SceneGenerator::new(config.clone()).unwrap().generate();
+        let b = SceneGenerator::new(config).unwrap().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SceneGenerator::new(SceneConfig::small(1)).unwrap().generate();
+        let b = SceneGenerator::new(SceneConfig::small(2)).unwrap().generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        let mut c = SceneConfig::small(0);
+        c.dims.bands = 0;
+        assert!(SceneGenerator::new(c).is_err());
+
+        let mut c = SceneConfig::small(0);
+        c.open_field_fraction = 1.5;
+        assert!(SceneGenerator::new(c).is_err());
+
+        let mut c = SceneConfig::small(0);
+        c.noise_sigma = -0.1;
+        assert!(SceneGenerator::new(c).is_err());
+
+        let mut c = SceneConfig::small(0);
+        c.full_scale = 0.0;
+        assert!(SceneGenerator::new(c).is_err());
+    }
+
+    #[test]
+    fn wavelengths_span_hydice_range() {
+        let g = SceneGenerator::new(SceneConfig::small(0)).unwrap();
+        assert_eq!(g.wavelength(0), HYDICE_MIN_WAVELENGTH_NM);
+        assert!((g.wavelength(15) - HYDICE_MAX_WAVELENGTH_NM).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_for_wavelength_picks_nearest() {
+        let g = SceneGenerator::new(SceneConfig::small(0)).unwrap();
+        assert_eq!(g.band_for_wavelength(400.0), 0);
+        assert_eq!(g.band_for_wavelength(2500.0), 15);
+        let mid = g.band_for_wavelength(1450.0);
+        assert!((g.wavelength(mid) - 1450.0).abs() < 140.0);
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_bounded() {
+        let g = SceneGenerator::new(SceneConfig::small(3)).unwrap();
+        let cube = g.generate();
+        for &s in cube.samples() {
+            assert!(s >= 0.0);
+            assert!(s < 2.0 * 4095.0);
+        }
+    }
+
+    #[test]
+    fn truth_map_marks_targets() {
+        let g = SceneGenerator::new(SceneConfig::small(3)).unwrap();
+        let (_, truth) = g.generate_with_truth();
+        assert!(truth.contains(&Material::VehiclePaint));
+        assert!(truth.contains(&Material::CamouflageNet));
+        assert!(truth.contains(&Material::Forest));
+    }
+
+    #[test]
+    fn targets_are_rare() {
+        let g = SceneGenerator::new(SceneConfig::paper_eval(1)).unwrap();
+        let dims = g.config().dims;
+        let mut target_pixels = 0usize;
+        for y in 0..dims.height {
+            for x in 0..dims.width {
+                let m = g.material_at(x, y);
+                if m == Material::VehiclePaint || m == Material::CamouflageNet {
+                    target_pixels += 1;
+                }
+            }
+        }
+        // Targets cover well under 1% of the scene, as in the HYDICE frames.
+        assert!(target_pixels > 0);
+        assert!((target_pixels as f64) < 0.01 * dims.pixels() as f64);
+    }
+
+    #[test]
+    fn vehicle_pixels_are_spectrally_distinct_from_forest() {
+        let g = SceneGenerator::new(SceneConfig::small(11)).unwrap();
+        let (cube, truth) = g.generate_with_truth();
+        let dims = cube.dims();
+        let mut vehicle = None;
+        let mut forest = None;
+        for y in 0..dims.height {
+            for x in 0..dims.width {
+                match truth[y * dims.width + x] {
+                    Material::VehiclePaint if vehicle.is_none() => {
+                        vehicle = Some(cube.pixel_vector(x, y).unwrap())
+                    }
+                    Material::Forest if forest.is_none() => {
+                        forest = Some(cube.pixel_vector(x, y).unwrap())
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let vehicle: Vector = vehicle.expect("scene contains a vehicle");
+        let forest: Vector = forest.expect("scene contains forest");
+        let angle = vehicle.spectral_angle(&forest).unwrap();
+        assert!(angle > 0.05, "vehicle/forest spectral angle too small: {angle}");
+    }
+
+    #[test]
+    fn bands_are_strongly_correlated() {
+        // Adjacent bands of the same scene should be highly correlated —
+        // the redundancy PCT removes.
+        let g = SceneGenerator::new(SceneConfig::small(5)).unwrap();
+        let cube = g.generate();
+        let a = cube.band_plane(4).unwrap();
+        let b = cube.band_plane(5).unwrap();
+        let ma = linalg::reduce::mean(&a).unwrap();
+        let mb = linalg::reduce::mean(&b).unwrap();
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (x, y) in a.iter().zip(&b) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+        let corr = cov / (va.sqrt() * vb.sqrt());
+        assert!(corr > 0.9, "adjacent band correlation {corr}");
+    }
+}

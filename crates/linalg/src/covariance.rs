@@ -1,0 +1,260 @@
+//! Covariance accumulation exactly as written in steps 3–5 of the paper.
+//!
+//! Step 3 computes the mean vector `m` of the screened (unique) pixel set;
+//! step 4 has each worker accumulate `sum_p = Σ (I_ij - m)(I_ij - m)^T` over
+//! its share of the set; step 5 has the manager average the partial sums into
+//! the covariance matrix.  [`CovarianceAccumulator`] is that per-worker
+//! partial sum: it can be fed pixel vectors, merged with other accumulators
+//! (the manager side of step 5) and finalised into a [`SymMatrix`].
+
+use crate::sym::SymMatrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A mergeable accumulator for the mean-subtracted covariance sum.
+///
+/// The paper computes the mean vector first (step 3) and then accumulates
+/// centred outer products (step 4).  The accumulator therefore takes the mean
+/// at construction time; this mirrors the message flow of the distributed
+/// algorithm, where the manager broadcasts `m` before handing out step-4
+/// sub-problems.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovarianceAccumulator {
+    mean: Vector,
+    sum: SymMatrix,
+    count: u64,
+}
+
+impl CovarianceAccumulator {
+    /// Creates an accumulator for pixel vectors with the given mean.
+    pub fn new(mean: Vector) -> Self {
+        let n = mean.len();
+        Self {
+            mean,
+            sum: SymMatrix::zeros(n),
+            count: 0,
+        }
+    }
+
+    /// Number of spectral bands.
+    pub fn bands(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of pixel vectors accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean vector the accumulator centres with.
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Accumulates one pixel vector: `sum += (x - m)(x - m)^T`.
+    pub fn push(&mut self, pixel: &Vector) -> Result<()> {
+        if pixel.len() != self.mean.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "covariance push",
+                left: self.mean.len(),
+                right: pixel.len(),
+            });
+        }
+        let centred = pixel.sub_vec(&self.mean)?;
+        self.sum.rank_one_update(&centred)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Accumulates a batch of pixel vectors.
+    pub fn push_all<'a, I: IntoIterator<Item = &'a Vector>>(&mut self, pixels: I) -> Result<()> {
+        for p in pixels {
+            self.push(p)?;
+        }
+        Ok(())
+    }
+
+    /// Merges another accumulator (a different worker's partial sum).
+    ///
+    /// Both accumulators must have been built with the same mean vector —
+    /// in the distributed algorithm the manager broadcasts one mean, so a
+    /// mismatch indicates a protocol bug and is reported as an error.
+    pub fn merge(&mut self, other: &CovarianceAccumulator) -> Result<()> {
+        if self.mean.len() != other.mean.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "covariance merge",
+                left: self.mean.len(),
+                right: other.mean.len(),
+            });
+        }
+        self.sum.add_assign_sym(&other.sum)?;
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// Finalises into the covariance matrix (step 5: divide by the number of
+    /// accumulated pixel vectors). Returns an error when nothing was
+    /// accumulated.
+    pub fn finalize(&self) -> Result<SymMatrix> {
+        if self.count == 0 {
+            return Err(LinalgError::Empty { op: "covariance finalize" });
+        }
+        let mut cov = self.sum.clone();
+        cov.scale_in_place(1.0 / self.count as f64);
+        Ok(cov)
+    }
+
+    /// Returns the raw (un-normalised) covariance sum, as shipped over the
+    /// network in step 4.
+    pub fn raw_sum(&self) -> &SymMatrix {
+        &self.sum
+    }
+}
+
+/// Computes the mean pixel vector of a set (step 3).
+///
+/// Returns an error for an empty set or inconsistent vector lengths.
+pub fn mean_vector(pixels: &[Vector]) -> Result<Vector> {
+    let first = pixels.first().ok_or(LinalgError::Empty { op: "mean_vector" })?;
+    let n = first.len();
+    let mut acc = vec![crate::reduce::RunningSum::new(); n];
+    for p in pixels {
+        if p.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "mean_vector",
+                left: n,
+                right: p.len(),
+            });
+        }
+        for (a, v) in acc.iter_mut().zip(p.as_slice()) {
+            a.add(*v);
+        }
+    }
+    Ok(Vector::from_vec(
+        acc.iter().map(|a| a.mean().unwrap_or(0.0)).collect(),
+    ))
+}
+
+/// Convenience: computes the full covariance matrix of a pixel set
+/// sequentially (mean + accumulate + finalise), the reference against which
+/// the distributed implementation is validated.
+pub fn covariance_matrix(pixels: &[Vector]) -> Result<SymMatrix> {
+    let mean = mean_vector(pixels)?;
+    let mut acc = CovarianceAccumulator::new(mean);
+    acc.push_all(pixels)?;
+    acc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pixels() -> Vec<Vector> {
+        (0..50)
+            .map(|i| {
+                let t = i as f64;
+                Vector::from_vec(vec![t, 2.0 * t + 1.0, (t * 0.3).sin() * 5.0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mean_vector_of_constant_set_is_the_constant() {
+        let pixels = vec![Vector::filled(4, 3.25); 17];
+        let m = mean_vector(&pixels).unwrap();
+        for v in m.iter() {
+            assert!((v - 3.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_vector_of_empty_set_errors() {
+        assert!(matches!(
+            mean_vector(&[]),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_vector_rejects_ragged_pixels() {
+        let pixels = vec![Vector::zeros(3), Vector::zeros(4)];
+        assert!(mean_vector(&pixels).is_err());
+    }
+
+    #[test]
+    fn covariance_of_constant_set_is_zero() {
+        let pixels = vec![Vector::filled(3, 9.0); 10];
+        let cov = covariance_matrix(&pixels).unwrap();
+        assert!(cov.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_diagonal_is_per_band_variance() {
+        let pixels = sample_pixels();
+        let cov = covariance_matrix(&pixels).unwrap();
+        for band in 0..3 {
+            let values: Vec<f64> = pixels.iter().map(|p| p[band]).collect();
+            let var = crate::reduce::variance(&values).unwrap();
+            assert!((cov.get(band, band) - var).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_bands_have_full_cross_covariance() {
+        let pixels = sample_pixels();
+        let cov = covariance_matrix(&pixels).unwrap();
+        // Band 1 = 2 * band 0 + 1, so cov(0,1) = 2 * var(0).
+        assert!((cov.get(0, 1) - 2.0 * cov.get(0, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_partial_sums_match_sequential_covariance() {
+        let pixels = sample_pixels();
+        let mean = mean_vector(&pixels).unwrap();
+        let sequential = covariance_matrix(&pixels).unwrap();
+
+        // Emulate 4 workers, uneven split.
+        let chunks = [&pixels[..7], &pixels[7..20], &pixels[20..21], &pixels[21..]];
+        let mut manager = CovarianceAccumulator::new(mean.clone());
+        for chunk in chunks {
+            let mut worker = CovarianceAccumulator::new(mean.clone());
+            worker.push_all(chunk).unwrap();
+            manager.merge(&worker).unwrap();
+        }
+        let merged = manager.finalize().unwrap();
+        assert!(sequential.max_abs_diff(&merged).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn finalize_without_data_errors() {
+        let acc = CovarianceAccumulator::new(Vector::zeros(3));
+        assert!(acc.finalize().is_err());
+    }
+
+    #[test]
+    fn push_rejects_wrong_band_count() {
+        let mut acc = CovarianceAccumulator::new(Vector::zeros(3));
+        assert!(acc.push(&Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn count_tracks_pushes_and_merges() {
+        let mut a = CovarianceAccumulator::new(Vector::zeros(2));
+        a.push(&Vector::zeros(2)).unwrap();
+        a.push(&Vector::filled(2, 1.0)).unwrap();
+        let mut b = CovarianceAccumulator::new(Vector::zeros(2));
+        b.push(&Vector::filled(2, 2.0)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn covariance_is_positive_semidefinite_on_diagonal() {
+        let pixels = sample_pixels();
+        let cov = covariance_matrix(&pixels).unwrap();
+        for i in 0..cov.dim() {
+            assert!(cov.get(i, i) >= -1e-12);
+        }
+    }
+}

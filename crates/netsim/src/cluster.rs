@@ -1,0 +1,583 @@
+//! The discrete-event cluster simulator and its actor programming model.
+//!
+//! Applications are written as *actors*: reactive processes pinned to a node
+//! that change state when a message arrives or a requested compute block
+//! finishes — the same reactive model SCPlib uses ("the important transitions
+//! between data states occur at the receipt of messages").  The `pct` crate
+//! implements the paper's manager and worker threads as actors and runs them
+//! on a simulated 16-node 100BaseT cluster to regenerate Figures 4 and 5.
+
+use crate::fault::FaultPlan;
+use crate::link::NetworkModel;
+use crate::node::{NodeId, NodeSpec, NodeState};
+use crate::time::{Duration, SimTime};
+use crate::trace::SimMetrics;
+use crate::{Result, SimError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of an actor registered with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub usize);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor{}", self.0)
+    }
+}
+
+/// A reactive simulated process.
+///
+/// All callbacks receive an [`ActorContext`] through which the actor can send
+/// messages, request compute blocks, and halt the simulation.  Callbacks run
+/// instantaneously in virtual time; only explicit `compute` requests and
+/// message transfers advance the clock.
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut ActorContext<'_, M>) {}
+
+    /// Called when a message addressed to this actor is delivered.
+    fn on_message(&mut self, ctx: &mut ActorContext<'_, M>, from: ActorId, msg: M);
+
+    /// Called when a compute block previously requested with
+    /// [`ActorContext::compute`] finishes.  `tag` is the caller-chosen tag.
+    fn on_compute_done(&mut self, _ctx: &mut ActorContext<'_, M>, _tag: u64) {}
+}
+
+/// Operations an actor can request during a callback.  They are buffered and
+/// applied by the simulator in call order once the callback returns, which
+/// keeps the borrow structure simple without changing observable behaviour.
+enum Op<M> {
+    Send { to: ActorId, msg: M, bytes: u64 },
+    Compute { tag: u64, work: Duration },
+    Halt,
+}
+
+/// The interface an actor uses to interact with the simulated world.
+pub struct ActorContext<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    self_node: NodeId,
+    actor_nodes: &'a [NodeId],
+    node_alive: &'a [bool],
+    ops: Vec<Op<M>>,
+}
+
+impl<'a, M> ActorContext<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's identifier.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// The node this actor runs on.
+    pub fn self_node(&self) -> NodeId {
+        self.self_node
+    }
+
+    /// The node a given actor runs on, if the actor exists.
+    pub fn node_of(&self, actor: ActorId) -> Option<NodeId> {
+        self.actor_nodes.get(actor.0).copied()
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_node_alive(&self, node: NodeId) -> bool {
+        self.node_alive.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// Number of actors registered with the simulation.
+    pub fn actor_count(&self) -> usize {
+        self.actor_nodes.len()
+    }
+
+    /// Sends `msg` to another actor.  `bytes` is the payload size used by the
+    /// network model; the in-memory message `M` itself is delivered intact,
+    /// so drivers pass real data while the clock is charged for the bytes the
+    /// real system would ship.
+    pub fn send(&mut self, to: ActorId, msg: M, bytes: u64) {
+        self.ops.push(Op::Send { to, msg, bytes });
+    }
+
+    /// Requests a block of CPU work measured in reference-workstation
+    /// seconds.  When it completes, [`Actor::on_compute_done`] fires with
+    /// `tag`.
+    pub fn compute(&mut self, tag: u64, work: Duration) {
+        self.ops.push(Op::Compute { tag, work });
+    }
+
+    /// Stops the simulation after the current callback.
+    pub fn halt(&mut self) {
+        self.ops.push(Op::Halt);
+    }
+}
+
+/// Queued simulation events.
+enum Event<M> {
+    Deliver { from: ActorId, to: ActorId, msg: M },
+    ComputeDone { actor: ActorId, tag: u64 },
+    NodeFailure { node: NodeId },
+}
+
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Node descriptions; index is the [`NodeId`].
+    pub nodes: Vec<NodeSpec>,
+    /// LAN model.
+    pub network: NetworkModel,
+    /// Scheduled node failures / attacks.
+    pub faults: FaultPlan,
+    /// Safety valve: maximum number of events to process before reporting a
+    /// livelock.  The Figure 4/5 runs need well under a million events.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A uniform cluster of `n` reference workstations on 100BaseT — the
+    /// paper's testbed shape.
+    pub fn lan_of_workstations(n: usize) -> Self {
+        Self {
+            nodes: NodeSpec::uniform(n),
+            network: NetworkModel::fast_ethernet_100baset(),
+            faults: FaultPlan::none(),
+            max_events: 10_000_000,
+        }
+    }
+}
+
+/// Result of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Virtual time at which the run ended (last event processed or halt).
+    pub finished_at: SimTime,
+    /// Number of events processed.
+    pub events_processed: u64,
+    /// Whether an actor called [`ActorContext::halt`].
+    pub halted: bool,
+    /// Aggregated traffic and utilisation metrics.
+    pub metrics: SimMetrics,
+}
+
+/// The discrete-event cluster simulator.
+pub struct ClusterSim<M> {
+    nodes: Vec<NodeState>,
+    network: NetworkModel,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    actor_nodes: Vec<NodeId>,
+    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    seq: u64,
+    now: SimTime,
+    metrics: SimMetrics,
+    faults: FaultPlan,
+    max_events: u64,
+    halted: bool,
+}
+
+impl<M> ClusterSim<M> {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: SimConfig) -> Result<Self> {
+        if config.nodes.is_empty() {
+            return Err(SimError::InvalidConfig("cluster needs at least one node".into()));
+        }
+        let metrics = SimMetrics::new(config.nodes.len());
+        Ok(Self {
+            nodes: config.nodes.into_iter().map(NodeState::new).collect(),
+            network: config.network,
+            actors: Vec::new(),
+            actor_nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            metrics,
+            faults: config.faults,
+            max_events: config.max_events,
+            halted: false,
+        })
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Registers an actor on a node and returns its id.
+    pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> Result<ActorId> {
+        if node.0 >= self.nodes.len() {
+            return Err(SimError::UnknownEntity { kind: "node", id: node.0 });
+        }
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(actor));
+        self.actor_nodes.push(node);
+        Ok(id)
+    }
+
+    fn push_event(&mut self, time: SimTime, event: Event<M>) {
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, event }));
+    }
+
+    fn node_alive_flags(&self) -> Vec<bool> {
+        self.nodes.iter().map(|n| n.alive).collect()
+    }
+
+    /// Runs one actor callback and applies the operations it requested.
+    fn dispatch<F>(&mut self, actor_id: ActorId, callback: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut ActorContext<'_, M>),
+    {
+        let Some(slot) = self.actors.get_mut(actor_id.0) else { return };
+        let Some(mut actor) = slot.take() else { return };
+        let node = self.actor_nodes[actor_id.0];
+        let alive_flags = self.node_alive_flags();
+        let mut ctx = ActorContext {
+            now: self.now,
+            self_id: actor_id,
+            self_node: node,
+            actor_nodes: &self.actor_nodes,
+            node_alive: &alive_flags,
+            ops: Vec::new(),
+        };
+        callback(actor.as_mut(), &mut ctx);
+        let ops = std::mem::take(&mut ctx.ops);
+        drop(ctx);
+        self.actors[actor_id.0] = Some(actor);
+        self.apply_ops(actor_id, node, ops);
+    }
+
+    fn apply_ops(&mut self, from: ActorId, from_node: NodeId, ops: Vec<Op<M>>) {
+        for op in ops {
+            match op {
+                Op::Send { to, msg, bytes } => self.apply_send(from, from_node, to, msg, bytes),
+                Op::Compute { tag, work } => {
+                    if !self.nodes[from_node.0].alive {
+                        continue;
+                    }
+                    let done = self.nodes[from_node.0].reserve_cpu(self.now, work);
+                    self.push_event(done, Event::ComputeDone { actor: from, tag });
+                }
+                Op::Halt => self.halted = true,
+            }
+        }
+    }
+
+    fn apply_send(&mut self, from: ActorId, from_node: NodeId, to: ActorId, msg: M, bytes: u64) {
+        if to.0 >= self.actors.len() {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        let to_node = self.actor_nodes[to.0];
+        if !self.nodes[from_node.0].alive {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        self.metrics.messages_sent += 1;
+        self.metrics.bytes_sent += bytes;
+
+        if from_node == to_node {
+            // Intra-node delivery: memory copy, no network involvement.  A
+            // small fixed overhead models the queue hand-off.
+            let deliver_at = self.now + Duration::from_micros(5);
+            self.push_event(deliver_at, Event::Deliver { from, to, msg });
+            return;
+        }
+
+        let occupancy = self.network.sender_occupancy(bytes);
+        let tx_done = self.nodes[from_node.0].reserve_tx(self.now, occupancy, bytes);
+        let arrival = tx_done + self.network.latency;
+        let rx_occupancy = self.network.serialization_time(bytes);
+        let delivered = self.nodes[to_node.0].reserve_rx(arrival, rx_occupancy, bytes);
+        self.metrics.network_bytes += bytes;
+        self.push_event(delivered, Event::Deliver { from, to, msg });
+    }
+
+    /// Runs the simulation until the event queue drains, an actor halts it,
+    /// or the event budget is exhausted.
+    pub fn run(&mut self) -> Result<SimOutcome> {
+        // Schedule configured node failures.
+        let failures: Vec<(SimTime, NodeId)> = self.faults.failures().to_vec();
+        for (time, node) in failures {
+            self.push_event(time, Event::NodeFailure { node });
+        }
+
+        // Start every actor.
+        for i in 0..self.actors.len() {
+            self.dispatch(ActorId(i), |actor, ctx| actor.on_start(ctx));
+            if self.halted {
+                break;
+            }
+        }
+
+        let mut processed = 0u64;
+        while !self.halted {
+            let Some(Reverse(next)) = self.queue.pop() else { break };
+            processed += 1;
+            if processed > self.max_events {
+                return Err(SimError::EventBudgetExhausted { processed });
+            }
+            self.now = self.now.max(next.time);
+            match next.event {
+                Event::Deliver { from, to, msg } => {
+                    let to_node = self.actor_nodes[to.0];
+                    if !self.nodes[to_node.0].alive || self.actors[to.0].is_none() {
+                        self.metrics.messages_dropped += 1;
+                        continue;
+                    }
+                    self.metrics.messages_delivered += 1;
+                    self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                }
+                Event::ComputeDone { actor, tag } => {
+                    let node = self.actor_nodes[actor.0];
+                    if !self.nodes[node.0].alive {
+                        continue;
+                    }
+                    self.dispatch(actor, |a, ctx| a.on_compute_done(ctx, tag));
+                }
+                Event::NodeFailure { node } => {
+                    if node.0 < self.nodes.len() {
+                        self.nodes[node.0].alive = false;
+                        self.metrics.node_failures += 1;
+                    }
+                }
+            }
+        }
+
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.metrics.per_node_busy[i] = node.cpu_busy;
+            self.metrics.per_node_bytes_sent[i] = node.bytes_sent;
+        }
+
+        Ok(SimOutcome {
+            finished_at: self.now,
+            events_processed: processed,
+            halted: self.halted,
+            metrics: self.metrics.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pair of actors playing ping-pong a fixed number of times.
+    struct PingPong {
+        peer: Option<ActorId>,
+        remaining: u32,
+        initiator: bool,
+        finished_at: std::rc::Rc<std::cell::Cell<f64>>,
+    }
+
+    impl Actor<u32> for PingPong {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u32>) {
+            if self.initiator {
+                let peer = self.peer.expect("initiator knows its peer");
+                ctx.send(peer, self.remaining, 1000);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut ActorContext<'_, u32>, from: ActorId, msg: u32) {
+            if msg == 0 {
+                self.finished_at.set(ctx.now().as_secs_f64());
+                ctx.halt();
+            } else {
+                ctx.send(from, msg - 1, 1000);
+            }
+        }
+    }
+
+    fn pingpong_sim(network: NetworkModel, rounds: u32) -> (f64, SimOutcome) {
+        let config = SimConfig {
+            nodes: NodeSpec::uniform(2),
+            network,
+            faults: FaultPlan::none(),
+            max_events: 100_000,
+        };
+        let mut sim: ClusterSim<u32> = ClusterSim::new(config).unwrap();
+        let finished = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let a = sim
+            .add_actor(
+                NodeId(0),
+                Box::new(PingPong { peer: None, remaining: rounds, initiator: false, finished_at: finished.clone() }),
+            )
+            .unwrap();
+        let _b = sim
+            .add_actor(
+                NodeId(1),
+                Box::new(PingPong { peer: Some(a), remaining: rounds, initiator: true, finished_at: finished.clone() }),
+            )
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        (finished.get(), outcome)
+    }
+
+    #[test]
+    fn ping_pong_time_scales_with_rounds() {
+        let (t10, o10) = pingpong_sim(NetworkModel::fast_ethernet_100baset(), 10);
+        let (t20, o20) = pingpong_sim(NetworkModel::fast_ethernet_100baset(), 20);
+        assert!(o10.halted && o20.halted);
+        assert!(t10 > 0.0);
+        // Twice the rounds, roughly twice the time.
+        assert!((t20 / t10 - 2.0).abs() < 0.15, "ratio {}", t20 / t10);
+    }
+
+    #[test]
+    fn ideal_network_ping_pong_is_instant() {
+        let (t, outcome) = pingpong_sim(NetworkModel::ideal(), 50);
+        assert!(outcome.halted);
+        assert!(t < 1e-6);
+    }
+
+    #[test]
+    fn message_accounting_matches_protocol() {
+        let (_, outcome) = pingpong_sim(NetworkModel::fast_ethernet_100baset(), 10);
+        // 11 messages cross the network (rounds 10..=0).
+        assert_eq!(outcome.metrics.messages_sent, 11);
+        assert_eq!(outcome.metrics.messages_delivered, 11);
+        assert_eq!(outcome.metrics.messages_dropped, 0);
+        assert_eq!(outcome.metrics.bytes_sent, 11 * 1000);
+    }
+
+    /// An actor that performs a fixed compute block then halts.
+    struct Computer {
+        work_secs: f64,
+        done_at: std::rc::Rc<std::cell::Cell<f64>>,
+    }
+    impl Actor<()> for Computer {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, ()>) {
+            ctx.compute(1, Duration::from_secs_f64(self.work_secs));
+        }
+        fn on_message(&mut self, _ctx: &mut ActorContext<'_, ()>, _from: ActorId, _msg: ()) {}
+        fn on_compute_done(&mut self, ctx: &mut ActorContext<'_, ()>, tag: u64) {
+            assert_eq!(tag, 1);
+            self.done_at.set(ctx.now().as_secs_f64());
+        }
+    }
+
+    #[test]
+    fn compute_blocks_on_one_node_serialise() {
+        let config = SimConfig::lan_of_workstations(1);
+        let mut sim: ClusterSim<()> = ClusterSim::new(config).unwrap();
+        let d1 = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let d2 = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        sim.add_actor(NodeId(0), Box::new(Computer { work_secs: 2.0, done_at: d1.clone() })).unwrap();
+        sim.add_actor(NodeId(0), Box::new(Computer { work_secs: 3.0, done_at: d2.clone() })).unwrap();
+        sim.run().unwrap();
+        // Same CPU: second actor finishes only after both blocks ran.
+        assert!((d1.get() - 2.0).abs() < 1e-9);
+        assert!((d2.get() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_blocks_on_different_nodes_run_concurrently() {
+        let config = SimConfig::lan_of_workstations(2);
+        let mut sim: ClusterSim<()> = ClusterSim::new(config).unwrap();
+        let d1 = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let d2 = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        sim.add_actor(NodeId(0), Box::new(Computer { work_secs: 2.0, done_at: d1.clone() })).unwrap();
+        sim.add_actor(NodeId(1), Box::new(Computer { work_secs: 3.0, done_at: d2.clone() })).unwrap();
+        let outcome = sim.run().unwrap();
+        assert!((d1.get() - 2.0).abs() < 1e-9);
+        assert!((d2.get() - 3.0).abs() < 1e-9);
+        assert_eq!(outcome.finished_at, SimTime::from_secs_f64(3.0));
+    }
+
+    /// An actor that sends to a peer on a node that gets killed.
+    struct Talker {
+        peer: ActorId,
+    }
+    impl Actor<u8> for Talker {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u8>) {
+            ctx.compute(0, Duration::from_secs(2));
+        }
+        fn on_message(&mut self, _ctx: &mut ActorContext<'_, u8>, _from: ActorId, _msg: u8) {}
+        fn on_compute_done(&mut self, ctx: &mut ActorContext<'_, u8>, _tag: u64) {
+            ctx.send(self.peer, 7, 100);
+        }
+    }
+    struct Sink;
+    impl Actor<u8> for Sink {
+        fn on_message(&mut self, _ctx: &mut ActorContext<'_, u8>, _from: ActorId, _msg: u8) {
+            panic!("dead node must not receive messages");
+        }
+    }
+
+    #[test]
+    fn messages_to_killed_nodes_are_dropped() {
+        let mut config = SimConfig::lan_of_workstations(2);
+        config.faults = FaultPlan::kill_at(NodeId(1), SimTime::from_secs_f64(1.0));
+        let mut sim: ClusterSim<u8> = ClusterSim::new(config).unwrap();
+        // Register the sink first so the talker knows its id.
+        let sink = sim.add_actor(NodeId(1), Box::new(Sink)).unwrap();
+        sim.add_actor(NodeId(0), Box::new(Talker { peer: sink })).unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.metrics.node_failures, 1);
+        assert_eq!(outcome.metrics.messages_dropped, 1);
+        assert_eq!(outcome.metrics.messages_delivered, 0);
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        let config = SimConfig {
+            nodes: vec![],
+            network: NetworkModel::ideal(),
+            faults: FaultPlan::none(),
+            max_events: 100,
+        };
+        assert!(ClusterSim::<u8>::new(config).is_err());
+    }
+
+    #[test]
+    fn adding_actor_to_missing_node_fails() {
+        let mut sim: ClusterSim<u8> = ClusterSim::new(SimConfig::lan_of_workstations(2)).unwrap();
+        assert!(sim.add_actor(NodeId(5), Box::new(Sink)).is_err());
+    }
+
+    /// An actor that floods itself with messages forever, to exercise the
+    /// event budget safety valve.
+    struct Flood;
+    impl Actor<u8> for Flood {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u8>) {
+            let me = ctx.self_id();
+            ctx.send(me, 0, 1);
+        }
+        fn on_message(&mut self, ctx: &mut ActorContext<'_, u8>, _from: ActorId, _msg: u8) {
+            let me = ctx.self_id();
+            ctx.send(me, 0, 1);
+        }
+    }
+
+    #[test]
+    fn event_budget_detects_livelock() {
+        let mut config = SimConfig::lan_of_workstations(1);
+        config.max_events = 1000;
+        let mut sim: ClusterSim<u8> = ClusterSim::new(config).unwrap();
+        sim.add_actor(NodeId(0), Box::new(Flood)).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::EventBudgetExhausted { .. })));
+    }
+}

@@ -1,0 +1,118 @@
+//! Fault and attack injection schedules.
+//!
+//! The paper motivates computational resiliency with information-warfare
+//! attacks on battlefield command-and-control systems.  From the
+//! application's point of view every attack the resiliency layer handles
+//! manifests as a process or node that stops participating (crashes, is
+//! taken off the network, or is deliberately killed), so the injector models
+//! exactly that: nodes die at scheduled virtual times.  Richer behaviours
+//! (message delay storms) are expressed as per-message delay factors.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A schedule of node failures to inject into a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// `(time, node)` pairs; at `time`, `node` stops computing and both
+    /// sending and receiving.
+    failures: Vec<(SimTime, NodeId)>,
+}
+
+impl FaultPlan {
+    /// No faults — the baseline configuration of Figures 4 and 5.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kills a single node at the given time.
+    pub fn kill_at(node: NodeId, time: SimTime) -> Self {
+        Self { failures: vec![(time, node)] }
+    }
+
+    /// Adds a failure to the plan (builder style).
+    pub fn and_kill(mut self, node: NodeId, time: SimTime) -> Self {
+        self.failures.push((time, node));
+        self
+    }
+
+    /// Number of scheduled failures.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The scheduled failures, in insertion order.
+    pub fn failures(&self) -> &[(SimTime, NodeId)] {
+        &self.failures
+    }
+
+    /// Kills every node in `nodes` at evenly spaced times across
+    /// `[start, end]` — a "sweeping attack" scenario used in the extension
+    /// benches.
+    pub fn sweeping_attack(nodes: &[NodeId], start: SimTime, end: SimTime) -> Self {
+        if nodes.is_empty() {
+            return Self::none();
+        }
+        let span = end.since(start).as_nanos();
+        let step = span / nodes.len() as u64;
+        let failures = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                (SimTime::from_nanos(start.as_nanos() + step * i as u64), node)
+            })
+            .collect();
+        Self { failures }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_has_no_failures() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn kill_at_records_one_failure() {
+        let p = FaultPlan::kill_at(NodeId(3), SimTime::from_secs_f64(2.0));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.failures()[0], (SimTime::from_secs_f64(2.0), NodeId(3)));
+    }
+
+    #[test]
+    fn builder_accumulates_failures() {
+        let p = FaultPlan::none()
+            .and_kill(NodeId(1), SimTime::from_secs_f64(1.0))
+            .and_kill(NodeId(2), SimTime::from_secs_f64(2.0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn sweeping_attack_spreads_failures_over_the_window() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let p = FaultPlan::sweeping_attack(
+            &nodes,
+            SimTime::from_secs_f64(10.0),
+            SimTime::from_secs_f64(18.0),
+        );
+        assert_eq!(p.len(), 4);
+        let times: Vec<f64> = p.failures().iter().map(|(t, _)| t.as_secs_f64()).collect();
+        assert_eq!(times, vec![10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn sweeping_attack_with_no_nodes_is_empty() {
+        assert!(FaultPlan::sweeping_attack(&[], SimTime::ZERO, SimTime::ZERO).is_empty());
+    }
+}

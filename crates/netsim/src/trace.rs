@@ -1,0 +1,98 @@
+//! Simulation metrics and utilisation accounting.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Messages actors attempted to send.
+    pub messages_sent: u64,
+    /// Messages delivered to a live actor.
+    pub messages_delivered: u64,
+    /// Messages dropped (dead sender, dead receiver, unknown actor).
+    pub messages_dropped: u64,
+    /// Total payload bytes of attempted sends.
+    pub bytes_sent: u64,
+    /// Payload bytes that actually crossed the network (inter-node sends).
+    pub network_bytes: u64,
+    /// Node failures injected.
+    pub node_failures: u64,
+    /// Per-node CPU busy time.
+    pub per_node_busy: Vec<Duration>,
+    /// Per-node bytes transmitted.
+    pub per_node_bytes_sent: Vec<u64>,
+}
+
+impl SimMetrics {
+    /// Creates zeroed metrics for a cluster of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            per_node_busy: vec![Duration::ZERO; nodes],
+            per_node_bytes_sent: vec![0; nodes],
+            ..Self::default()
+        }
+    }
+
+    /// Total CPU busy time across all nodes.
+    pub fn total_busy(&self) -> Duration {
+        self.per_node_busy
+            .iter()
+            .fold(Duration::ZERO, |acc, &d| acc + d)
+    }
+
+    /// Average CPU utilisation over the run: total busy time divided by
+    /// `nodes * makespan`.  Returns 0 when the makespan is zero.
+    pub fn average_utilization(&self, makespan: Duration) -> f64 {
+        let nodes = self.per_node_busy.len();
+        if nodes == 0 || makespan == Duration::ZERO {
+            return 0.0;
+        }
+        self.total_busy().as_secs_f64() / (nodes as f64 * makespan.as_secs_f64())
+    }
+
+    /// Fraction of attempted messages that were delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            return 1.0;
+        }
+        self.messages_delivered as f64 / self.messages_sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_metrics_are_zeroed() {
+        let m = SimMetrics::new(4);
+        assert_eq!(m.per_node_busy.len(), 4);
+        assert_eq!(m.total_busy(), Duration::ZERO);
+        assert_eq!(m.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let mut m = SimMetrics::new(2);
+        m.per_node_busy[0] = Duration::from_secs(6);
+        m.per_node_busy[1] = Duration::from_secs(2);
+        let util = m.average_utilization(Duration::from_secs(8));
+        assert!((util - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_zero_makespan_is_zero() {
+        let m = SimMetrics::new(2);
+        assert_eq!(m.average_utilization(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn delivery_ratio_counts_drops() {
+        let mut m = SimMetrics::new(1);
+        m.messages_sent = 10;
+        m.messages_delivered = 9;
+        m.messages_dropped = 1;
+        assert!((m.delivery_ratio() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Pipeline configuration and output types.
+
+use hsi::RgbImage;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by every implementation of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PctConfig {
+    /// Spectral-angle screening threshold in radians: a pixel joins the
+    /// unique set only if its angle to every existing unique vector exceeds
+    /// this value.  Smaller thresholds keep more pixels (more faithful
+    /// statistics, more work); larger thresholds keep fewer.
+    pub screening_angle_rad: f64,
+    /// Number of principal components produced per pixel in step 7.  The
+    /// human-centred colour mapping of step 8 consumes the first three.
+    pub output_components: usize,
+}
+
+impl PctConfig {
+    /// The configuration used throughout the reproduction: a 5-degree
+    /// screening angle and three output components.
+    pub fn paper() -> Self {
+        Self {
+            screening_angle_rad: 5.0_f64.to_radians(),
+            output_components: 3,
+        }
+    }
+
+    /// Disables screening entirely (every pixel is "unique"), which reduces
+    /// the pipeline to a plain PCT — the baseline the paper's spectral
+    /// screening is compared against conceptually.
+    pub fn without_screening() -> Self {
+        Self {
+            screening_angle_rad: 0.0,
+            output_components: 3,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.output_components == 0 {
+            return Err(crate::PctError::InvalidConfig(
+                "output_components must be at least 1".to_string(),
+            ));
+        }
+        if !(0.0..=std::f64::consts::PI).contains(&self.screening_angle_rad) {
+            return Err(crate::PctError::InvalidConfig(format!(
+                "screening angle {} outside [0, pi]",
+                self.screening_angle_rad
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PctConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The result of running the fusion pipeline on a cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionOutput {
+    /// The fused colour-composite image (the paper's Figure 3 artefact).
+    pub image: RgbImage,
+    /// Eigenvalues of the screened covariance matrix, sorted descending —
+    /// the per-component variances.
+    pub eigenvalues: Vec<f64>,
+    /// Number of pixel vectors that survived spectral screening (size of the
+    /// merged unique set).
+    pub unique_count: usize,
+    /// Number of pixels processed.
+    pub pixels: usize,
+}
+
+impl FusionOutput {
+    /// Fraction of total variance captured by the first `k` principal
+    /// components — the energy-compaction figure of merit for the PCT.
+    pub fn variance_fraction(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().filter(|v| **v > 0.0).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let leading: f64 = self
+            .eigenvalues
+            .iter()
+            .filter(|v| **v > 0.0)
+            .take(k)
+            .sum();
+        leading / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert!(PctConfig::paper().validate().is_ok());
+        assert!(PctConfig::without_screening().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = PctConfig::paper();
+        c.output_components = 0;
+        assert!(c.validate().is_err());
+        let mut c = PctConfig::paper();
+        c.screening_angle_rad = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = PctConfig::paper();
+        c.screening_angle_rad = 4.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn variance_fraction_sums_to_one_over_all_components() {
+        let out = FusionOutput {
+            image: RgbImage::black(1, 1),
+            eigenvalues: vec![8.0, 1.0, 1.0],
+            unique_count: 10,
+            pixels: 1,
+        };
+        assert!((out.variance_fraction(1) - 0.8).abs() < 1e-12);
+        assert!((out.variance_fraction(3) - 1.0).abs() < 1e-12);
+        assert!((out.variance_fraction(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_fraction_ignores_negative_round_off_eigenvalues() {
+        let out = FusionOutput {
+            image: RgbImage::black(1, 1),
+            eigenvalues: vec![4.0, -1e-15],
+            unique_count: 1,
+            pixels: 1,
+        };
+        assert!((out.variance_fraction(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_fraction_of_degenerate_output_is_zero() {
+        let out = FusionOutput {
+            image: RgbImage::black(1, 1),
+            eigenvalues: vec![0.0, 0.0],
+            unique_count: 0,
+            pixels: 0,
+        };
+        assert_eq!(out.variance_fraction(1), 0.0);
+    }
+}

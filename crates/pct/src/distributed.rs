@@ -1,0 +1,458 @@
+//! The manager/worker distributed implementation on real threads.
+//!
+//! This is the paper's message-passing algorithm (§3) on the `scp`
+//! substrate.  The manager partitions the cube into sub-cubes, distributes
+//! screening tasks through a work queue (a worker is sent its next task as
+//! soon as its previous result arrives, which is the "overlap the request
+//! for its next sub-problem with the calculation" optimisation), merges the
+//! unique sets, computes the statistics sequentially (steps 3, 5, 6), then
+//! distributes covariance and transform/colour tasks the same way, and
+//! finally reassembles the colour strips into the fused image.
+
+use crate::colormap::{map_pixel, ComponentScale};
+use crate::config::{FusionOutput, PctConfig};
+use crate::messages::{PctMessage, TaskId};
+use crate::pipeline::{finalize_transform, TransformSpec};
+use crate::screening::{merge_unique_sets, screen_pixels};
+use crate::{PctError, Result};
+use hsi::partition::{GranularityPolicy, SubCubeSpec};
+use hsi::{HyperCube, RgbImage, SubCube};
+use linalg::covariance::{mean_vector, CovarianceAccumulator};
+use linalg::{Matrix, SymMatrix, Vector};
+use scp::{CommGraph, Runtime, RuntimeConfig, ThreadContext};
+use std::collections::HashMap;
+
+/// Name used by the manager thread.
+pub const MANAGER: &str = "manager";
+
+/// Routing name of worker `i`.
+pub fn worker_name(i: usize) -> String {
+    format!("worker{i}")
+}
+
+/// The distributed fusion pipeline.
+#[derive(Debug, Clone)]
+pub struct DistributedPct {
+    config: PctConfig,
+    workers: usize,
+    granularity: GranularityPolicy,
+}
+
+impl DistributedPct {
+    /// Creates a distributed pipeline with `workers` worker threads and one
+    /// sub-cube per worker.
+    pub fn new(config: PctConfig, workers: usize) -> Self {
+        Self {
+            config,
+            workers: workers.max(1),
+            granularity: GranularityPolicy::PerWorkerMultiple(2),
+        }
+    }
+
+    /// Overrides the granularity policy (Figure 5's experimental knob).
+    pub fn with_granularity(mut self, granularity: GranularityPolicy) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the full pipeline on real threads and returns the fused output.
+    pub fn run(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.config.validate()?;
+        let worker_names: Vec<String> = (0..self.workers).map(worker_name).collect();
+        let graph = CommGraph::manager_worker(MANAGER, &worker_names);
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig {
+            validate_channels: true,
+            graph,
+        });
+        let mut manager_ctx = runtime.context(MANAGER)?;
+
+        // Spawn the workers.
+        let handles: Vec<_> = worker_names
+            .iter()
+            .map(|name| {
+                runtime.spawn(name.clone(), move |ctx: ThreadContext<PctMessage>| {
+                    worker_loop(ctx)
+                })
+            })
+            .collect::<scp::Result<Vec<_>>>()?;
+
+        let result = run_manager(
+            &mut manager_ctx,
+            &worker_names,
+            cube,
+            &self.config,
+            self.granularity,
+        );
+
+        // Always shut workers down, even if the manager phase failed.
+        for name in &worker_names {
+            let _ = manager_ctx.send(name, PctMessage::Shutdown);
+        }
+        for handle in handles {
+            handle.join();
+        }
+        result
+    }
+}
+
+/// The worker side of the protocol: a reactive loop that services tasks until
+/// told to shut down.  Exposed so the resilient implementation can reuse the
+/// exact same task handling inside replicated members.
+pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
+    match msg {
+        PctMessage::ScreenTask { task, sub, threshold_rad } => {
+            let unique = screen_pixels(&sub.data.pixel_vectors(), threshold_rad);
+            Some(PctMessage::UniqueSet { task, unique })
+        }
+        PctMessage::CovarianceTask { task, mean, pixels } => {
+            let bands = mean.len();
+            let mut acc = CovarianceAccumulator::new(mean);
+            acc.push_all(&pixels).expect("uniform band count");
+            Some(PctMessage::CovarianceSum {
+                task,
+                packed: acc.raw_sum().packed().to_vec(),
+                bands,
+                count: acc.count(),
+            })
+        }
+        PctMessage::TransformTask { task, sub, mean, transform, scales } => {
+            Some(transform_and_map(task, &sub, &mean, &transform, &scales))
+        }
+        // Results, heartbeats and shutdown are not tasks.
+        _ => None,
+    }
+}
+
+/// Steps 7–8 for one sub-cube, producing a colour strip.
+fn transform_and_map(
+    task: TaskId,
+    sub: &SubCube,
+    mean: &Vector,
+    transform: &Matrix,
+    scales: &[(f64, f64)],
+) -> PctMessage {
+    let spec = TransformSpec {
+        mean: mean.clone(),
+        transform: transform.clone(),
+        eigenvalues: Vec::new(),
+    };
+    let scale_structs: Vec<ComponentScale> = scales
+        .iter()
+        .map(|&(min, max)| ComponentScale { min, max })
+        .collect();
+    let width = sub.data.width();
+    let rows = sub.data.height();
+    let mut rgb = Vec::with_capacity(width * rows * 3);
+    for pixel in sub.data.iter_pixels() {
+        let projected = crate::pipeline::transform_pixel(&spec, pixel);
+        let mut components = [128.0_f64; 3];
+        for (c, slot) in components.iter_mut().enumerate() {
+            if c < projected.len() && c < scale_structs.len() {
+                *slot = scale_structs[c].to_byte_range(projected[c]);
+            }
+        }
+        rgb.extend_from_slice(&map_pixel(components));
+    }
+    PctMessage::RgbStrip {
+        task,
+        row_start: sub.spec.row_start,
+        rows,
+        width,
+        rgb,
+    }
+}
+
+/// The plain (non-replicated) worker loop.
+fn worker_loop(mut ctx: ThreadContext<PctMessage>) {
+    loop {
+        let Ok(envelope) = ctx.recv() else { return };
+        match envelope.payload {
+            PctMessage::Shutdown => return,
+            msg => {
+                if let Some(reply) = handle_task(msg) {
+                    // The manager may already have shut down if it errored;
+                    // a failed send just ends this worker.
+                    if ctx.send(&envelope.from, reply).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Work-queue distribution of a set of tasks over the workers: every worker
+/// gets one task immediately; each completed result triggers dispatch of the
+/// next pending task to the worker that just finished.
+fn distribute<T, F, G>(
+    ctx: &mut ThreadContext<PctMessage>,
+    worker_names: &[String],
+    tasks: Vec<PctMessage>,
+    mut on_result: F,
+    mut extract: G,
+) -> Result<Vec<T>>
+where
+    F: FnMut(&PctMessage) -> bool,
+    G: FnMut(PctMessage) -> Option<T>,
+{
+    let mut pending: std::collections::VecDeque<PctMessage> = tasks.into();
+    let total = pending.len();
+    let mut results: Vec<(Option<usize>, T)> = Vec::with_capacity(total);
+    let mut outstanding: HashMap<String, usize> = HashMap::new();
+
+    // Prime every worker with one task (two would also be reasonable; one
+    // keeps the protocol simple while the work queue still provides overlap
+    // because task grain is finer than a worker's full share).
+    for name in worker_names {
+        if let Some(task) = pending.pop_front() {
+            ctx.send(name, task)?;
+            *outstanding.entry(name.clone()).or_insert(0) += 1;
+        }
+    }
+
+    let mut completed = 0;
+    while completed < total {
+        let envelope = ctx.recv()?;
+        let from = envelope.from.clone();
+        if !on_result(&envelope.payload) {
+            // Not a result message (e.g. a stray heartbeat); ignore.
+            continue;
+        }
+        completed += 1;
+        let task_id = envelope.payload.task();
+        if let Some(value) = extract(envelope.payload) {
+            results.push((task_id, value));
+        }
+        if let Some(task) = pending.pop_front() {
+            ctx.send(&from, task)?;
+        } else if let Some(count) = outstanding.get_mut(&from) {
+            *count = count.saturating_sub(1);
+        }
+    }
+    // Results arrive in completion order, which depends on thread scheduling;
+    // sort them back into task order so the manager's subsequent sequential
+    // steps (unique-set merge, covariance accumulation) are deterministic and
+    // independent of how the run was scheduled.
+    results.sort_by_key(|(task, _)| *task);
+    Ok(results.into_iter().map(|(_, value)| value).collect())
+}
+
+/// The manager side of the protocol, phases 1–3.
+fn run_manager(
+    ctx: &mut ThreadContext<PctMessage>,
+    worker_names: &[String],
+    cube: &HyperCube,
+    config: &PctConfig,
+    granularity: GranularityPolicy,
+) -> Result<FusionOutput> {
+    let specs: Vec<SubCubeSpec> =
+        hsi::partition::partition_for_workers(cube.dims(), worker_names.len(), granularity)?;
+
+    // ---- Phase 1: screening (steps 1–2) ------------------------------------------
+    let screen_tasks: Vec<PctMessage> = specs
+        .iter()
+        .map(|spec| {
+            Ok(PctMessage::ScreenTask {
+                task: spec.id,
+                sub: spec.extract(cube)?,
+                threshold_rad: config.screening_angle_rad,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let unique_sets = distribute(
+        ctx,
+        worker_names,
+        screen_tasks,
+        |msg| matches!(msg, PctMessage::UniqueSet { .. }),
+        |msg| match msg {
+            PctMessage::UniqueSet { unique, .. } => Some(unique),
+            _ => None,
+        },
+    )?;
+    let unique = merge_unique_sets(unique_sets, config.screening_angle_rad);
+    let unique_count = unique.len();
+    if unique.is_empty() {
+        return Err(PctError::InvalidConfig("screening produced an empty unique set".into()));
+    }
+
+    // ---- Phase 2: statistics (steps 3–6) ------------------------------------------
+    let mean = mean_vector(&unique)?;
+    let bands = mean.len();
+    let chunk = unique.len().div_ceil(worker_names.len());
+    let cov_tasks: Vec<PctMessage> = unique
+        .chunks(chunk.max(1))
+        .enumerate()
+        .map(|(i, pixels)| PctMessage::CovarianceTask {
+            task: i,
+            mean: mean.clone(),
+            pixels: pixels.to_vec(),
+        })
+        .collect();
+    let partials = distribute(
+        ctx,
+        worker_names,
+        cov_tasks,
+        |msg| matches!(msg, PctMessage::CovarianceSum { .. }),
+        |msg| match msg {
+            PctMessage::CovarianceSum { packed, bands, count, .. } => Some((packed, bands, count)),
+            _ => None,
+        },
+    )?;
+    let mut sum = SymMatrix::zeros(bands);
+    let mut total_count = 0u64;
+    for (packed, b, count) in partials {
+        if b != bands {
+            return Err(PctError::InvalidConfig(format!(
+                "worker returned a {b}-band covariance sum for a {bands}-band image"
+            )));
+        }
+        sum.add_assign_sym(&SymMatrix::from_packed(b, packed)?)?;
+        total_count += count;
+    }
+    if total_count == 0 {
+        return Err(PctError::InvalidConfig("covariance phase accumulated no pixels".into()));
+    }
+    sum.scale_in_place(1.0 / total_count as f64);
+    let spec = finalize_transform(mean, &sum, config)?;
+    let scales: Vec<(f64, f64)> = ComponentScale::from_eigenvalues(&spec.eigenvalues, 3)
+        .into_iter()
+        .map(|s| (s.min, s.max))
+        .collect();
+
+    // ---- Phase 3: transform + colour (steps 7–8) ----------------------------------
+    let transform_tasks: Vec<PctMessage> = specs
+        .iter()
+        .map(|sub_spec| {
+            Ok(PctMessage::TransformTask {
+                task: sub_spec.id,
+                sub: sub_spec.extract(cube)?,
+                mean: spec.mean.clone(),
+                transform: spec.transform.clone(),
+                scales: scales.clone(),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let strips = distribute(
+        ctx,
+        worker_names,
+        transform_tasks,
+        |msg| matches!(msg, PctMessage::RgbStrip { .. }),
+        |msg| match msg {
+            PctMessage::RgbStrip { row_start, rows, width, rgb, .. } => Some((row_start, rows, width, rgb)),
+            _ => None,
+        },
+    )?;
+
+    let image = assemble_image(cube.width(), cube.height(), strips)?;
+    Ok(FusionOutput {
+        image,
+        eigenvalues: spec.eigenvalues,
+        unique_count,
+        pixels: cube.pixels(),
+    })
+}
+
+/// Reassembles worker colour strips into the final image.
+pub fn assemble_image(
+    width: usize,
+    height: usize,
+    strips: Vec<(usize, usize, usize, Vec<u8>)>,
+) -> Result<RgbImage> {
+    let mut data = vec![0u8; width * height * 3];
+    for (row_start, rows, strip_width, rgb) in strips {
+        if strip_width != width || rgb.len() != rows * width * 3 {
+            return Err(PctError::InvalidConfig("malformed colour strip".into()));
+        }
+        let offset = row_start * width * 3;
+        data[offset..offset + rgb.len()].copy_from_slice(&rgb);
+    }
+    Ok(RgbImage::from_raw(width, height, data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialPct;
+    use hsi::partition::partition_rows;
+    use hsi::{SceneConfig, SceneGenerator};
+
+    fn small_scene() -> HyperCube {
+        SceneGenerator::new(SceneConfig::small(5)).unwrap().generate()
+    }
+
+    #[test]
+    fn distributed_matches_sequential_output_closely() {
+        let cube = small_scene();
+        let seq = SequentialPct::default().run(&cube).unwrap();
+        let dist = DistributedPct::new(PctConfig::paper(), 4).run(&cube).unwrap();
+        assert_eq!(dist.pixels, seq.pixels);
+        let diff = seq.image.mean_abs_diff(&dist.image).unwrap();
+        assert!(diff < 10.0, "distributed output diverges: mean abs diff {diff}");
+        assert!(dist.variance_fraction(3) > 0.95);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_image_materially() {
+        let cube = small_scene();
+        let one = DistributedPct::new(PctConfig::paper(), 1).run(&cube).unwrap();
+        let four = DistributedPct::new(PctConfig::paper(), 4).run(&cube).unwrap();
+        let diff = one.image.mean_abs_diff(&four.image).unwrap();
+        assert!(diff < 10.0, "worker-count sensitivity {diff}");
+    }
+
+    #[test]
+    fn granularity_policy_does_not_change_the_image_materially() {
+        let cube = small_scene();
+        let coarse = DistributedPct::new(PctConfig::paper(), 2)
+            .with_granularity(GranularityPolicy::OnePerWorker)
+            .run(&cube)
+            .unwrap();
+        let fine = DistributedPct::new(PctConfig::paper(), 2)
+            .with_granularity(GranularityPolicy::PerWorkerMultiple(3))
+            .run(&cube)
+            .unwrap();
+        let diff = coarse.image.mean_abs_diff(&fine.image).unwrap();
+        assert!(diff < 10.0, "granularity sensitivity {diff}");
+    }
+
+    #[test]
+    fn handle_task_screen_returns_unique_set() {
+        let cube = small_scene();
+        let spec = partition_rows(cube.dims(), 4).unwrap()[0];
+        let sub = spec.extract(&cube).unwrap();
+        let reply = handle_task(PctMessage::ScreenTask {
+            task: 9,
+            sub,
+            threshold_rad: PctConfig::paper().screening_angle_rad,
+        })
+        .unwrap();
+        match reply {
+            PctMessage::UniqueSet { task, unique } => {
+                assert_eq!(task, 9);
+                assert!(!unique.is_empty());
+                assert!(unique.len() < spec.pixels());
+            }
+            other => panic!("unexpected reply {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn handle_task_ignores_non_task_messages() {
+        assert!(handle_task(PctMessage::Heartbeat).is_none());
+        assert!(handle_task(PctMessage::Shutdown).is_none());
+        assert!(handle_task(PctMessage::UniqueSet { task: 0, unique: vec![] }).is_none());
+    }
+
+    #[test]
+    fn assemble_image_rejects_malformed_strips() {
+        assert!(assemble_image(4, 4, vec![(0, 2, 3, vec![0; 18])]).is_err());
+        assert!(assemble_image(4, 4, vec![(0, 2, 4, vec![0; 5])]).is_err());
+        let ok = assemble_image(4, 4, vec![(0, 4, 4, vec![7; 48])]).unwrap();
+        assert_eq!(ok.get(3, 3).unwrap(), [7, 7, 7]);
+    }
+}

@@ -1,0 +1,585 @@
+//! The intrusion-tolerant (resilient) distributed implementation.
+//!
+//! Same protocol as [`crate::distributed`], but every logical worker is a
+//! *replica group*: `level` member threads that all receive every task and
+//! all return results, with the manager acting on the first result per task
+//! and discarding duplicates.  Members emit heartbeats; a failure detector at
+//! the manager notices a member that has gone silent (because an attack
+//! killed it), and the regeneration protocol immediately spawns a replacement
+//! member — rebinding its routing name and re-issuing any tasks its group
+//! still owes — restoring the replication level instead of merely degrading.
+//! That restore-not-degrade behaviour is the paper's definition of
+//! computational resiliency.
+
+use crate::colormap::ComponentScale;
+use crate::config::{FusionOutput, PctConfig};
+use crate::distributed::{assemble_image, handle_task, MANAGER};
+use crate::messages::{PctMessage, TaskId};
+use crate::pipeline::finalize_transform;
+use crate::screening::merge_unique_sets;
+use crate::{PctError, Result};
+use hsi::partition::{partition_for_workers, GranularityPolicy};
+use hsi::HyperCube;
+use linalg::covariance::mean_vector;
+use linalg::SymMatrix;
+use resilience::attack::AttackInjector;
+use resilience::group::ReplicaGroup;
+use resilience::{
+    DetectorConfig, FailureDetector, KillSwitch, MemberId, MembershipTable, PlacementPolicy,
+    RegenerationEvent, Regenerator,
+};
+use scp::{Runtime, RuntimeConfig, ScpError, ThreadContext, ThreadHandle};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// A staged attack against the running computation: after the manager has
+/// received `after_results` task results, the listed member routing names are
+/// killed.  This emulates an adversary taking out processes mid-run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttackPlan {
+    /// Number of results to wait for before the attack fires.
+    pub after_results: usize,
+    /// Member routing names (e.g. `worker0#0`) to kill.
+    pub victims: Vec<String>,
+}
+
+impl AttackPlan {
+    /// No attack.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kills one member of logical worker 0 early in the run.
+    pub fn kill_first_worker_member() -> Self {
+        Self { after_results: 1, victims: vec!["worker0#0".to_string()] }
+    }
+}
+
+/// What happened during a resilient run, beyond the fused output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilientRunReport {
+    /// Heartbeats the manager consumed.
+    pub heartbeats: u64,
+    /// Duplicate task results discarded by the manager.
+    pub duplicates_ignored: u64,
+    /// Members the attack plan killed.
+    pub members_attacked: Vec<String>,
+    /// Regenerations the protocol performed.
+    pub regenerations: Vec<RegenerationEvent>,
+    /// Tasks that had to be re-issued after a regeneration.
+    pub tasks_reissued: u64,
+}
+
+/// The resilient distributed fusion pipeline.
+#[derive(Debug, Clone)]
+pub struct ResilientPct {
+    config: PctConfig,
+    workers: usize,
+    level: usize,
+    granularity: GranularityPolicy,
+}
+
+impl ResilientPct {
+    /// Creates a resilient pipeline with `workers` logical workers replicated
+    /// to `level` members each (the paper evaluates level 2).
+    pub fn new(config: PctConfig, workers: usize, level: usize) -> Self {
+        Self {
+            config,
+            workers: workers.max(1),
+            level: level.max(1),
+            granularity: GranularityPolicy::PerWorkerMultiple(2),
+        }
+    }
+
+    /// Overrides the granularity policy.
+    pub fn with_granularity(mut self, granularity: GranularityPolicy) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Runs the pipeline with no attack.
+    pub fn run(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.run_with_attack(cube, AttackPlan::none()).map(|(out, _)| out)
+    }
+
+    /// Runs the pipeline while an [`AttackPlan`] kills members mid-run.
+    pub fn run_with_attack(
+        &self,
+        cube: &HyperCube,
+        attack: AttackPlan,
+    ) -> Result<(FusionOutput, ResilientRunReport)> {
+        self.config.validate()?;
+        // Channel validation is off: regenerated members introduce new
+        // routing names at runtime, which a static graph cannot anticipate.
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
+        let mut manager_ctx = runtime.context(MANAGER)?;
+
+        let membership = MembershipTable::new();
+        let injector = AttackInjector::new();
+        let mut handles: Vec<ThreadHandle<()>> = Vec::new();
+
+        // Spawn `level` members for each logical worker, placed round-robin
+        // over virtual nodes 0..workers (placement bookkeeping only — all
+        // members are OS threads on this machine).
+        let nodes: Vec<usize> = (0..self.workers).collect();
+        for w in 0..self.workers {
+            let placements: Vec<usize> = (0..self.level).map(|m| (w + m) % self.workers).collect();
+            let group = ReplicaGroup::new(format!("worker{w}"), self.level, &placements)?;
+            for member in &group.members {
+                handles.push(spawn_member(&runtime, &injector, member)?);
+            }
+            membership.insert(group);
+        }
+
+        let mut detector = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 50, miss_threshold: 8 });
+        for member in membership.all_members() {
+            detector.watch(member, 0);
+        }
+        let mut regenerator = Regenerator::new(membership.clone(), PlacementPolicy::SpreadAcrossNodes, nodes);
+        let mut report = ResilientRunReport::default();
+
+        let result = run_resilient_manager(
+            &mut manager_ctx,
+            &runtime,
+            cube,
+            &self.config,
+            self.granularity,
+            self.workers,
+            &membership,
+            &injector,
+            &mut detector,
+            &mut regenerator,
+            &mut handles,
+            &attack,
+            &mut report,
+        );
+
+        // Shut down every member that ever existed (including regenerated
+        // ones — `handles` tracks all of them).
+        for group in membership.group_names() {
+            if let Ok(snapshot) = membership.get(&group) {
+                for member in snapshot.members {
+                    let _ = manager_ctx.send(&member.routing_name(), PctMessage::Shutdown);
+                }
+            }
+        }
+        // Killed members exit via their kill switches; joining is safe either way.
+        for handle in handles {
+            handle.join();
+        }
+        report.regenerations = regenerator.history().to_vec();
+        report.members_attacked = injector.attack_log();
+        result.map(|out| (out, report))
+    }
+}
+
+/// Spawns one replica-group member thread and registers its kill switch.
+fn spawn_member(
+    runtime: &Runtime<PctMessage>,
+    injector: &AttackInjector,
+    member: &MemberId,
+) -> Result<ThreadHandle<()>> {
+    let kill = injector.register(member.routing_name());
+    Ok(runtime.spawn(member.routing_name(), move |ctx: ThreadContext<PctMessage>| {
+        member_loop(ctx, kill)
+    })?)
+}
+
+/// The reactive loop of one group member: service tasks, heartbeat while
+/// idle, and stop silently when attacked.
+fn member_loop(mut ctx: ThreadContext<PctMessage>, kill: KillSwitch) {
+    loop {
+        if kill.is_killed() {
+            return;
+        }
+        match ctx.recv_timeout(Duration::from_millis(25)) {
+            Ok(envelope) => match envelope.payload {
+                PctMessage::Shutdown => return,
+                msg => {
+                    if let Some(reply) = handle_task(msg) {
+                        if kill.is_killed() {
+                            return;
+                        }
+                        if ctx.send(MANAGER, reply).is_err() {
+                            return;
+                        }
+                        let _ = ctx.send(MANAGER, PctMessage::Heartbeat);
+                    }
+                }
+            },
+            Err(ScpError::Timeout) => {
+                if ctx.send(MANAGER, PctMessage::Heartbeat).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sends a task to every live member of a group.  Returns the members whose
+/// mailboxes turned out to be gone — a killed thread's queue disappears when
+/// it exits, so a failed send is an immediate failure report that complements
+/// the heartbeat detector.
+fn group_send(
+    ctx: &mut ThreadContext<PctMessage>,
+    membership: &MembershipTable,
+    group: &str,
+    msg: &PctMessage,
+) -> Result<Vec<MemberId>> {
+    let snapshot = membership.get(group)?;
+    let mut dead = Vec::new();
+    for member in &snapshot.members {
+        if let Err(ScpError::Disconnected(_)) = ctx.send(&member.routing_name(), msg.clone()) {
+            dead.push(member.clone());
+        }
+    }
+    Ok(dead)
+}
+
+/// Handles one member failure (reported by the detector or by a failed send):
+/// regenerate the member on another node, start watching the replacement, and
+/// re-issue every task its group still owes to the new member.
+#[allow(clippy::too_many_arguments)]
+fn handle_member_failure(
+    ctx: &mut ThreadContext<PctMessage>,
+    runtime: &Runtime<PctMessage>,
+    injector: &AttackInjector,
+    detector: &mut FailureDetector,
+    regenerator: &mut Regenerator,
+    handles: &mut Vec<ThreadHandle<()>>,
+    outstanding: &HashMap<TaskId, (String, PctMessage)>,
+    report: &mut ResilientRunReport,
+    now_ms: u64,
+    failed: &MemberId,
+) -> Result<()> {
+    detector.unwatch(failed);
+    let event = regenerator.handle_failure(failed, |replacement, _node| {
+        let handle = spawn_member(runtime, injector, replacement)
+            .map_err(|_| resilience::ResilienceError::InvalidConfig("spawn failed".into()))?;
+        handles.push(handle);
+        Ok(())
+    })?;
+    if let Some(event) = event {
+        detector.watch(event.replacement.clone(), now_ms);
+        for (group, msg) in outstanding.values() {
+            if *group == event.replacement.group {
+                let _ = ctx.send(&event.replacement.routing_name(), msg.clone());
+                report.tasks_reissued += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Arguments threaded through the group work-queue distribution.
+#[allow(clippy::too_many_arguments)]
+fn distribute_to_groups<T>(
+    ctx: &mut ThreadContext<PctMessage>,
+    runtime: &Runtime<PctMessage>,
+    groups: &[String],
+    membership: &MembershipTable,
+    injector: &AttackInjector,
+    detector: &mut FailureDetector,
+    regenerator: &mut Regenerator,
+    handles: &mut Vec<ThreadHandle<()>>,
+    attack: &AttackPlan,
+    attack_fired: &mut bool,
+    total_results_seen: &mut usize,
+    report: &mut ResilientRunReport,
+    start: Instant,
+    tasks: Vec<(TaskId, PctMessage)>,
+    mut extract: impl FnMut(PctMessage) -> Option<T>,
+) -> Result<Vec<T>> {
+    let total = tasks.len();
+    let mut pending: VecDeque<(TaskId, PctMessage)> = tasks.into();
+    let mut outstanding: HashMap<TaskId, (String, PctMessage)> = HashMap::new();
+    let mut completed: HashSet<TaskId> = HashSet::new();
+    let mut results: Vec<(TaskId, T)> = Vec::with_capacity(total);
+    // Which group handled which task, so the next task goes to a group that
+    // just freed up.
+    let deadline = start + Duration::from_secs(300);
+
+    // Prime each group with one task.
+    let mut dead_members: Vec<MemberId> = Vec::new();
+    for group in groups {
+        if let Some((task, msg)) = pending.pop_front() {
+            dead_members.extend(group_send(ctx, membership, group, &msg)?);
+            outstanding.insert(task, (group.clone(), msg));
+        }
+    }
+
+    while completed.len() < total {
+        if Instant::now() > deadline {
+            return Err(PctError::WorkerLost(
+                "resilient run exceeded its deadline waiting for results".to_string(),
+            ));
+        }
+        let now_ms = start.elapsed().as_millis() as u64;
+        match ctx.recv_timeout(Duration::from_millis(25)) {
+            Ok(envelope) => {
+                let from = envelope.from.clone();
+                match envelope.payload {
+                    PctMessage::Heartbeat => {
+                        report.heartbeats += 1;
+                        if let Some(member) = MemberId::parse(&from) {
+                            detector.heartbeat(&member, now_ms);
+                        }
+                    }
+                    msg => {
+                        if let Some(member) = MemberId::parse(&from) {
+                            detector.heartbeat(&member, now_ms);
+                        }
+                        let Some(task) = msg.task() else { continue };
+                        if completed.contains(&task) {
+                            report.duplicates_ignored += 1;
+                            continue;
+                        }
+                        let Some(value) = extract(msg) else { continue };
+                        completed.insert(task);
+                        results.push((task, value));
+                        *total_results_seen += 1;
+                        // Hand the next pending task to the group that just
+                        // finished this one.
+                        let finished_group = outstanding
+                            .remove(&task)
+                            .map(|(g, _)| g)
+                            .or_else(|| MemberId::parse(&from).map(|m| m.group));
+                        if let (Some(group), Some((next_task, next_msg))) =
+                            (finished_group, pending.pop_front())
+                        {
+                            dead_members.extend(group_send(ctx, membership, &group, &next_msg)?);
+                            outstanding.insert(next_task, (group, next_msg));
+                        }
+                    }
+                }
+            }
+            Err(ScpError::Timeout) => {}
+            Err(e) => return Err(e.into()),
+        }
+
+        // Fire the staged attack once enough results have been seen.
+        if !*attack_fired && *total_results_seen >= attack.after_results && !attack.victims.is_empty() {
+            for victim in &attack.victims {
+                injector.attack(victim);
+            }
+            *attack_fired = true;
+        }
+
+        // Attack assessment: anything whose heartbeat stopped, or whose
+        // mailbox vanished under a send, is regenerated immediately.
+        let now_ms = start.elapsed().as_millis() as u64;
+        let mut failures = detector.sweep(now_ms);
+        failures.extend(dead_members.drain(..));
+        for failed in failures {
+            handle_member_failure(
+                ctx, runtime, injector, detector, regenerator, handles, &outstanding, report,
+                now_ms, &failed,
+            )?;
+        }
+    }
+    // Sort back into task order so the merge and covariance steps are
+    // deterministic regardless of which replica answered first.
+    results.sort_by_key(|(task, _)| *task);
+    Ok(results.into_iter().map(|(_, value)| value).collect())
+}
+
+/// The manager side of the resilient protocol: the same three phases as the
+/// plain distributed manager, but with group addressing, deduplication,
+/// failure detection and regeneration.
+#[allow(clippy::too_many_arguments)]
+fn run_resilient_manager(
+    ctx: &mut ThreadContext<PctMessage>,
+    runtime: &Runtime<PctMessage>,
+    cube: &HyperCube,
+    config: &PctConfig,
+    granularity: GranularityPolicy,
+    workers: usize,
+    membership: &MembershipTable,
+    injector: &AttackInjector,
+    detector: &mut FailureDetector,
+    regenerator: &mut Regenerator,
+    handles: &mut Vec<ThreadHandle<()>>,
+    attack: &AttackPlan,
+    report: &mut ResilientRunReport,
+) -> Result<FusionOutput> {
+    let groups: Vec<String> = (0..workers).map(|w| format!("worker{w}")).collect();
+    let specs = partition_for_workers(cube.dims(), workers, granularity)?;
+    let start = Instant::now();
+    let mut attack_fired = false;
+    let mut results_seen = 0usize;
+
+    // ---- Phase 1: screening --------------------------------------------------------
+    let screen_tasks: Vec<(TaskId, PctMessage)> = specs
+        .iter()
+        .map(|spec| {
+            Ok((
+                spec.id,
+                PctMessage::ScreenTask {
+                    task: spec.id,
+                    sub: spec.extract(cube)?,
+                    threshold_rad: config.screening_angle_rad,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let unique_sets = distribute_to_groups(
+        ctx, runtime, &groups, membership, injector, detector, regenerator, handles, attack,
+        &mut attack_fired, &mut results_seen, report, start, screen_tasks,
+        |msg| match msg {
+            PctMessage::UniqueSet { unique, .. } => Some(unique),
+            _ => None,
+        },
+    )?;
+    let unique = merge_unique_sets(unique_sets, config.screening_angle_rad);
+    let unique_count = unique.len();
+    if unique.is_empty() {
+        return Err(PctError::InvalidConfig("screening produced an empty unique set".into()));
+    }
+
+    // ---- Phase 2: statistics -------------------------------------------------------
+    let mean = mean_vector(&unique)?;
+    let bands = mean.len();
+    let chunk = unique.len().div_ceil(groups.len()).max(1);
+    let cov_tasks: Vec<(TaskId, PctMessage)> = unique
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, pixels)| {
+            (i, PctMessage::CovarianceTask { task: i, mean: mean.clone(), pixels: pixels.to_vec() })
+        })
+        .collect();
+    let partials = distribute_to_groups(
+        ctx, runtime, &groups, membership, injector, detector, regenerator, handles, attack,
+        &mut attack_fired, &mut results_seen, report, start, cov_tasks,
+        |msg| match msg {
+            PctMessage::CovarianceSum { packed, bands, count, .. } => Some((packed, bands, count)),
+            _ => None,
+        },
+    )?;
+    let mut sum = SymMatrix::zeros(bands);
+    let mut total_count = 0u64;
+    for (packed, b, count) in partials {
+        sum.add_assign_sym(&SymMatrix::from_packed(b, packed)?)?;
+        total_count += count;
+    }
+    if total_count == 0 {
+        return Err(PctError::InvalidConfig("covariance phase accumulated no pixels".into()));
+    }
+    sum.scale_in_place(1.0 / total_count as f64);
+    let spec = finalize_transform(mean, &sum, config)?;
+    let scales: Vec<(f64, f64)> = ComponentScale::from_eigenvalues(&spec.eigenvalues, 3)
+        .into_iter()
+        .map(|s| (s.min, s.max))
+        .collect();
+
+    // ---- Phase 3: transform + colour ------------------------------------------------
+    let transform_tasks: Vec<(TaskId, PctMessage)> = specs
+        .iter()
+        .map(|sub_spec| {
+            Ok((
+                sub_spec.id,
+                PctMessage::TransformTask {
+                    task: sub_spec.id,
+                    sub: sub_spec.extract(cube)?,
+                    mean: spec.mean.clone(),
+                    transform: spec.transform.clone(),
+                    scales: scales.clone(),
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let strips = distribute_to_groups(
+        ctx, runtime, &groups, membership, injector, detector, regenerator, handles, attack,
+        &mut attack_fired, &mut results_seen, report, start, transform_tasks,
+        |msg| match msg {
+            PctMessage::RgbStrip { row_start, rows, width, rgb, .. } => {
+                Some((row_start, rows, width, rgb))
+            }
+            _ => None,
+        },
+    )?;
+    let image = assemble_image(cube.width(), cube.height(), strips)?;
+
+    Ok(FusionOutput {
+        image,
+        eigenvalues: spec.eigenvalues,
+        unique_count,
+        pixels: cube.pixels(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::DistributedPct;
+    use hsi::{SceneConfig, SceneGenerator};
+
+    fn small_scene() -> HyperCube {
+        SceneGenerator::new(SceneConfig::small(13)).unwrap().generate()
+    }
+
+    /// The non-resilient distributed run with the identical decomposition —
+    /// the resilient pipeline must produce exactly the same statistics and
+    /// image, since replication and regeneration are transparent to the
+    /// application.
+    fn reference(cube: &HyperCube) -> FusionOutput {
+        DistributedPct::new(PctConfig::paper(), 2).run(cube).unwrap()
+    }
+
+    #[test]
+    fn resilient_level_1_matches_sequential() {
+        let cube = small_scene();
+        let reference = reference(&cube);
+        let res = ResilientPct::new(PctConfig::paper(), 2, 1).run(&cube).unwrap();
+        assert_eq!(res.unique_count, reference.unique_count);
+        let diff = reference.image.mean_abs_diff(&res.image).unwrap();
+        assert!(diff < 0.5, "level-1 resilient output diverges: {diff}");
+    }
+
+    #[test]
+    fn resilient_level_2_matches_sequential_and_dedups() {
+        let cube = small_scene();
+        let reference = reference(&cube);
+        let (out, report) = ResilientPct::new(PctConfig::paper(), 2, 2)
+            .run_with_attack(&cube, AttackPlan::none())
+            .unwrap();
+        let diff = reference.image.mean_abs_diff(&out.image).unwrap();
+        assert!(diff < 0.5, "level-2 resilient output diverges: {diff}");
+        // With two members per group, every task produces a duplicate result.
+        assert!(report.duplicates_ignored > 0, "no duplicates observed: {report:?}");
+        assert!(report.regenerations.is_empty());
+    }
+
+    #[test]
+    fn attack_on_one_member_is_survived_and_regenerated() {
+        // A somewhat larger scene so the run comfortably outlives the
+        // failure-detection latency after the attack fires.
+        let mut config = SceneConfig::small(13);
+        config.dims = hsi::CubeDims::new(64, 64, 24);
+        let cube = SceneGenerator::new(config).unwrap().generate();
+        let reference = reference(&cube);
+        let (out, report) = ResilientPct::new(PctConfig::paper(), 2, 2)
+            .run_with_attack(&cube, AttackPlan::kill_first_worker_member())
+            .unwrap();
+        // The fused image is still correct: identical to the undisturbed run.
+        let diff = reference.image.mean_abs_diff(&out.image).unwrap();
+        assert!(diff < 0.5, "post-attack output diverges: {diff}");
+        // The attack actually happened and was repaired.
+        assert_eq!(report.members_attacked, vec!["worker0#0".to_string()]);
+        assert!(
+            !report.regenerations.is_empty(),
+            "the killed member was never regenerated: {report:?}"
+        );
+        let regen = &report.regenerations[0];
+        assert_eq!(regen.failed.group, "worker0");
+        assert!(regen.replacement.incarnation >= 2);
+    }
+
+    #[test]
+    fn attack_plan_constructors() {
+        assert_eq!(AttackPlan::none().victims.len(), 0);
+        let plan = AttackPlan::kill_first_worker_member();
+        assert_eq!(plan.victims, vec!["worker0#0".to_string()]);
+        assert_eq!(plan.after_results, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Step 1 and step 2: spectral-angle screening and unique-set merging.
+//!
+//! Screening prevents the PCT "from highlighting only the variation that
+//! dominates numerically": an object that occurs frequently (trees) would
+//! otherwise swamp a rare object (a mechanized vehicle).  Each worker builds
+//! a *unique set* — a subset of its pixels such that every pair is separated
+//! by at least the threshold spectral angle — and the manager merges the
+//! per-worker sets with the same rule.  The covariance of step 4 is then
+//! computed over the merged unique set, so each distinct spectral signature
+//! contributes roughly equally regardless of how many pixels carry it.
+
+use linalg::Vector;
+
+/// Builds the unique set of a collection of pixel vectors using greedy
+/// spectral-angle screening (step 1).
+///
+/// A pixel joins the unique set if its spectral angle to *every* vector
+/// already in the set exceeds `threshold_rad`.  With a threshold of zero the
+/// screening keeps every pixel (no screening).
+pub fn screen_pixels(pixels: &[Vector], threshold_rad: f64) -> Vec<Vector> {
+    if threshold_rad <= 0.0 {
+        return pixels.to_vec();
+    }
+    let mut unique: Vec<Vector> = Vec::new();
+    for pixel in pixels {
+        if is_unique_against(pixel, &unique, threshold_rad) {
+            unique.push(pixel.clone());
+        }
+    }
+    unique
+}
+
+/// Whether `pixel` is separated from every member of `unique` by more than
+/// `threshold_rad`.
+pub fn is_unique_against(pixel: &Vector, unique: &[Vector], threshold_rad: f64) -> bool {
+    for existing in unique {
+        let angle = pixel
+            .spectral_angle(existing)
+            .expect("pixels in one scene share a band count");
+        if angle <= threshold_rad {
+            return false;
+        }
+    }
+    true
+}
+
+/// Merges several per-worker unique sets into one (step 2), applying the same
+/// screening rule across sets so signatures found by two different workers
+/// are not duplicated.
+pub fn merge_unique_sets(sets: Vec<Vec<Vector>>, threshold_rad: f64) -> Vec<Vector> {
+    if threshold_rad <= 0.0 {
+        return sets.into_iter().flatten().collect();
+    }
+    let mut merged: Vec<Vector> = Vec::new();
+    for set in sets {
+        for pixel in set {
+            if is_unique_against(&pixel, &merged, threshold_rad) {
+                merged.push(pixel);
+            }
+        }
+    }
+    merged
+}
+
+/// Summary of a screening pass, reported by the examples and the screening
+/// ablation benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreeningSummary {
+    /// Number of pixels examined.
+    pub input_pixels: usize,
+    /// Number of unique vectors retained.
+    pub unique_pixels: usize,
+}
+
+impl ScreeningSummary {
+    /// Fraction of pixels retained by screening.
+    pub fn retention(&self) -> f64 {
+        if self.input_pixels == 0 {
+            return 0.0;
+        }
+        self.unique_pixels as f64 / self.input_pixels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f64]) -> Vector {
+        Vector::from_vec(data.to_vec())
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let pixels = vec![v(&[1.0, 0.0]), v(&[1.0, 0.0]), v(&[0.0, 1.0])];
+        assert_eq!(screen_pixels(&pixels, 0.0).len(), 3);
+    }
+
+    #[test]
+    fn identical_pixels_collapse_to_one() {
+        let pixels = vec![v(&[1.0, 2.0, 3.0]); 50];
+        let unique = screen_pixels(&pixels, 0.01);
+        assert_eq!(unique.len(), 1);
+    }
+
+    #[test]
+    fn orthogonal_pixels_are_all_kept() {
+        let pixels = vec![v(&[1.0, 0.0, 0.0]), v(&[0.0, 1.0, 0.0]), v(&[0.0, 0.0, 1.0])];
+        assert_eq!(screen_pixels(&pixels, 0.3).len(), 3);
+    }
+
+    #[test]
+    fn scaled_copies_are_screened_out() {
+        // The spectral angle is scale invariant, so bright and dark pixels of
+        // the same material collapse together.
+        let pixels = vec![v(&[0.2, 0.5, 0.1]), v(&[2.0, 5.0, 1.0]), v(&[0.02, 0.05, 0.01])];
+        assert_eq!(screen_pixels(&pixels, 0.05).len(), 1);
+    }
+
+    #[test]
+    fn threshold_controls_set_size_monotonically() {
+        // A fan of vectors at 10-degree increments.
+        let pixels: Vec<Vector> = (0..9)
+            .map(|i| {
+                let a = (i as f64) * 10.0_f64.to_radians();
+                v(&[a.cos(), a.sin()])
+            })
+            .collect();
+        let tight = screen_pixels(&pixels, 5.0_f64.to_radians()).len();
+        let loose = screen_pixels(&pixels, 25.0_f64.to_radians()).len();
+        assert!(tight > loose);
+        assert_eq!(tight, 9);
+        assert_eq!(loose, 3);
+    }
+
+    #[test]
+    fn rare_signature_survives_screening() {
+        // 99 copies of "forest" and one "vehicle": the unique set keeps both,
+        // which is the whole point of screening.
+        let mut pixels = vec![v(&[0.3, 0.8, 0.5]); 99];
+        pixels.push(v(&[0.9, 0.2, 0.4]));
+        let unique = screen_pixels(&pixels, 0.05);
+        assert_eq!(unique.len(), 2);
+    }
+
+    #[test]
+    fn merge_deduplicates_across_workers() {
+        let worker_a = vec![v(&[1.0, 0.0]), v(&[0.0, 1.0])];
+        let worker_b = vec![v(&[1.0, 0.001]), v(&[1.0, 1.0])];
+        let merged = merge_unique_sets(vec![worker_a, worker_b], 0.05);
+        // (1,0.001) is a near-duplicate of (1,0) and is dropped.
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn merge_with_zero_threshold_concatenates() {
+        let merged = merge_unique_sets(vec![vec![v(&[1.0])], vec![v(&[2.0])]], 0.0);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_of_partitioned_input_matches_whole_input_screening_size() {
+        // Screening the whole set and screening per-part then merging need
+        // not give identical sets, but the sizes must be close and every kept
+        // vector must respect the threshold.
+        let pixels: Vec<Vector> = (0..200)
+            .map(|i| {
+                let a = (i % 37) as f64 * 0.07;
+                v(&[a.cos(), a.sin(), (a * 2.0).cos()])
+            })
+            .collect();
+        let threshold = 0.1;
+        let whole = screen_pixels(&pixels, threshold);
+        let part_a = screen_pixels(&pixels[..100], threshold);
+        let part_b = screen_pixels(&pixels[100..], threshold);
+        let merged = merge_unique_sets(vec![part_a, part_b], threshold);
+        assert_eq!(whole.len(), merged.len());
+        for (i, a) in merged.iter().enumerate() {
+            for b in merged.iter().skip(i + 1) {
+                assert!(a.spectral_angle(b).unwrap() > threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_retention() {
+        let s = ScreeningSummary { input_pixels: 200, unique_pixels: 20 };
+        assert!((s.retention() - 0.1).abs() < 1e-12);
+        let empty = ScreeningSummary { input_pixels: 0, unique_pixels: 0 };
+        assert_eq!(empty.retention(), 0.0);
+    }
+}

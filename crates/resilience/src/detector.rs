@@ -1,0 +1,217 @@
+//! Heartbeat-based failure detection ("attack assessment").
+//!
+//! Members of every replica group periodically send heartbeats to a monitor.
+//! A member whose heartbeat has not been seen for more than
+//! `miss_threshold × heartbeat_period` is declared failed; the regeneration
+//! protocol then restores the group's replication level.  The detector is
+//! written against an explicit millisecond clock rather than `Instant` so
+//! detection latency and false-positive behaviour are deterministic in tests
+//! and in the detector-ablation benchmark.
+
+use crate::group::MemberId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Detector tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Expected interval between heartbeats from a healthy member, in
+    /// milliseconds of the monitoring clock.
+    pub heartbeat_period_ms: u64,
+    /// Number of consecutive missed heartbeats before a member is declared
+    /// failed.  Larger values tolerate jitter but detect real failures more
+    /// slowly.
+    pub miss_threshold: u32,
+}
+
+impl DetectorConfig {
+    /// A configuration matching the prototype described in the paper:
+    /// heartbeats every 250 ms, declared failed after four misses (1 s).
+    pub fn default_lan() -> Self {
+        Self { heartbeat_period_ms: 250, miss_threshold: 4 }
+    }
+
+    /// Time after the last heartbeat at which a member is declared failed.
+    pub fn failure_timeout_ms(&self) -> u64 {
+        self.heartbeat_period_ms * self.miss_threshold as u64
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self::default_lan()
+    }
+}
+
+/// Health assessment of a single member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberHealth {
+    /// Heartbeats are arriving on schedule.
+    Healthy,
+    /// At least one heartbeat has been missed but the failure threshold has
+    /// not yet been crossed.
+    Suspect,
+    /// The failure threshold has been crossed.
+    Failed,
+}
+
+/// A deterministic heartbeat failure detector.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    last_heartbeat: BTreeMap<MemberId, u64>,
+    declared_failed: BTreeMap<MemberId, u64>,
+}
+
+impl FailureDetector {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self {
+            config,
+            last_heartbeat: BTreeMap::new(),
+            declared_failed: BTreeMap::new(),
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Starts monitoring a member as of `now_ms` (counts as a heartbeat).
+    pub fn watch(&mut self, member: MemberId, now_ms: u64) {
+        self.last_heartbeat.insert(member, now_ms);
+    }
+
+    /// Stops monitoring a member (it exited cleanly or was superseded).
+    pub fn unwatch(&mut self, member: &MemberId) {
+        self.last_heartbeat.remove(member);
+        self.declared_failed.remove(member);
+    }
+
+    /// Records a heartbeat from a member at `now_ms`.  A heartbeat from a
+    /// member previously declared failed clears the declaration (it was a
+    /// false positive — e.g. a transient network partition).
+    pub fn heartbeat(&mut self, member: &MemberId, now_ms: u64) {
+        self.last_heartbeat.insert(member.clone(), now_ms);
+        self.declared_failed.remove(member);
+    }
+
+    /// Health of one member at `now_ms`.
+    pub fn health(&self, member: &MemberId, now_ms: u64) -> MemberHealth {
+        let Some(&last) = self.last_heartbeat.get(member) else {
+            return MemberHealth::Failed;
+        };
+        let silence = now_ms.saturating_sub(last);
+        if silence >= self.config.failure_timeout_ms() {
+            MemberHealth::Failed
+        } else if silence >= self.config.heartbeat_period_ms.saturating_mul(2) {
+            MemberHealth::Suspect
+        } else {
+            MemberHealth::Healthy
+        }
+    }
+
+    /// Sweeps all watched members at `now_ms` and returns the members that
+    /// are *newly* declared failed (each failure is reported exactly once
+    /// unless a later heartbeat clears it).
+    pub fn sweep(&mut self, now_ms: u64) -> Vec<MemberId> {
+        let mut newly_failed = Vec::new();
+        let members: Vec<MemberId> = self.last_heartbeat.keys().cloned().collect();
+        for member in members {
+            if self.health(&member, now_ms) == MemberHealth::Failed
+                && !self.declared_failed.contains_key(&member)
+            {
+                self.declared_failed.insert(member.clone(), now_ms);
+                newly_failed.push(member);
+            }
+        }
+        newly_failed
+    }
+
+    /// Number of members currently being monitored.
+    pub fn watched(&self) -> usize {
+        self.last_heartbeat.len()
+    }
+
+    /// Detection latency of this configuration: the worst-case time between
+    /// a member dying (just after a heartbeat) and the sweep that reports
+    /// it, assuming sweeps run every `sweep_period_ms`.
+    pub fn worst_case_detection_ms(&self, sweep_period_ms: u64) -> u64 {
+        self.config.failure_timeout_ms() + sweep_period_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(i: usize) -> MemberId {
+        MemberId::new(format!("w{i}"), 0)
+    }
+
+    #[test]
+    fn healthy_member_stays_healthy_with_regular_heartbeats() {
+        let mut d = FailureDetector::new(DetectorConfig::default_lan());
+        d.watch(member(0), 0);
+        for t in (250..5000).step_by(250) {
+            d.heartbeat(&member(0), t);
+            assert_eq!(d.health(&member(0), t), MemberHealth::Healthy);
+            assert!(d.sweep(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn silent_member_becomes_suspect_then_failed() {
+        let config = DetectorConfig { heartbeat_period_ms: 100, miss_threshold: 4 };
+        let mut d = FailureDetector::new(config);
+        d.watch(member(1), 0);
+        assert_eq!(d.health(&member(1), 150), MemberHealth::Healthy);
+        assert_eq!(d.health(&member(1), 250), MemberHealth::Suspect);
+        assert_eq!(d.health(&member(1), 399), MemberHealth::Suspect);
+        assert_eq!(d.health(&member(1), 400), MemberHealth::Failed);
+    }
+
+    #[test]
+    fn sweep_reports_each_failure_once() {
+        let mut d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 100, miss_threshold: 2 });
+        d.watch(member(0), 0);
+        d.watch(member(1), 0);
+        d.heartbeat(&member(1), 150); // member 1 stays alive longer
+        let first = d.sweep(250);
+        assert_eq!(first, vec![member(0)]);
+        assert!(d.sweep(260).is_empty(), "already-declared failure must not repeat");
+        let second = d.sweep(400);
+        assert_eq!(second, vec![member(1)]);
+    }
+
+    #[test]
+    fn late_heartbeat_clears_a_false_positive() {
+        let mut d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 100, miss_threshold: 2 });
+        d.watch(member(0), 0);
+        assert_eq!(d.sweep(250), vec![member(0)]);
+        // The member was only partitioned; its heartbeat resumes.
+        d.heartbeat(&member(0), 300);
+        assert_eq!(d.health(&member(0), 310), MemberHealth::Healthy);
+        // If it goes silent again it is reported again.
+        assert_eq!(d.sweep(600), vec![member(0)]);
+    }
+
+    #[test]
+    fn unwatched_member_is_reported_failed_by_health_but_not_swept() {
+        let mut d = FailureDetector::new(DetectorConfig::default_lan());
+        assert_eq!(d.health(&member(9), 0), MemberHealth::Failed);
+        assert!(d.sweep(10_000).is_empty());
+        d.watch(member(9), 0);
+        assert_eq!(d.watched(), 1);
+        d.unwatch(&member(9));
+        assert_eq!(d.watched(), 0);
+    }
+
+    #[test]
+    fn detection_latency_formula() {
+        let d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 250, miss_threshold: 4 });
+        assert_eq!(d.config().failure_timeout_ms(), 1000);
+        assert_eq!(d.worst_case_detection_ms(100), 1100);
+    }
+}

@@ -1,0 +1,164 @@
+//! Replication and placement policies.
+//!
+//! "In any realistic system, there will never be sufficient resources to
+//! replicate all resources, therefore some policy-based methods for
+//! controlling replication are required."  A [`ReplicationPolicy`] states how
+//! many physical members each mission-critical thread gets; a
+//! [`PlacementPolicy`] decides where members (and regenerated replacements)
+//! live, preferring to spread a group across distinct nodes so one node
+//! failure cannot take out a whole group.
+
+use serde::{Deserialize, Serialize};
+
+/// How many replicas a thread receives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationPolicy {
+    /// Replication level for mission-critical (worker) threads.  Level 1
+    /// means no redundancy; level 2 is the configuration evaluated in
+    /// Figure 4.
+    pub worker_level: usize,
+    /// Replication level for the manager.  The paper does not replicate the
+    /// manager ("the manager, which represents the sensor itself, was not
+    /// replicated"), so this defaults to 1.
+    pub manager_level: usize,
+}
+
+impl ReplicationPolicy {
+    /// No resiliency: every thread is a singleton.
+    pub fn none() -> Self {
+        Self { worker_level: 1, manager_level: 1 }
+    }
+
+    /// The paper's evaluated configuration: workers replicated to `level`,
+    /// manager not replicated.
+    pub fn workers_at(level: usize) -> Self {
+        Self { worker_level: level.max(1), manager_level: 1 }
+    }
+
+    /// The Figure 4 configuration (level 2).
+    pub fn paper_level_2() -> Self {
+        Self::workers_at(2)
+    }
+
+    /// Whether any replication is requested at all.
+    pub fn is_resilient(&self) -> bool {
+        self.worker_level > 1 || self.manager_level > 1
+    }
+
+    /// Total number of physical worker threads for `workers` logical workers.
+    pub fn physical_workers(&self, workers: usize) -> usize {
+        workers * self.worker_level
+    }
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Where to place group members and regenerated replacements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Members of a group are spread round-robin over the node list, skipping
+    /// nodes that already host a member of the same group when possible.
+    SpreadAcrossNodes,
+    /// Members are packed onto the lowest-numbered live nodes (useful for
+    /// studying worst-case contention).
+    Pack,
+}
+
+impl PlacementPolicy {
+    /// Chooses a node (index into `live_nodes`, which lists currently usable
+    /// node identifiers) for a new member of a group whose existing members
+    /// occupy `occupied_nodes`.  Returns `None` when no node is available.
+    pub fn choose(
+        &self,
+        live_nodes: &[usize],
+        occupied_nodes: &[usize],
+        member_index: usize,
+    ) -> Option<usize> {
+        if live_nodes.is_empty() {
+            return None;
+        }
+        match self {
+            PlacementPolicy::Pack => Some(live_nodes[member_index % live_nodes.len()]),
+            PlacementPolicy::SpreadAcrossNodes => {
+                // Prefer a live node not already hosting a member of this
+                // group; fall back to round-robin when all are occupied.
+                let free: Vec<usize> = live_nodes
+                    .iter()
+                    .copied()
+                    .filter(|n| !occupied_nodes.contains(n))
+                    .collect();
+                if free.is_empty() {
+                    Some(live_nodes[member_index % live_nodes.len()])
+                } else {
+                    Some(free[member_index % free.len()])
+                }
+            }
+        }
+    }
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::SpreadAcrossNodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_is_not_resilient() {
+        let p = ReplicationPolicy::none();
+        assert!(!p.is_resilient());
+        assert_eq!(p.physical_workers(8), 8);
+    }
+
+    #[test]
+    fn paper_level_two_doubles_workers_only() {
+        let p = ReplicationPolicy::paper_level_2();
+        assert!(p.is_resilient());
+        assert_eq!(p.worker_level, 2);
+        assert_eq!(p.manager_level, 1);
+        assert_eq!(p.physical_workers(8), 16);
+    }
+
+    #[test]
+    fn workers_at_clamps_to_at_least_one() {
+        assert_eq!(ReplicationPolicy::workers_at(0).worker_level, 1);
+    }
+
+    #[test]
+    fn spread_prefers_unoccupied_nodes() {
+        let policy = PlacementPolicy::SpreadAcrossNodes;
+        let live = vec![0, 1, 2, 3];
+        let chosen = policy.choose(&live, &[0], 0).unwrap();
+        assert_ne!(chosen, 0);
+    }
+
+    #[test]
+    fn spread_falls_back_when_all_occupied() {
+        let policy = PlacementPolicy::SpreadAcrossNodes;
+        let live = vec![0, 1];
+        assert!(policy.choose(&live, &[0, 1], 3).is_some());
+    }
+
+    #[test]
+    fn pack_uses_round_robin() {
+        let policy = PlacementPolicy::Pack;
+        let live = vec![5, 6, 7];
+        assert_eq!(policy.choose(&live, &[], 0), Some(5));
+        assert_eq!(policy.choose(&live, &[], 1), Some(6));
+        assert_eq!(policy.choose(&live, &[], 3), Some(5));
+    }
+
+    #[test]
+    fn no_live_nodes_means_no_placement() {
+        assert_eq!(PlacementPolicy::SpreadAcrossNodes.choose(&[], &[], 0), None);
+        assert_eq!(PlacementPolicy::Pack.choose(&[], &[], 0), None);
+    }
+}

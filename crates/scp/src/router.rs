@@ -1,0 +1,244 @@
+//! Dynamic name-to-mailbox routing.
+//!
+//! The router is the mechanism behind dynamic reconfiguration: senders
+//! address logical *names*, and the name-to-mailbox binding is resolved at
+//! send time under a read lock.  When the resiliency layer regenerates a
+//! thread on another node, it simply rebinds the name to the new thread's
+//! mailbox; every subsequent send — from any peer, with no peer involvement —
+//! flows to the new location.  Nothing already delivered is lost, and the
+//! sequence numbers in [`crate::envelope`] let the application reconcile
+//! anything that was in flight.
+
+use crate::envelope::{Envelope, SeqNum};
+use crate::{Result, ScpError};
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A logical thread name.
+pub type ThreadName = String;
+
+struct RouterInner<M> {
+    bindings: RwLock<HashMap<ThreadName, Sender<Envelope<M>>>>,
+    sends: AtomicU64,
+    rebinds: AtomicU64,
+}
+
+/// A cloneable handle to the routing table shared by every thread in the
+/// application.
+pub struct Router<M> {
+    inner: Arc<RouterInner<M>>,
+}
+
+impl<M> Clone for Router<M> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M> Default for Router<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Router<M> {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RouterInner {
+                bindings: RwLock::new(HashMap::new()),
+                sends: AtomicU64::new(0),
+                rebinds: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Creates a mailbox bound to `name` and returns its receiving end.
+    ///
+    /// Fails if the name is already bound (use [`Router::rebind`] to move an
+    /// existing name to a new mailbox).
+    pub fn register(&self, name: impl Into<ThreadName>) -> Result<Receiver<Envelope<M>>> {
+        let name = name.into();
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut bindings = self.inner.bindings.write();
+        if bindings.contains_key(&name) {
+            return Err(ScpError::DuplicateName(name));
+        }
+        bindings.insert(name, tx);
+        Ok(rx)
+    }
+
+    /// Rebinds `name` to a fresh mailbox, returning the new receiving end.
+    /// Subsequent sends to `name` are delivered to the new mailbox; this is
+    /// the routing half of thread regeneration.
+    pub fn rebind(&self, name: impl Into<ThreadName>) -> Receiver<Envelope<M>> {
+        let name = name.into();
+        let (tx, rx) = crossbeam_channel::unbounded();
+        self.inner.bindings.write().insert(name, tx);
+        self.inner.rebinds.fetch_add(1, Ordering::Relaxed);
+        rx
+    }
+
+    /// Removes a binding entirely (the thread exited and will not return).
+    pub fn unbind(&self, name: &str) -> bool {
+        self.inner.bindings.write().remove(name).is_some()
+    }
+
+    /// Whether `name` is currently bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.inner.bindings.read().contains_key(name)
+    }
+
+    /// Names currently bound, sorted for deterministic iteration.
+    pub fn bound_names(&self) -> Vec<ThreadName> {
+        let mut names: Vec<_> = self.inner.bindings.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Sends an envelope to the thread currently bound to `envelope.to`.
+    pub fn send_envelope(&self, envelope: Envelope<M>) -> Result<()> {
+        let bindings = self.inner.bindings.read();
+        let Some(tx) = bindings.get(&envelope.to) else {
+            return Err(ScpError::UnknownDestination(envelope.to));
+        };
+        let to = envelope.to.clone();
+        tx.send(envelope).map_err(|_| ScpError::Disconnected(to))?;
+        self.inner.sends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Convenience: builds an envelope and sends it.
+    pub fn send(
+        &self,
+        from: impl Into<ThreadName>,
+        to: impl Into<ThreadName>,
+        seq: SeqNum,
+        payload: M,
+    ) -> Result<()> {
+        self.send_envelope(Envelope::new(from, to, seq, payload))
+    }
+
+    /// Total number of successful sends through this router.
+    pub fn send_count(&self) -> u64 {
+        self.inner.sends.load(Ordering::Relaxed)
+    }
+
+    /// Total number of rebinds (reconfigurations) performed.
+    pub fn rebind_count(&self) -> u64 {
+        self.inner.rebinds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_send_round_trip() {
+        let router: Router<String> = Router::new();
+        let rx = router.register("alice").unwrap();
+        router.send("bob", "alice", SeqNum(1), "hello".to_string()).unwrap();
+        let env = rx.recv().unwrap();
+        assert_eq!(env.payload, "hello");
+        assert_eq!(env.from, "bob");
+        assert_eq!(router.send_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let router: Router<()> = Router::new();
+        router.register("x").unwrap();
+        assert!(matches!(router.register("x"), Err(ScpError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn sending_to_unknown_name_fails() {
+        let router: Router<()> = Router::new();
+        assert!(matches!(
+            router.send("a", "ghost", SeqNum(1), ()),
+            Err(ScpError::UnknownDestination(_))
+        ));
+    }
+
+    #[test]
+    fn sending_to_dropped_mailbox_reports_disconnected() {
+        let router: Router<()> = Router::new();
+        let rx = router.register("x").unwrap();
+        drop(rx);
+        assert!(matches!(
+            router.send("a", "x", SeqNum(1), ()),
+            Err(ScpError::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn rebind_redirects_subsequent_traffic() {
+        let router: Router<u32> = Router::new();
+        let old_rx = router.register("worker").unwrap();
+        router.send("m", "worker", SeqNum(1), 1).unwrap();
+
+        // The worker is "regenerated": rebind the name to a new mailbox.
+        let new_rx = router.rebind("worker");
+        router.send("m", "worker", SeqNum(2), 2).unwrap();
+
+        assert_eq!(old_rx.recv().unwrap().payload, 1);
+        assert!(old_rx.try_recv().is_err(), "old mailbox must not see new traffic");
+        assert_eq!(new_rx.recv().unwrap().payload, 2);
+        assert_eq!(router.rebind_count(), 1);
+    }
+
+    #[test]
+    fn unbind_removes_the_name() {
+        let router: Router<()> = Router::new();
+        let _rx = router.register("x").unwrap();
+        assert!(router.is_bound("x"));
+        assert!(router.unbind("x"));
+        assert!(!router.is_bound("x"));
+        assert!(!router.unbind("x"));
+    }
+
+    #[test]
+    fn bound_names_are_sorted() {
+        let router: Router<()> = Router::new();
+        let _a = router.register("zeta").unwrap();
+        let _b = router.register("alpha").unwrap();
+        assert_eq!(router.bound_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn router_clones_share_state() {
+        let router: Router<u8> = Router::new();
+        let clone = router.clone();
+        let rx = router.register("r").unwrap();
+        clone.send("s", "r", SeqNum(1), 9).unwrap();
+        assert_eq!(rx.recv().unwrap().payload, 9);
+    }
+
+    #[test]
+    fn concurrent_senders_all_deliver() {
+        let router: Router<u64> = Router::new();
+        let rx = router.register("sink").unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let r = router.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    r.send(format!("t{t}"), "sink", SeqNum(i + 1), t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        while rx.try_recv().is_ok() {
+            count += 1;
+        }
+        assert_eq!(count, 800);
+        assert_eq!(router.send_count(), 800);
+    }
+}

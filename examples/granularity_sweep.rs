@@ -1,0 +1,21 @@
+//! Granularity sweep on the simulated cluster: the Figure 5 experiment as a
+//! runnable example, printing the time matrix for different sub-cube counts.
+//!
+//! Run with: `cargo run --example granularity_sweep --release`
+
+use pct::distributed_sim::{simulate_fusion, SimParams};
+
+fn main() {
+    println!("Simulated fusion time (seconds) on the 320x320x105 cube\n");
+    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "procs", "x1", "x2", "x3", "x10");
+    for procs in [2usize, 4, 8, 16] {
+        let mut row = format!("{procs:>8}");
+        for mult in [1usize, 2, 3, 10] {
+            let report = simulate_fusion(&SimParams::figure5(procs, mult)).expect("simulation runs");
+            row.push_str(&format!(" {:>12.1}", report.elapsed_secs));
+        }
+        println!("{row}");
+    }
+    println!("\nOver-decomposition (x2, x3) overlaps communication with computation;");
+    println!("very fine decomposition pays per-task overhead and tails off.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: generate a small synthetic HYDICE-like scene, fuse it with the
+//! sequential spectral-screening PCT, and print what happened.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use hsi::{SceneConfig, SceneGenerator};
+use pct::{PctConfig, SequentialPct};
+
+fn main() {
+    // 1. Generate a small synthetic hyper-spectral scene (32x32, 16 bands)
+    //    containing forest, fields and two vehicle targets.
+    let generator = SceneGenerator::new(SceneConfig::small(42)).expect("valid scene config");
+    let cube = generator.generate();
+    println!(
+        "generated a {}x{}x{} synthetic HYDICE-like cube",
+        cube.width(),
+        cube.height(),
+        cube.bands()
+    );
+
+    // 2. Fuse it: spectral screening + PCT + human-centred colour mapping.
+    let output = SequentialPct::new(PctConfig::paper())
+        .run(&cube)
+        .expect("fusion succeeds");
+
+    // 3. Report the interesting numbers.
+    println!(
+        "spectral screening kept {} of {} pixels ({:.1}%)",
+        output.unique_count,
+        output.pixels,
+        100.0 * output.unique_count as f64 / output.pixels as f64
+    );
+    println!(
+        "the first three principal components carry {:.1}% of the variance",
+        100.0 * output.variance_fraction(3)
+    );
+    println!(
+        "fused image: {}x{}, RMS contrast {:.1}",
+        output.image.width(),
+        output.image.height(),
+        output.image.rms_contrast()
+    );
+
+    // 4. Write the composite so it can be inspected.
+    let path = std::env::temp_dir().join("quickstart_fused.ppm");
+    hsi::io::write_ppm(&output.image, &path).expect("write PPM");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the whole system from synthetic scene
+//! generation through every fusion implementation, the resiliency protocols,
+//! and the figure-regeneration simulations.
+
+use hsi::{io, CubeDims, SceneConfig, SceneGenerator};
+use pct::distributed_sim::{simulate_fusion, SimParams};
+use pct::resilient::{AttackPlan, ResilientPct};
+use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
+
+fn test_scene(seed: u64) -> hsi::HyperCube {
+    let mut config = SceneConfig::small(seed);
+    config.dims = CubeDims::new(48, 48, 24);
+    SceneGenerator::new(config).unwrap().generate()
+}
+
+#[test]
+fn all_implementations_agree_on_the_fused_image() {
+    let cube = test_scene(1);
+    let sequential = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+    let shared = SharedMemoryPct::new(PctConfig::paper()).run(&cube).unwrap();
+    let distributed = DistributedPct::new(PctConfig::paper(), 3).run(&cube).unwrap();
+    let resilient = ResilientPct::new(PctConfig::paper(), 3, 2).run(&cube).unwrap();
+
+    for (name, other) in [
+        ("shared-memory", &shared),
+        ("distributed", &distributed),
+        ("resilient", &resilient),
+    ] {
+        assert_eq!(other.pixels, sequential.pixels);
+        let diff = sequential.image.mean_abs_diff(&other.image).unwrap();
+        assert!(diff < 10.0, "{name} image diverges from sequential: {diff}");
+        assert!(other.variance_fraction(3) > 0.9, "{name} lost variance compaction");
+    }
+    // Distributed and resilient share the exact same decomposition and
+    // deterministic merge order, so they agree bit-for-bit.
+    assert_eq!(distributed.image, resilient.image);
+}
+
+#[test]
+fn fused_composite_improves_contrast_over_single_bands() {
+    // The qualitative claim behind Figure 3: the composite shows better
+    // contrast than individual raw bands.
+    let cube = test_scene(2);
+    let fused = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+
+    // Grey-scale contrast of the best single band.
+    let mut best_band_contrast: f64 = 0.0;
+    for band in 0..cube.bands() {
+        let plane = cube.band_plane(band).unwrap();
+        let gray = io::plane_to_gray(&plane);
+        let mean = gray.iter().map(|&g| g as f64).sum::<f64>() / gray.len() as f64;
+        let var =
+            gray.iter().map(|&g| (g as f64 - mean).powi(2)).sum::<f64>() / gray.len() as f64;
+        best_band_contrast = best_band_contrast.max(var.sqrt());
+    }
+    // The opponent colour mapping spreads the dynamic range over three
+    // channels, so its luma contrast need not exceed a single min-max
+    // stretched band; it must however stay in the same league and be far
+    // from flat.
+    assert!(
+        fused.image.rms_contrast() > 0.2 * best_band_contrast,
+        "fused contrast {} collapsed versus best band {}",
+        fused.image.rms_contrast(),
+        best_band_contrast
+    );
+    assert!(fused.image.rms_contrast() > 5.0);
+}
+
+#[test]
+fn resilient_run_under_attack_matches_undisturbed_run() {
+    // Kept modest so the whole run (two fusions) stays fast in debug builds;
+    // the regeneration-specific assertions live in the pct unit tests.
+    let cube = test_scene(3);
+
+    let reference = DistributedPct::new(PctConfig::paper(), 2).run(&cube).unwrap();
+    let (attacked, report) = ResilientPct::new(PctConfig::paper(), 2, 2)
+        .run_with_attack(&cube, AttackPlan::kill_first_worker_member())
+        .unwrap();
+
+    assert_eq!(report.members_attacked.len(), 1);
+    let diff = reference.image.mean_abs_diff(&attacked.image).unwrap();
+    assert!(diff < 0.5, "attacked run diverged: {diff}");
+}
+
+#[test]
+fn figure4_shape_holds_end_to_end() {
+    // Speed-up grows with processors and resiliency costs roughly the
+    // replication factor — the two headline claims of the evaluation.
+    let t1 = simulate_fusion(&SimParams::figure4(1, false)).unwrap().elapsed_secs;
+    let t8 = simulate_fusion(&SimParams::figure4(8, false)).unwrap().elapsed_secs;
+    let t8_res = simulate_fusion(&SimParams::figure4(8, true)).unwrap().elapsed_secs;
+    assert!(t1 / t8 > 6.0, "8-processor speed-up only {}", t1 / t8);
+    let ratio = t8_res / t8;
+    assert!((1.8..=2.6).contains(&ratio), "resiliency ratio {ratio}");
+}
+
+#[test]
+fn figure5_shape_holds_end_to_end() {
+    for procs in [4usize, 8] {
+        let x1 = simulate_fusion(&SimParams::figure5(procs, 1)).unwrap().elapsed_secs;
+        let x2 = simulate_fusion(&SimParams::figure5(procs, 2)).unwrap().elapsed_secs;
+        assert!(
+            x2 <= x1 * 1.001,
+            "over-decomposition did not help at {procs} processors: x1={x1}, x2={x2}"
+        );
+    }
+}
+
+#[test]
+fn cube_files_round_trip_through_disk() {
+    let cube = test_scene(4);
+    let dir = std::env::temp_dir();
+    let cube_path = dir.join(format!("e2e_cube_{}.hsc", std::process::id()));
+    let ppm_path = dir.join(format!("e2e_fused_{}.ppm", std::process::id()));
+
+    io::write_cube(&cube, &cube_path).unwrap();
+    let reloaded = io::read_cube(&cube_path).unwrap();
+    assert_eq!(cube, reloaded);
+
+    let fused = SequentialPct::new(PctConfig::paper()).run(&reloaded).unwrap();
+    io::write_ppm(&fused.image, &ppm_path).unwrap();
+    let reread = io::read_ppm(&ppm_path).unwrap();
+    assert_eq!(fused.image, reread);
+
+    std::fs::remove_file(cube_path).ok();
+    std::fs::remove_file(ppm_path).ok();
+}
+
+#[test]
+fn screening_threshold_trades_unique_set_size_for_work() {
+    let cube = test_scene(5);
+    let tight = SequentialPct::new(PctConfig {
+        screening_angle_rad: 1.0_f64.to_radians(),
+        output_components: 3,
+    })
+    .run(&cube)
+    .unwrap();
+    let loose = SequentialPct::new(PctConfig {
+        screening_angle_rad: 15.0_f64.to_radians(),
+        output_components: 3,
+    })
+    .run(&cube)
+    .unwrap();
+    assert!(tight.unique_count > loose.unique_count);
+    // Both still compact the variance into the leading components.
+    assert!(tight.variance_fraction(3) > 0.9);
+    assert!(loose.variance_fraction(3) > 0.9);
+}
