@@ -1,0 +1,236 @@
+//! Offline shim of `proptest`.
+//!
+//! Supports the subset the linalg property suite uses: the `proptest!`
+//! macro with `#![proptest_config(...)]` and `arg in strategy` bindings,
+//! numeric-range strategies, `prop::collection::vec` with fixed or ranged
+//! lengths, and `prop_assert!`/`prop_assert_eq!`.  Inputs are drawn from a
+//! deterministic per-test generator (seeded by test name and case index),
+//! so failures reproduce exactly.  There is no shrinking: a failing case
+//! reports the case index instead of a minimised input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic source of test inputs.
+pub type TestRng = StdRng;
+
+/// Builds the generator for one test case, seeded by test name and case
+/// index so every run draws the same inputs.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    case.hash(&mut hasher);
+    StdRng::seed_from_u64(hasher.finish())
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty i32 strategy range");
+        self.start + (rng.next_u64() % span) as i32
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy produced by [`collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.min_len >= self.max_len {
+            self.min_len
+        } else {
+            rng.gen_range(self.min_len..self.max_len)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Accepted by [`collection::vec`] as a length spec: a fixed `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoLenRange {
+    /// Converts to inclusive-min / exclusive-max bounds.
+    fn into_len_range(self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn into_len_range(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn into_len_range(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Collection strategies (`prop::collection` in real proptest).
+pub mod collection {
+    use super::{IntoLenRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is fixed or drawn from a range.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min_len, max_len) = len.into_len_range();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// Mirror of the `proptest::prop` module path used in strategy expressions.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        collection, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard test running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_case_rng = $crate::test_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_case_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn f64_range_strategy_respects_bounds(x in -2.0..3.0f64) {
+            prop_assert!((-2.0..3.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_with_fixed_len(v in collection::vec(0.0..1.0f64, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn vec_with_ranged_len(v in prop::collection::vec(-5i32..5, 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|x| (-5..5).contains(x)));
+        }
+
+        #[test]
+        fn nested_vec_strategy(rows in collection::vec(collection::vec(0.0..1.0f64, 3), 2..4)) {
+            prop_assert!(rows.iter().all(|r| r.len() == 3));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name_and_index() {
+        use crate::Strategy;
+        let strategy = crate::collection::vec(0.0..1.0f64, 8);
+        let a = strategy.generate(&mut crate::test_rng("t", 3));
+        let b = strategy.generate(&mut crate::test_rng("t", 3));
+        let c = strategy.generate(&mut crate::test_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

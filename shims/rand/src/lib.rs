@@ -1,0 +1,151 @@
+//! Offline shim of `rand` (0.8 API shape).
+//!
+//! Provides exactly what the synthetic scene generator needs: a seedable
+//! deterministic generator ([`rngs::StdRng`], here SplitMix64) and
+//! `Rng::gen_range` over half-open `f64`/integer ranges.  Determinism per
+//! seed is the only property the workspace relies on; statistical quality
+//! beyond SplitMix64 is not required.
+
+use std::ops::Range;
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Subset of the `rand::Rng` interface used by this workspace.
+pub trait Rng {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A value uniformly distributed over the half-open `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over `self`.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let unit = rng.gen_f64();
+        let value = self.start + unit * (self.end - self.start);
+        // Guard against end-point inclusion from floating rounding.
+        if value >= self.end {
+            self.start
+        } else {
+            value
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u64, usize, u32, u8);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Steele/Lea/Flood); full 2^64 period.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_range_is_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_range_is_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_stream_covers_the_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            lo |= x < 0.25;
+            hi |= x > 0.75;
+        }
+        assert!(lo && hi, "stream suspiciously concentrated");
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline shim of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its message and data
+//! types to document that they are wire-safe, but never actually serialises
+//! them (the `scp` router moves messages between threads by ownership
+//! transfer).  This shim keeps those derives compiling without network
+//! access: the traits are markers with blanket impls and the derive macros
+//! expand to nothing.  Swapping in the real `serde` is a one-line change in
+//! the root `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module (bound-only usage).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module (bound-only usage).
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! Offline shim of `serde_derive`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]` —
+//! no payload is ever serialised to bytes (messages move between threads by
+//! ownership transfer).  The shim `serde` crate provides blanket trait
+//! impls, so these derives legitimately expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the shim `serde::Serialize` trait has a blanket
+/// impl, so there is nothing to generate.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the shim `serde::Deserialize` trait has a
+/// blanket impl, so there is nothing to generate.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
