@@ -1,0 +1,15 @@
+//! Façade crate for the Resilient Image Fusion reproduction.
+//!
+//! The real functionality lives in the workspace crates; this crate
+//! re-exports them so downstream users (and the cross-crate integration
+//! tests in `tests/end_to_end.rs`) can depend on a single package.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hsi;
+pub use linalg;
+pub use netsim;
+pub use pct;
+pub use resilience;
+pub use scp;
