@@ -98,7 +98,9 @@ impl CovarianceAccumulator {
     /// accumulated.
     pub fn finalize(&self) -> Result<SymMatrix> {
         if self.count == 0 {
-            return Err(LinalgError::Empty { op: "covariance finalize" });
+            return Err(LinalgError::Empty {
+                op: "covariance finalize",
+            });
         }
         let mut cov = self.sum.clone();
         cov.scale_in_place(1.0 / self.count as f64);
@@ -116,7 +118,9 @@ impl CovarianceAccumulator {
 ///
 /// Returns an error for an empty set or inconsistent vector lengths.
 pub fn mean_vector(pixels: &[Vector]) -> Result<Vector> {
-    let first = pixels.first().ok_or(LinalgError::Empty { op: "mean_vector" })?;
+    let first = pixels
+        .first()
+        .ok_or(LinalgError::Empty { op: "mean_vector" })?;
     let n = first.len();
     let mut acc = vec![crate::reduce::RunningSum::new(); n];
     for p in pixels {
@@ -170,10 +174,7 @@ mod tests {
 
     #[test]
     fn mean_vector_of_empty_set_errors() {
-        assert!(matches!(
-            mean_vector(&[]),
-            Err(LinalgError::Empty { .. })
-        ));
+        assert!(matches!(mean_vector(&[]), Err(LinalgError::Empty { .. })));
     }
 
     #[test]

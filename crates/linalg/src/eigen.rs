@@ -161,10 +161,7 @@ pub fn jacobi_eigen(matrix: &SymMatrix, options: JacobiOptions) -> Result<EigenD
 ///
 /// The returned matrix has the sorted eigenvectors as *rows*, i.e. it is the
 /// transformation matrix `A` applied to centred pixel vectors in step 7.
-pub fn sorted_eigenpairs(
-    matrix: &SymMatrix,
-    options: JacobiOptions,
-) -> Result<(Vec<f64>, Matrix)> {
+pub fn sorted_eigenpairs(matrix: &SymMatrix, options: JacobiOptions) -> Result<(Vec<f64>, Matrix)> {
     let decomp = jacobi_eigen(matrix, options)?;
     let n = decomp.dim();
     let mut order: Vec<usize> = (0..n).collect();
@@ -260,10 +257,7 @@ mod tests {
                 let rj = Vector::from(t.row(j));
                 let dot = ri.dot(&rj).unwrap();
                 let expected = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (dot - expected).abs() < 1e-9,
-                    "rows {i},{j} dot = {dot}"
-                );
+                assert!((dot - expected).abs() < 1e-9, "rows {i},{j} dot = {dot}");
             }
         }
     }
@@ -281,7 +275,12 @@ mod tests {
         for i in 0..3 {
             diag[(i, i)] = vals[i];
         }
-        let reconstructed = t.transpose().mul_matrix(&diag).unwrap().mul_matrix(&t).unwrap();
+        let reconstructed = t
+            .transpose()
+            .mul_matrix(&diag)
+            .unwrap()
+            .mul_matrix(&t)
+            .unwrap();
         let dense = m.to_dense();
         assert!(reconstructed.max_abs_diff(&dense).unwrap() < 1e-9);
     }
@@ -323,7 +322,10 @@ mod tests {
         let pixels: Vec<Vector> = (0..200)
             .map(|i| {
                 let t = i as f64 * 0.1;
-                Vector::from_vec(vec![t + 0.01 * (i as f64).sin(), t - 0.01 * (i as f64).cos()])
+                Vector::from_vec(vec![
+                    t + 0.01 * (i as f64).sin(),
+                    t - 0.01 * (i as f64).cos(),
+                ])
             })
             .collect();
         let cov = crate::covariance::covariance_matrix(&pixels).unwrap();
@@ -342,7 +344,9 @@ mod tests {
         let mut m = SymMatrix::zeros(n);
         let mut state = 0x12345678_u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {

@@ -101,10 +101,9 @@ impl SymMatrix {
         }
         let xs = x.as_slice();
         let mut idx = 0;
-        for i in 0..self.n {
-            let xi = xs[i];
-            for j in i..self.n {
-                self.data[idx] += xi * xs[j];
+        for (i, &xi) in xs.iter().enumerate() {
+            for &xj in &xs[i..] {
+                self.data[idx] += xi * xj;
                 idx += 1;
             }
         }

@@ -242,14 +242,16 @@ impl From<&[f64]> for Vector {
 impl Add for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
-        self.add_vec(rhs).expect("vector addition dimension mismatch")
+        self.add_vec(rhs)
+            .expect("vector addition dimension mismatch")
     }
 }
 
 impl Sub for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
-        self.sub_vec(rhs).expect("vector subtraction dimension mismatch")
+        self.sub_vec(rhs)
+            .expect("vector subtraction dimension mismatch")
     }
 }
 
