@@ -25,7 +25,11 @@ pub struct CubeDims {
 impl CubeDims {
     /// Creates a dimension descriptor.
     pub fn new(width: usize, height: usize, bands: usize) -> Self {
-        Self { width, height, bands }
+        Self {
+            width,
+            height,
+            bands,
+        }
     }
 
     /// Number of spatial pixels.
@@ -217,8 +221,7 @@ impl HyperCube {
             let src_off = ((y0 + dy) * self.dims.width + x0) * self.dims.bands;
             let dst_off = dy * w * self.dims.bands;
             let len = w * self.dims.bands;
-            out.data[dst_off..dst_off + len]
-                .copy_from_slice(&self.data[src_off..src_off + len]);
+            out.data[dst_off..dst_off + len].copy_from_slice(&self.data[src_off..src_off + len]);
         }
         Ok(out)
     }
@@ -251,8 +254,7 @@ impl HyperCube {
             let dst_off = ((y0 + dy) * self.dims.width + x0) * self.dims.bands;
             let src_off = dy * src.width() * src.bands();
             let len = src.width() * src.bands();
-            self.data[dst_off..dst_off + len]
-                .copy_from_slice(&src.data[src_off..src_off + len]);
+            self.data[dst_off..dst_off + len].copy_from_slice(&src.data[src_off..src_off + len]);
         }
         Ok(())
     }

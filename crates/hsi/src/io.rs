@@ -209,7 +209,9 @@ mod tests {
 
     #[test]
     fn pgm_writer_produces_valid_header_and_size() {
-        let cube = SceneGenerator::new(SceneConfig::small(2)).unwrap().generate();
+        let cube = SceneGenerator::new(SceneConfig::small(2))
+            .unwrap()
+            .generate();
         let path = temp_path("band.pgm");
         write_band_pgm(&cube, 3, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
@@ -220,13 +222,17 @@ mod tests {
 
     #[test]
     fn pgm_writer_rejects_bad_band() {
-        let cube = SceneGenerator::new(SceneConfig::small(2)).unwrap().generate();
+        let cube = SceneGenerator::new(SceneConfig::small(2))
+            .unwrap()
+            .generate();
         assert!(write_band_pgm(&cube, 99, temp_path("never.pgm")).is_err());
     }
 
     #[test]
     fn cube_container_round_trip() {
-        let cube = SceneGenerator::new(SceneConfig::small(4)).unwrap().generate();
+        let cube = SceneGenerator::new(SceneConfig::small(4))
+            .unwrap()
+            .generate();
         let path = temp_path("cube.hsc");
         write_cube(&cube, &path).unwrap();
         let back = read_cube(&path).unwrap();

@@ -70,7 +70,10 @@ impl std::fmt::Display for HsiError {
                 write!(f, "{what} index {index} out of bounds (max {bound})")
             }
             HsiError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected {expected} samples, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} samples, got {actual}"
+                )
             }
             HsiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HsiError::Io(e) => write!(f, "i/o error: {e}"),

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn policy_counts() {
         assert_eq!(GranularityPolicy::OnePerWorker.sub_cube_count(8), 8);
-        assert_eq!(GranularityPolicy::PerWorkerMultiple(3).sub_cube_count(8), 24);
+        assert_eq!(
+            GranularityPolicy::PerWorkerMultiple(3).sub_cube_count(8),
+            24
+        );
         assert_eq!(GranularityPolicy::FixedTotal(32).sub_cube_count(8), 32);
         assert_eq!(GranularityPolicy::PerWorkerMultiple(0).sub_cube_count(8), 8);
         assert_eq!(GranularityPolicy::FixedTotal(0).sub_cube_count(8), 1);
@@ -172,8 +175,8 @@ mod tests {
         assert_eq!(specs.len(), 5);
         let mut covered = vec![0usize; 37];
         for s in &specs {
-            for r in s.row_start..s.row_start + s.rows {
-                covered[r] += 1;
+            for c in &mut covered[s.row_start..s.row_start + s.rows] {
+                *c += 1;
             }
         }
         assert!(covered.iter().all(|&c| c == 1));
@@ -229,7 +232,8 @@ mod tests {
     #[test]
     fn partition_for_workers_matches_policy() {
         let dims = CubeDims::new(64, 64, 8);
-        let specs = partition_for_workers(dims, 4, GranularityPolicy::PerWorkerMultiple(2)).unwrap();
+        let specs =
+            partition_for_workers(dims, 4, GranularityPolicy::PerWorkerMultiple(2)).unwrap();
         assert_eq!(specs.len(), 8);
     }
 

@@ -34,7 +34,11 @@ impl RgbImage {
                 actual: data.len(),
             });
         }
-        Ok(Self { width, height, data })
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Image width in pixels.
@@ -55,10 +59,18 @@ impl RgbImage {
     /// Reads the pixel at `(x, y)`.
     pub fn get(&self, x: usize, y: usize) -> Result<[u8; 3]> {
         if x >= self.width {
-            return Err(HsiError::OutOfBounds { what: "x", index: x, bound: self.width });
+            return Err(HsiError::OutOfBounds {
+                what: "x",
+                index: x,
+                bound: self.width,
+            });
         }
         if y >= self.height {
-            return Err(HsiError::OutOfBounds { what: "y", index: y, bound: self.height });
+            return Err(HsiError::OutOfBounds {
+                what: "y",
+                index: y,
+                bound: self.height,
+            });
         }
         let off = (y * self.width + x) * 3;
         Ok([self.data[off], self.data[off + 1], self.data[off + 2]])
@@ -67,10 +79,18 @@ impl RgbImage {
     /// Writes the pixel at `(x, y)`.
     pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) -> Result<()> {
         if x >= self.width {
-            return Err(HsiError::OutOfBounds { what: "x", index: x, bound: self.width });
+            return Err(HsiError::OutOfBounds {
+                what: "x",
+                index: x,
+                bound: self.width,
+            });
         }
         if y >= self.height {
-            return Err(HsiError::OutOfBounds { what: "y", index: y, bound: self.height });
+            return Err(HsiError::OutOfBounds {
+                what: "y",
+                index: y,
+                bound: self.height,
+            });
         }
         let off = (y * self.width + x) * 3;
         self.data[off..off + 3].copy_from_slice(&rgb);

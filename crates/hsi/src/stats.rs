@@ -39,7 +39,13 @@ pub fn band_stats(cube: &HyperCube, band: usize) -> Result<BandStats> {
     }
     let mean = linalg::reduce::mean(&plane).unwrap_or(0.0);
     let variance = linalg::reduce::variance(&plane).unwrap_or(0.0);
-    Ok(BandStats { band, min, max, mean, variance })
+    Ok(BandStats {
+        band,
+        min,
+        max,
+        mean,
+        variance,
+    })
 }
 
 /// Computes statistics for every band.
@@ -49,7 +55,10 @@ pub fn all_band_stats(cube: &HyperCube) -> Result<Vec<BandStats>> {
 
 /// Per-band variances of a cube.
 pub fn band_variances(cube: &HyperCube) -> Result<Vec<f64>> {
-    Ok(all_band_stats(cube)?.into_iter().map(|s| s.variance).collect())
+    Ok(all_band_stats(cube)?
+        .into_iter()
+        .map(|s| s.variance)
+        .collect())
 }
 
 /// Fraction of total per-band variance carried by the first `k` bands.
@@ -117,7 +126,9 @@ mod tests {
 
     #[test]
     fn all_band_stats_covers_every_band() {
-        let cube = SceneGenerator::new(SceneConfig::small(1)).unwrap().generate();
+        let cube = SceneGenerator::new(SceneConfig::small(1))
+            .unwrap()
+            .generate();
         let stats = all_band_stats(&cube).unwrap();
         assert_eq!(stats.len(), cube.bands());
         for (i, s) in stats.iter().enumerate() {
@@ -129,7 +140,9 @@ mod tests {
 
     #[test]
     fn leading_variance_fraction_is_monotone_in_k() {
-        let cube = SceneGenerator::new(SceneConfig::small(1)).unwrap().generate();
+        let cube = SceneGenerator::new(SceneConfig::small(1))
+            .unwrap()
+            .generate();
         let f1 = leading_variance_fraction(&cube, 1).unwrap();
         let f3 = leading_variance_fraction(&cube, 3).unwrap();
         let fall = leading_variance_fraction(&cube, cube.bands()).unwrap();
@@ -151,7 +164,9 @@ mod tests {
 
     #[test]
     fn entropy_of_textured_scene_is_positive() {
-        let cube = SceneGenerator::new(SceneConfig::small(1)).unwrap().generate();
+        let cube = SceneGenerator::new(SceneConfig::small(1))
+            .unwrap()
+            .generate();
         assert!(band_entropy(&cube, 2).unwrap() > 1.0);
     }
 }

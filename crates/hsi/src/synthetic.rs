@@ -92,8 +92,9 @@ impl Material {
             Material::Road => (0.12 + 0.10 * sigmoid(900.0, 500.0)).clamp(0.01, 1.0),
             Material::Water => (0.07 * gauss(450.0, 120.0) + 0.015).clamp(0.001, 1.0),
             Material::VehiclePaint => {
-                (0.30 - 0.12 * gauss(900.0, 80.0) - 0.05 * gauss(1700.0, 150.0) + 0.04 * sigmoid(2000.0, 300.0))
-                    .clamp(0.01, 1.0)
+                (0.30 - 0.12 * gauss(900.0, 80.0) - 0.05 * gauss(1700.0, 150.0)
+                    + 0.04 * sigmoid(2000.0, 300.0))
+                .clamp(0.01, 1.0)
             }
             Material::CamouflageNet => {
                 // Vegetation-like below ~1000nm, synthetic fibre above.
@@ -190,8 +191,18 @@ impl SceneConfig {
             noise_sigma: 0.01,
             full_scale: 4095.0,
             targets: vec![
-                Target { x: 8, y: 24, half_size: 2, camouflaged: true },
-                Target { x: 24, y: 8, half_size: 2, camouflaged: false },
+                Target {
+                    x: 8,
+                    y: 24,
+                    half_size: 2,
+                    camouflaged: true,
+                },
+                Target {
+                    x: 24,
+                    y: 8,
+                    half_size: 2,
+                    camouflaged: false,
+                },
             ],
             open_field_fraction: 0.4,
         }
@@ -210,10 +221,14 @@ impl SceneConfig {
             )));
         }
         if self.noise_sigma < 0.0 {
-            return Err(HsiError::InvalidConfig("noise_sigma must be >= 0".to_string()));
+            return Err(HsiError::InvalidConfig(
+                "noise_sigma must be >= 0".to_string(),
+            ));
         }
         if self.full_scale <= 0.0 {
-            return Err(HsiError::InvalidConfig("full_scale must be > 0".to_string()));
+            return Err(HsiError::InvalidConfig(
+                "full_scale must be > 0".to_string(),
+            ));
         }
         Ok(())
     }
@@ -311,8 +326,7 @@ impl SceneGenerator {
             return Material::Road;
         }
         // Wavy forest/field boundary.
-        let boundary = self.config.open_field_fraction
-            + 0.08 * (fx * 9.0).sin() * (fy * 7.0).cos();
+        let boundary = self.config.open_field_fraction + 0.08 * (fx * 9.0).sin() * (fy * 7.0).cos();
         if fy > 1.0 - boundary {
             // Open field: alternate grass and soil patches.
             let patch = ((x / 13) + (y / 17)) % 5;
@@ -323,7 +337,7 @@ impl SceneGenerator {
             }
         } else {
             // Forest with occasional shadow pockets.
-            if ((x / 7) * 31 + (y / 7) * 17) % 23 == 0 {
+            if ((x / 7) * 31 + (y / 7) * 17).is_multiple_of(23) {
                 Material::Shadow
             } else {
                 Material::Forest
@@ -378,7 +392,8 @@ impl SceneGenerator {
                     let w = self.wavelength(b);
                     let mut reflectance = material.reflectance(w);
                     if is_camouflaged_target {
-                        reflectance = 0.7 * reflectance + 0.3 * Material::VehiclePaint.reflectance(w);
+                        reflectance =
+                            0.7 * reflectance + 0.3 * Material::VehiclePaint.reflectance(w);
                     }
                     let clean = full_scale * illumination[b] * reflectance * texture;
                     let noise = if self.config.noise_sigma > 0.0 {
@@ -393,7 +408,8 @@ impl SceneGenerator {
                     };
                     *value = (clean + noise).max(0.0);
                 }
-                cube.set_pixel(x, y, &pixel).expect("generator writes in bounds");
+                cube.set_pixel(x, y, &pixel)
+                    .expect("generator writes in bounds");
             }
         }
         cube
@@ -446,11 +462,16 @@ mod tests {
 
     #[test]
     fn camouflage_tracks_vegetation_in_visible_but_not_swir() {
-        let vis_diff =
-            (Material::CamouflageNet.reflectance(700.0) - Material::Forest.reflectance(700.0)).abs();
-        let swir_diff =
-            (Material::CamouflageNet.reflectance(1650.0) - Material::Forest.reflectance(1650.0)).abs();
-        assert!(swir_diff > 2.0 * vis_diff, "vis {vis_diff}, swir {swir_diff}");
+        let vis_diff = (Material::CamouflageNet.reflectance(700.0)
+            - Material::Forest.reflectance(700.0))
+        .abs();
+        let swir_diff = (Material::CamouflageNet.reflectance(1650.0)
+            - Material::Forest.reflectance(1650.0))
+        .abs();
+        assert!(
+            swir_diff > 2.0 * vis_diff,
+            "vis {vis_diff}, swir {swir_diff}"
+        );
     }
 
     #[test]
@@ -463,8 +484,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SceneGenerator::new(SceneConfig::small(1)).unwrap().generate();
-        let b = SceneGenerator::new(SceneConfig::small(2)).unwrap().generate();
+        let a = SceneGenerator::new(SceneConfig::small(1))
+            .unwrap()
+            .generate();
+        let b = SceneGenerator::new(SceneConfig::small(2))
+            .unwrap()
+            .generate();
         assert_ne!(a, b);
     }
 
@@ -563,7 +588,10 @@ mod tests {
         let vehicle: Vector = vehicle.expect("scene contains a vehicle");
         let forest: Vector = forest.expect("scene contains forest");
         let angle = vehicle.spectral_angle(&forest).unwrap();
-        assert!(angle > 0.05, "vehicle/forest spectral angle too small: {angle}");
+        assert!(
+            angle > 0.05,
+            "vehicle/forest spectral angle too small: {angle}"
+        );
     }
 
     #[test]
