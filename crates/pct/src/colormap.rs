@@ -77,7 +77,10 @@ impl ComponentScale {
             .take(k)
             .map(|&lambda| {
                 let sigma = lambda.max(0.0).sqrt();
-                ComponentScale { min: -3.5 * sigma, max: 3.5 * sigma }
+                ComponentScale {
+                    min: -3.5 * sigma,
+                    max: 3.5 * sigma,
+                }
             })
             .collect()
     }
@@ -96,7 +99,11 @@ impl ComponentScale {
 /// the paper's centred opponent transform.
 pub fn map_pixel(components: [f64; 3]) -> [u8; 3] {
     let matrix = opponent_matrix();
-    let centred = [components[0] - 128.0, components[1] - 128.0, components[2] - 128.0];
+    let centred = [
+        components[0] - 128.0,
+        components[1] - 128.0,
+        components[2] - 128.0,
+    ];
     let mut rgb = [0u8; 3];
     for (row, out) in rgb.iter_mut().enumerate() {
         let mut acc = 0.0;
@@ -146,7 +153,9 @@ mod tests {
             .map(|(r, c)| m[(r, c)].abs())
             .collect();
         magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut expected = vec![0.4387, 0.4972, 0.0641, 0.4972, 0.1403, 0.0795, 0.1355, 0.0116, 0.4972];
+        let mut expected = vec![
+            0.4387, 0.4972, 0.0641, 0.4972, 0.1403, 0.0795, 0.1355, 0.0116, 0.4972,
+        ];
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (a, b) in magnitudes.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-12);
@@ -188,7 +197,10 @@ mod tests {
 
     #[test]
     fn component_scale_maps_extremes_to_0_and_255() {
-        let s = ComponentScale { min: -2.0, max: 6.0 };
+        let s = ComponentScale {
+            min: -2.0,
+            max: 6.0,
+        };
         assert_eq!(s.to_byte_range(-2.0), 0.0);
         assert_eq!(s.to_byte_range(6.0), 255.0);
         assert!((s.to_byte_range(2.0) - 127.5).abs() < 1e-9);
@@ -206,7 +218,8 @@ mod tests {
         let mut cube = HyperCube::zeros(dims);
         for y in 0..3 {
             for x in 0..4 {
-                cube.set_pixel(x, y, &[(x + y) as f64, x as f64, y as f64]).unwrap();
+                cube.set_pixel(x, y, &[(x + y) as f64, x as f64, y as f64])
+                    .unwrap();
             }
         }
         let scales = ComponentScale::from_cube(&cube, 3);

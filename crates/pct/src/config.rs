@@ -82,12 +82,7 @@ impl FusionOutput {
         if total <= 0.0 {
             return 0.0;
         }
-        let leading: f64 = self
-            .eigenvalues
-            .iter()
-            .filter(|v| **v > 0.0)
-            .take(k)
-            .sum();
+        let leading: f64 = self.eigenvalues.iter().filter(|v| **v > 0.0).take(k).sum();
         leading / total
     }
 }

@@ -105,7 +105,11 @@ impl DistributedPct {
 /// exact same task handling inside replicated members.
 pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
     match msg {
-        PctMessage::ScreenTask { task, sub, threshold_rad } => {
+        PctMessage::ScreenTask {
+            task,
+            sub,
+            threshold_rad,
+        } => {
             let unique = screen_pixels(&sub.data.pixel_vectors(), threshold_rad);
             Some(PctMessage::UniqueSet { task, unique })
         }
@@ -120,9 +124,13 @@ pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
                 count: acc.count(),
             })
         }
-        PctMessage::TransformTask { task, sub, mean, transform, scales } => {
-            Some(transform_and_map(task, &sub, &mean, &transform, &scales))
-        }
+        PctMessage::TransformTask {
+            task,
+            sub,
+            mean,
+            transform,
+            scales,
+        } => Some(transform_and_map(task, &sub, &mean, &transform, &scales)),
         // Results, heartbeats and shutdown are not tasks.
         _ => None,
     }
@@ -277,7 +285,9 @@ fn run_manager(
     let unique = merge_unique_sets(unique_sets, config.screening_angle_rad);
     let unique_count = unique.len();
     if unique.is_empty() {
-        return Err(PctError::InvalidConfig("screening produced an empty unique set".into()));
+        return Err(PctError::InvalidConfig(
+            "screening produced an empty unique set".into(),
+        ));
     }
 
     // ---- Phase 2: statistics (steps 3–6) ------------------------------------------
@@ -299,7 +309,12 @@ fn run_manager(
         cov_tasks,
         |msg| matches!(msg, PctMessage::CovarianceSum { .. }),
         |msg| match msg {
-            PctMessage::CovarianceSum { packed, bands, count, .. } => Some((packed, bands, count)),
+            PctMessage::CovarianceSum {
+                packed,
+                bands,
+                count,
+                ..
+            } => Some((packed, bands, count)),
             _ => None,
         },
     )?;
@@ -315,7 +330,9 @@ fn run_manager(
         total_count += count;
     }
     if total_count == 0 {
-        return Err(PctError::InvalidConfig("covariance phase accumulated no pixels".into()));
+        return Err(PctError::InvalidConfig(
+            "covariance phase accumulated no pixels".into(),
+        ));
     }
     sum.scale_in_place(1.0 / total_count as f64);
     let spec = finalize_transform(mean, &sum, config)?;
@@ -343,7 +360,13 @@ fn run_manager(
         transform_tasks,
         |msg| matches!(msg, PctMessage::RgbStrip { .. }),
         |msg| match msg {
-            PctMessage::RgbStrip { row_start, rows, width, rgb, .. } => Some((row_start, rows, width, rgb)),
+            PctMessage::RgbStrip {
+                row_start,
+                rows,
+                width,
+                rgb,
+                ..
+            } => Some((row_start, rows, width, rgb)),
             _ => None,
         },
     )?;
@@ -382,25 +405,36 @@ mod tests {
     use hsi::{SceneConfig, SceneGenerator};
 
     fn small_scene() -> HyperCube {
-        SceneGenerator::new(SceneConfig::small(5)).unwrap().generate()
+        SceneGenerator::new(SceneConfig::small(5))
+            .unwrap()
+            .generate()
     }
 
     #[test]
     fn distributed_matches_sequential_output_closely() {
         let cube = small_scene();
         let seq = SequentialPct::default().run(&cube).unwrap();
-        let dist = DistributedPct::new(PctConfig::paper(), 4).run(&cube).unwrap();
+        let dist = DistributedPct::new(PctConfig::paper(), 4)
+            .run(&cube)
+            .unwrap();
         assert_eq!(dist.pixels, seq.pixels);
         let diff = seq.image.mean_abs_diff(&dist.image).unwrap();
-        assert!(diff < 10.0, "distributed output diverges: mean abs diff {diff}");
+        assert!(
+            diff < 10.0,
+            "distributed output diverges: mean abs diff {diff}"
+        );
         assert!(dist.variance_fraction(3) > 0.95);
     }
 
     #[test]
     fn worker_count_does_not_change_the_image_materially() {
         let cube = small_scene();
-        let one = DistributedPct::new(PctConfig::paper(), 1).run(&cube).unwrap();
-        let four = DistributedPct::new(PctConfig::paper(), 4).run(&cube).unwrap();
+        let one = DistributedPct::new(PctConfig::paper(), 1)
+            .run(&cube)
+            .unwrap();
+        let four = DistributedPct::new(PctConfig::paper(), 4)
+            .run(&cube)
+            .unwrap();
         let diff = one.image.mean_abs_diff(&four.image).unwrap();
         assert!(diff < 10.0, "worker-count sensitivity {diff}");
     }
@@ -445,7 +479,11 @@ mod tests {
     fn handle_task_ignores_non_task_messages() {
         assert!(handle_task(PctMessage::Heartbeat).is_none());
         assert!(handle_task(PctMessage::Shutdown).is_none());
-        assert!(handle_task(PctMessage::UniqueSet { task: 0, unique: vec![] }).is_none());
+        assert!(handle_task(PctMessage::UniqueSet {
+            task: 0,
+            unique: vec![]
+        })
+        .is_none());
     }
 
     #[test]

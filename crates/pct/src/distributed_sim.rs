@@ -50,7 +50,11 @@ impl SimParams {
             dims: CubeDims::paper_eval(),
             workers,
             granularity: GranularityPolicy::PerWorkerMultiple(2),
-            overhead: if resilient { OverheadModel::paper_level_2() } else { OverheadModel::none() },
+            overhead: if resilient {
+                OverheadModel::paper_level_2()
+            } else {
+                OverheadModel::none()
+            },
             network: NetworkModel::paper_lan(),
             cost: CostModel::paper(),
         }
@@ -129,14 +133,24 @@ struct WorkerActor {
 
 impl WorkerActor {
     fn new(manager: ActorId, cost: CostModel, overhead: OverheadModel, bands: usize) -> Self {
-        Self { manager, cost, overhead, bands, queue: VecDeque::new(), busy: false, current: None }
+        Self {
+            manager,
+            cost,
+            overhead,
+            bands,
+            queue: VecDeque::new(),
+            busy: false,
+            current: None,
+        }
     }
 
     fn start_next(&mut self, ctx: &mut ActorContext<'_, SimMsg>) {
         if self.busy {
             return;
         }
-        let Some(task) = self.queue.pop_front() else { return };
+        let Some(task) = self.queue.pop_front() else {
+            return;
+        };
         let work = match &task {
             SimMsg::ScreenTask { pixels, .. } => self.cost.screening_work(*pixels, self.bands),
             SimMsg::CovTask { vectors, .. } => self.cost.covariance_work(*vectors, self.bands),
@@ -147,7 +161,8 @@ impl WorkerActor {
         };
         // Every task also pays the fixed SCPlib marshalling overhead, and the
         // resiliency protocols add their fractional processing cost on top.
-        let work = (work + self.cost.per_task_overhead()).mul_f64(self.overhead.compute_multiplier());
+        let work =
+            (work + self.cost.per_task_overhead()).mul_f64(self.overhead.compute_multiplier());
         self.busy = true;
         self.current = Some(task);
         ctx.compute(TAG_WORKER_TASK, work);
@@ -166,16 +181,23 @@ impl Actor<SimMsg> for WorkerActor {
     }
 
     fn on_compute_done(&mut self, ctx: &mut ActorContext<'_, SimMsg>, _tag: u64) {
-        let finished = self.current.take().expect("compute completion implies a task");
+        let finished = self
+            .current
+            .take()
+            .expect("compute completion implies a task");
         self.busy = false;
         let (reply, bytes) = match finished {
             SimMsg::ScreenTask { task, pixels } => {
                 let unique = self.cost.unique_pixels(pixels);
-                (SimMsg::UniqueSet { task, unique }, self.cost.unique_set_bytes(unique, self.bands))
+                (
+                    SimMsg::UniqueSet { task, unique },
+                    self.cost.unique_set_bytes(unique, self.bands),
+                )
             }
-            SimMsg::CovTask { task, .. } => {
-                (SimMsg::CovSum { task }, self.cost.covariance_bytes(self.bands))
-            }
+            SimMsg::CovTask { task, .. } => (
+                SimMsg::CovSum { task },
+                self.cost.covariance_bytes(self.bands),
+            ),
             SimMsg::TransformTask { task, pixels } => {
                 (SimMsg::RgbPart { task }, self.cost.result_bytes(pixels))
             }
@@ -184,7 +206,11 @@ impl Actor<SimMsg> for WorkerActor {
         ctx.send(self.manager, reply, bytes);
         if self.overhead.is_resilient() {
             // Group-protocol acknowledgement traffic.
-            ctx.send(self.manager, SimMsg::Ack, self.overhead.control_message_bytes);
+            ctx.send(
+                self.manager,
+                SimMsg::Ack,
+                self.overhead.control_message_bytes,
+            );
         }
         self.start_next(ctx);
     }
@@ -235,11 +261,17 @@ impl ManagerActor {
         let msg_and_bytes = match self.phase {
             Phase::Screening => {
                 let pixels = self.subcube_pixels[task];
-                (SimMsg::ScreenTask { task, pixels }, self.cost.subcube_bytes(pixels, self.bands))
+                (
+                    SimMsg::ScreenTask { task, pixels },
+                    self.cost.subcube_bytes(pixels, self.bands),
+                )
             }
             Phase::Covariance => {
                 let vectors = self.cov_chunks[task];
-                (SimMsg::CovTask { task, vectors }, self.cost.unique_set_bytes(vectors, self.bands))
+                (
+                    SimMsg::CovTask { task, vectors },
+                    self.cost.unique_set_bytes(vectors, self.bands),
+                )
             }
             Phase::Transform => {
                 let pixels = self.subcube_pixels[task];
@@ -293,7 +325,11 @@ impl ManagerActor {
             // all transform tasks are dispatched immediately to their owners.
             self.pending.clear();
             for task in 0..self.phase_tasks() {
-                let owner = self.screen_owner.get(&task).copied().unwrap_or(task % self.groups.len());
+                let owner = self
+                    .screen_owner
+                    .get(&task)
+                    .copied()
+                    .unwrap_or(task % self.groups.len());
                 self.send_task(ctx, owner, task);
             }
         } else {
@@ -330,7 +366,9 @@ impl ManagerActor {
             }
             Phase::Covariance => {
                 self.phase = Phase::EigenCompute;
-                let work = self.cost.covariance_reduce_work(self.groups.len(), self.bands)
+                let work = self
+                    .cost
+                    .covariance_reduce_work(self.groups.len(), self.bands)
                     + self.cost.eigen_work(self.bands);
                 ctx.compute(TAG_EIGEN, work);
             }
@@ -363,15 +401,11 @@ impl Actor<SimMsg> for ManagerActor {
                 }
                 self.on_result(ctx, task);
             }
-            SimMsg::CovSum { task } => {
-                if self.phase == Phase::Covariance {
-                    self.on_result(ctx, task);
-                }
+            SimMsg::CovSum { task } if self.phase == Phase::Covariance => {
+                self.on_result(ctx, task);
             }
-            SimMsg::RgbPart { task } => {
-                if self.phase == Phase::Transform {
-                    self.on_result(ctx, task);
-                }
+            SimMsg::RgbPart { task } if self.phase == Phase::Transform => {
+                self.on_result(ctx, task);
             }
             SimMsg::Ack => {}
             _ => {}
@@ -405,10 +439,15 @@ impl Actor<SimMsg> for ManagerActor {
 /// Runs one simulated fusion and reports the virtual elapsed time.
 pub fn simulate_fusion(params: &SimParams) -> Result<SimReport> {
     if params.workers == 0 {
-        return Err(PctError::InvalidConfig("at least one worker is required".into()));
+        return Err(PctError::InvalidConfig(
+            "at least one worker is required".into(),
+        ));
     }
     let level = params.overhead.replication_level.max(1);
-    let specs = partition_rows(params.dims, params.granularity.sub_cube_count(params.workers))?;
+    let specs = partition_rows(
+        params.dims,
+        params.granularity.sub_cube_count(params.workers),
+    )?;
     let subcube_pixels: Vec<usize> = specs.iter().map(|s| s.pixels()).collect();
 
     // Node 0 hosts the manager (the sensor); nodes 1..=workers host worker
@@ -433,12 +472,13 @@ pub fn simulate_fusion(params: &SimParams) -> Result<SimReport> {
     // registered before it.
     let mut groups: Vec<Vec<ActorId>> = vec![Vec::new(); params.workers];
     let manager_id = ActorId(params.workers * level);
-    for g in 0..params.workers {
+    for (g, group) in groups.iter_mut().enumerate() {
         for m in 0..level {
             let node = NodeId(1 + (g + m) % params.workers);
-            let actor = WorkerActor::new(manager_id, params.cost, params.overhead, params.dims.bands);
+            let actor =
+                WorkerActor::new(manager_id, params.cost, params.overhead, params.dims.bands);
             let id = sim.add_actor(node, Box::new(actor))?;
-            groups[g].push(id);
+            group.push(id);
         }
     }
     let manager = ManagerActor {
@@ -476,7 +516,8 @@ pub fn simulate_fusion(params: &SimParams) -> Result<SimReport> {
 /// Convenience: the simulated sequential (single-worker, non-resilient) time
 /// used as the speed-up reference for Figure 4.
 pub fn reference_time(dims: CubeDims, cost: &CostModel) -> f64 {
-    cost.sequential_total(dims.pixels(), dims.bands).as_secs_f64()
+    cost.sequential_total(dims.pixels(), dims.bands)
+        .as_secs_f64()
 }
 
 #[cfg(test)]
@@ -501,9 +542,15 @@ mod tests {
 
     #[test]
     fn more_processors_reduce_elapsed_time() {
-        let t1 = simulate_fusion(&SimParams::figure4(1, false)).unwrap().elapsed_secs;
-        let t4 = simulate_fusion(&SimParams::figure4(4, false)).unwrap().elapsed_secs;
-        let t16 = simulate_fusion(&SimParams::figure4(16, false)).unwrap().elapsed_secs;
+        let t1 = simulate_fusion(&SimParams::figure4(1, false))
+            .unwrap()
+            .elapsed_secs;
+        let t4 = simulate_fusion(&SimParams::figure4(4, false))
+            .unwrap()
+            .elapsed_secs;
+        let t16 = simulate_fusion(&SimParams::figure4(16, false))
+            .unwrap()
+            .elapsed_secs;
         assert!(t4 < t1, "t4={t4} not faster than t1={t1}");
         assert!(t16 < t4, "t16={t16} not faster than t4={t4}");
     }
@@ -512,11 +559,21 @@ mod tests {
     fn speedup_is_within_twenty_percent_of_linear_at_sixteen() {
         // The paper: "The concurrent algorithm operates within 20% of linear
         // speedup in both cases."
-        let t1 = simulate_fusion(&SimParams::figure4(1, false)).unwrap().elapsed_secs;
-        let t16 = simulate_fusion(&SimParams::figure4(16, false)).unwrap().elapsed_secs;
+        let t1 = simulate_fusion(&SimParams::figure4(1, false))
+            .unwrap()
+            .elapsed_secs;
+        let t16 = simulate_fusion(&SimParams::figure4(16, false))
+            .unwrap()
+            .elapsed_secs;
         let speedup = t1 / t16;
-        assert!(speedup >= 0.8 * 16.0, "speed-up {speedup} below 80% of linear");
-        assert!(speedup <= 16.5, "speed-up {speedup} super-linear, model broken");
+        assert!(
+            speedup >= 0.8 * 16.0,
+            "speed-up {speedup} below 80% of linear"
+        );
+        assert!(
+            speedup <= 16.5,
+            "speed-up {speedup} super-linear, model broken"
+        );
     }
 
     #[test]
@@ -524,8 +581,12 @@ mod tests {
         // The paper: overhead caused by resiliency is approximately 10% plus
         // the cost of replication.
         for workers in [4usize, 8] {
-            let plain = simulate_fusion(&SimParams::figure4(workers, false)).unwrap().elapsed_secs;
-            let resilient = simulate_fusion(&SimParams::figure4(workers, true)).unwrap().elapsed_secs;
+            let plain = simulate_fusion(&SimParams::figure4(workers, false))
+                .unwrap()
+                .elapsed_secs;
+            let resilient = simulate_fusion(&SimParams::figure4(workers, true))
+                .unwrap()
+                .elapsed_secs;
             let ratio = resilient / plain;
             assert!(
                 (1.9..=2.6).contains(&ratio),
@@ -540,20 +601,35 @@ mod tests {
         // improves performance, but performance tails off when sub-cubes get
         // too small (paper: beyond ~32 sub-cubes for this problem size).
         let workers = 8;
-        let one = simulate_fusion(&SimParams::figure5(workers, 1)).unwrap().elapsed_secs;
-        let two = simulate_fusion(&SimParams::figure5(workers, 2)).unwrap().elapsed_secs;
-        assert!(two <= one * 1.001, "2x decomposition ({two}) should not be slower than 1x ({one})");
+        let one = simulate_fusion(&SimParams::figure5(workers, 1))
+            .unwrap()
+            .elapsed_secs;
+        let two = simulate_fusion(&SimParams::figure5(workers, 2))
+            .unwrap()
+            .elapsed_secs;
+        assert!(
+            two <= one * 1.001,
+            "2x decomposition ({two}) should not be slower than 1x ({one})"
+        );
         // Absurdly fine granularity (40 sub-cubes per worker = 320 sub-cubes)
         // drowns in per-message overhead.
-        let silly = simulate_fusion(&SimParams::figure5(workers, 40)).unwrap().elapsed_secs;
-        assert!(silly > two, "extremely fine granularity ({silly}) should cost more than 2x ({two})");
+        let silly = simulate_fusion(&SimParams::figure5(workers, 40))
+            .unwrap()
+            .elapsed_secs;
+        assert!(
+            silly > two,
+            "extremely fine granularity ({silly}) should cost more than 2x ({two})"
+        );
     }
 
     #[test]
     fn replication_doubles_messages() {
         let plain = simulate_fusion(&SimParams::figure4(4, false)).unwrap();
         let resilient = simulate_fusion(&SimParams::figure4(4, true)).unwrap();
-        assert!(resilient.messages > 2 * plain.messages / 10 * 9, "replication should add traffic");
+        assert!(
+            resilient.messages > 2 * plain.messages / 10 * 9,
+            "replication should add traffic"
+        );
         assert!(resilient.network_bytes > plain.network_bytes);
     }
 }

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn kinds_and_task_ids_are_reported() {
-        let msg = PctMessage::UniqueSet { task: 7, unique: vec![] };
+        let msg = PctMessage::UniqueSet {
+            task: 7,
+            unique: vec![],
+        };
         assert_eq!(msg.kind(), "unique-set");
         assert_eq!(msg.task(), Some(7));
         assert_eq!(PctMessage::Heartbeat.task(), None);
@@ -138,7 +141,12 @@ mod tests {
         // `serde_test`-less approach of encoding to a Vec with serde's
         // self-describing format is unavailable offline, so we simply clone
         // and compare — the derive guarantees the structure is serialisable).
-        let msg = PctMessage::CovarianceSum { task: 3, packed: vec![1.0, 2.0, 3.0], bands: 2, count: 9 };
+        let msg = PctMessage::CovarianceSum {
+            task: 3,
+            packed: vec![1.0, 2.0, 3.0],
+            bands: 2,
+            count: 9,
+        };
         let copy = msg.clone();
         assert_eq!(msg, copy);
     }

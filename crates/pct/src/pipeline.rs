@@ -172,11 +172,23 @@ mod tests {
             .map(|t| (t[0] - mean0) * (t[1] - mean1))
             .sum::<f64>()
             / n;
-        let var0: f64 = transformed.iter().map(|t| (t[0] - mean0).powi(2)).sum::<f64>() / n;
-        let var1: f64 = transformed.iter().map(|t| (t[1] - mean1).powi(2)).sum::<f64>() / n;
+        let var0: f64 = transformed
+            .iter()
+            .map(|t| (t[0] - mean0).powi(2))
+            .sum::<f64>()
+            / n;
+        let var1: f64 = transformed
+            .iter()
+            .map(|t| (t[1] - mean1).powi(2))
+            .sum::<f64>()
+            / n;
         let denom = (var0 * var1).sqrt();
         if denom > 1e-12 {
-            assert!(cov01.abs() / denom < 0.05, "components still correlated: {}", cov01 / denom);
+            assert!(
+                cov01.abs() / denom < 0.05,
+                "components still correlated: {}",
+                cov01 / denom
+            );
         }
     }
 
@@ -218,7 +230,10 @@ mod tests {
         let mut acc = CovarianceAccumulator::new(mean.clone());
         acc.push_all(&pixels).unwrap();
         let cov = acc.finalize().unwrap();
-        let config = PctConfig { output_components: 10, ..PctConfig::paper() };
+        let config = PctConfig {
+            output_components: 10,
+            ..PctConfig::paper()
+        };
         let spec = finalize_transform(mean, &cov, &config).unwrap();
         // Only 4 bands exist, so at most 4 components.
         assert_eq!(spec.components(), 4);

@@ -51,7 +51,10 @@ impl AttackPlan {
 
     /// Kills one member of logical worker 0 early in the run.
     pub fn kill_first_worker_member() -> Self {
-        Self { after_results: 1, victims: vec!["worker0#0".to_string()] }
+        Self {
+            after_results: 1,
+            victims: vec!["worker0#0".to_string()],
+        }
     }
 }
 
@@ -99,7 +102,8 @@ impl ResilientPct {
 
     /// Runs the pipeline with no attack.
     pub fn run(&self, cube: &HyperCube) -> Result<FusionOutput> {
-        self.run_with_attack(cube, AttackPlan::none()).map(|(out, _)| out)
+        self.run_with_attack(cube, AttackPlan::none())
+            .map(|(out, _)| out)
     }
 
     /// Runs the pipeline while an [`AttackPlan`] kills members mid-run.
@@ -131,11 +135,18 @@ impl ResilientPct {
             membership.insert(group);
         }
 
-        let mut detector = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 50, miss_threshold: 8 });
+        let mut detector = FailureDetector::new(DetectorConfig {
+            heartbeat_period_ms: 50,
+            miss_threshold: 8,
+        });
         for member in membership.all_members() {
             detector.watch(member, 0);
         }
-        let mut regenerator = Regenerator::new(membership.clone(), PlacementPolicy::SpreadAcrossNodes, nodes);
+        let mut regenerator = Regenerator::new(
+            membership.clone(),
+            PlacementPolicy::SpreadAcrossNodes,
+            nodes,
+        );
         let mut report = ResilientRunReport::default();
 
         let result = run_resilient_manager(
@@ -154,14 +165,13 @@ impl ResilientPct {
             &mut report,
         );
 
-        // Shut down every member that ever existed (including regenerated
-        // ones — `handles` tracks all of them).
-        for group in membership.group_names() {
-            if let Ok(snapshot) = membership.get(&group) {
-                for member in snapshot.members {
-                    let _ = manager_ctx.send(&member.routing_name(), PctMessage::Shutdown);
-                }
-            }
+        // Shut down every member that ever existed — not just current group
+        // membership. A member falsely declared failed is removed from its
+        // group but its thread keeps running; addressing the shutdown by
+        // spawn handle reaches those orphans too, so the joins below cannot
+        // hang on them.
+        for handle in &handles {
+            let _ = manager_ctx.send(&handle.name, PctMessage::Shutdown);
         }
         // Killed members exit via their kill switches; joining is safe either way.
         for handle in handles {
@@ -180,9 +190,10 @@ fn spawn_member(
     member: &MemberId,
 ) -> Result<ThreadHandle<()>> {
     let kill = injector.register(member.routing_name());
-    Ok(runtime.spawn(member.routing_name(), move |ctx: ThreadContext<PctMessage>| {
-        member_loop(ctx, kill)
-    })?)
+    Ok(runtime.spawn(
+        member.routing_name(),
+        move |ctx: ThreadContext<PctMessage>| member_loop(ctx, kill),
+    )?)
 }
 
 /// The reactive loop of one group member: service tasks, heartbeat while
@@ -359,7 +370,10 @@ fn distribute_to_groups<T>(
         }
 
         // Fire the staged attack once enough results have been seen.
-        if !*attack_fired && *total_results_seen >= attack.after_results && !attack.victims.is_empty() {
+        if !*attack_fired
+            && *total_results_seen >= attack.after_results
+            && !attack.victims.is_empty()
+        {
             for victim in &attack.victims {
                 injector.attack(victim);
             }
@@ -368,13 +382,33 @@ fn distribute_to_groups<T>(
 
         // Attack assessment: anything whose heartbeat stopped, or whose
         // mailbox vanished under a send, is regenerated immediately.
+        // Heartbeat silence alone is not proof of death — a member that is
+        // deep in a long screening task goes silent too — so each
+        // silence-flagged member is probed through its mailbox: a dead
+        // thread's receiver is gone (the send reports Disconnected), while a
+        // busy thread's mailbox accepts the probe and the member is given a
+        // fresh heartbeat lease instead of being regenerated.
         let now_ms = start.elapsed().as_millis() as u64;
-        let mut failures = detector.sweep(now_ms);
-        failures.extend(dead_members.drain(..));
+        let mut failures = Vec::new();
+        for suspect in detector.sweep(now_ms) {
+            match ctx.send(&suspect.routing_name(), PctMessage::Heartbeat) {
+                Err(ScpError::Disconnected(_)) => failures.push(suspect),
+                _ => detector.heartbeat(&suspect, now_ms),
+            }
+        }
+        failures.append(&mut dead_members);
         for failed in failures {
             handle_member_failure(
-                ctx, runtime, injector, detector, regenerator, handles, &outstanding, report,
-                now_ms, &failed,
+                ctx,
+                runtime,
+                injector,
+                detector,
+                regenerator,
+                handles,
+                &outstanding,
+                report,
+                now_ms,
+                &failed,
             )?;
         }
     }
@@ -424,8 +458,20 @@ fn run_resilient_manager(
         })
         .collect::<Result<Vec<_>>>()?;
     let unique_sets = distribute_to_groups(
-        ctx, runtime, &groups, membership, injector, detector, regenerator, handles, attack,
-        &mut attack_fired, &mut results_seen, report, start, screen_tasks,
+        ctx,
+        runtime,
+        &groups,
+        membership,
+        injector,
+        detector,
+        regenerator,
+        handles,
+        attack,
+        &mut attack_fired,
+        &mut results_seen,
+        report,
+        start,
+        screen_tasks,
         |msg| match msg {
             PctMessage::UniqueSet { unique, .. } => Some(unique),
             _ => None,
@@ -434,7 +480,9 @@ fn run_resilient_manager(
     let unique = merge_unique_sets(unique_sets, config.screening_angle_rad);
     let unique_count = unique.len();
     if unique.is_empty() {
-        return Err(PctError::InvalidConfig("screening produced an empty unique set".into()));
+        return Err(PctError::InvalidConfig(
+            "screening produced an empty unique set".into(),
+        ));
     }
 
     // ---- Phase 2: statistics -------------------------------------------------------
@@ -445,14 +493,38 @@ fn run_resilient_manager(
         .chunks(chunk)
         .enumerate()
         .map(|(i, pixels)| {
-            (i, PctMessage::CovarianceTask { task: i, mean: mean.clone(), pixels: pixels.to_vec() })
+            (
+                i,
+                PctMessage::CovarianceTask {
+                    task: i,
+                    mean: mean.clone(),
+                    pixels: pixels.to_vec(),
+                },
+            )
         })
         .collect();
     let partials = distribute_to_groups(
-        ctx, runtime, &groups, membership, injector, detector, regenerator, handles, attack,
-        &mut attack_fired, &mut results_seen, report, start, cov_tasks,
+        ctx,
+        runtime,
+        &groups,
+        membership,
+        injector,
+        detector,
+        regenerator,
+        handles,
+        attack,
+        &mut attack_fired,
+        &mut results_seen,
+        report,
+        start,
+        cov_tasks,
         |msg| match msg {
-            PctMessage::CovarianceSum { packed, bands, count, .. } => Some((packed, bands, count)),
+            PctMessage::CovarianceSum {
+                packed,
+                bands,
+                count,
+                ..
+            } => Some((packed, bands, count)),
             _ => None,
         },
     )?;
@@ -463,7 +535,9 @@ fn run_resilient_manager(
         total_count += count;
     }
     if total_count == 0 {
-        return Err(PctError::InvalidConfig("covariance phase accumulated no pixels".into()));
+        return Err(PctError::InvalidConfig(
+            "covariance phase accumulated no pixels".into(),
+        ));
     }
     sum.scale_in_place(1.0 / total_count as f64);
     let spec = finalize_transform(mean, &sum, config)?;
@@ -489,12 +563,28 @@ fn run_resilient_manager(
         })
         .collect::<Result<Vec<_>>>()?;
     let strips = distribute_to_groups(
-        ctx, runtime, &groups, membership, injector, detector, regenerator, handles, attack,
-        &mut attack_fired, &mut results_seen, report, start, transform_tasks,
+        ctx,
+        runtime,
+        &groups,
+        membership,
+        injector,
+        detector,
+        regenerator,
+        handles,
+        attack,
+        &mut attack_fired,
+        &mut results_seen,
+        report,
+        start,
+        transform_tasks,
         |msg| match msg {
-            PctMessage::RgbStrip { row_start, rows, width, rgb, .. } => {
-                Some((row_start, rows, width, rgb))
-            }
+            PctMessage::RgbStrip {
+                row_start,
+                rows,
+                width,
+                rgb,
+                ..
+            } => Some((row_start, rows, width, rgb)),
             _ => None,
         },
     )?;
@@ -515,7 +605,9 @@ mod tests {
     use hsi::{SceneConfig, SceneGenerator};
 
     fn small_scene() -> HyperCube {
-        SceneGenerator::new(SceneConfig::small(13)).unwrap().generate()
+        SceneGenerator::new(SceneConfig::small(13))
+            .unwrap()
+            .generate()
     }
 
     /// The non-resilient distributed run with the identical decomposition —
@@ -523,14 +615,18 @@ mod tests {
     /// image, since replication and regeneration are transparent to the
     /// application.
     fn reference(cube: &HyperCube) -> FusionOutput {
-        DistributedPct::new(PctConfig::paper(), 2).run(cube).unwrap()
+        DistributedPct::new(PctConfig::paper(), 2)
+            .run(cube)
+            .unwrap()
     }
 
     #[test]
     fn resilient_level_1_matches_sequential() {
         let cube = small_scene();
         let reference = reference(&cube);
-        let res = ResilientPct::new(PctConfig::paper(), 2, 1).run(&cube).unwrap();
+        let res = ResilientPct::new(PctConfig::paper(), 2, 1)
+            .run(&cube)
+            .unwrap();
         assert_eq!(res.unique_count, reference.unique_count);
         let diff = reference.image.mean_abs_diff(&res.image).unwrap();
         assert!(diff < 0.5, "level-1 resilient output diverges: {diff}");
@@ -546,7 +642,10 @@ mod tests {
         let diff = reference.image.mean_abs_diff(&out.image).unwrap();
         assert!(diff < 0.5, "level-2 resilient output diverges: {diff}");
         // With two members per group, every task produces a duplicate result.
-        assert!(report.duplicates_ignored > 0, "no duplicates observed: {report:?}");
+        assert!(
+            report.duplicates_ignored > 0,
+            "no duplicates observed: {report:?}"
+        );
         assert!(report.regenerations.is_empty());
     }
 

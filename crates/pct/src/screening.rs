@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn orthogonal_pixels_are_all_kept() {
-        let pixels = vec![v(&[1.0, 0.0, 0.0]), v(&[0.0, 1.0, 0.0]), v(&[0.0, 0.0, 1.0])];
+        let pixels = vec![
+            v(&[1.0, 0.0, 0.0]),
+            v(&[0.0, 1.0, 0.0]),
+            v(&[0.0, 0.0, 1.0]),
+        ];
         assert_eq!(screen_pixels(&pixels, 0.3).len(), 3);
     }
 
@@ -113,7 +117,11 @@ mod tests {
     fn scaled_copies_are_screened_out() {
         // The spectral angle is scale invariant, so bright and dark pixels of
         // the same material collapse together.
-        let pixels = vec![v(&[0.2, 0.5, 0.1]), v(&[2.0, 5.0, 1.0]), v(&[0.02, 0.05, 0.01])];
+        let pixels = vec![
+            v(&[0.2, 0.5, 0.1]),
+            v(&[2.0, 5.0, 1.0]),
+            v(&[0.02, 0.05, 0.01]),
+        ];
         assert_eq!(screen_pixels(&pixels, 0.05).len(), 1);
     }
 
@@ -184,9 +192,15 @@ mod tests {
 
     #[test]
     fn summary_retention() {
-        let s = ScreeningSummary { input_pixels: 200, unique_pixels: 20 };
+        let s = ScreeningSummary {
+            input_pixels: 200,
+            unique_pixels: 20,
+        };
         assert!((s.retention() - 0.1).abs() < 1e-12);
-        let empty = ScreeningSummary { input_pixels: 0, unique_pixels: 0 };
+        let empty = ScreeningSummary {
+            input_pixels: 0,
+            unique_pixels: 0,
+        };
         assert_eq!(empty.retention(), 0.0);
     }
 }

@@ -66,7 +66,9 @@ mod tests {
     use hsi::{SceneConfig, SceneGenerator};
 
     fn small_scene() -> HyperCube {
-        SceneGenerator::new(SceneConfig::small(42)).unwrap().generate()
+        SceneGenerator::new(SceneConfig::small(42))
+            .unwrap()
+            .generate()
     }
 
     #[test]
@@ -122,7 +124,9 @@ mod tests {
     #[test]
     fn disabling_screening_keeps_every_pixel() {
         let cube = small_scene();
-        let out = SequentialPct::new(PctConfig::without_screening()).run(&cube).unwrap();
+        let out = SequentialPct::new(PctConfig::without_screening())
+            .run(&cube)
+            .unwrap();
         assert_eq!(out.unique_count, cube.pixels());
     }
 
@@ -152,7 +156,10 @@ mod tests {
         let t = target_px.expect("target present");
         let f = forest_px.expect("forest present");
         let dist: i32 = (0..3).map(|c| (t[c] as i32 - f[c] as i32).abs()).sum();
-        assert!(dist > 20, "target and forest colours too similar: {t:?} vs {f:?}");
+        assert!(
+            dist > 20,
+            "target and forest colours too similar: {t:?} vs {f:?}"
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl SharedMemoryPct {
             .par_iter()
             .map(|s| {
                 let sub = s.extract(cube).expect("in bounds");
-                (s.row_start, transform_cube(&spec, &sub.data).expect("band counts match"))
+                (
+                    s.row_start,
+                    transform_cube(&spec, &sub.data).expect("band counts match"),
+                )
             })
             .collect();
         let mut transformed = HyperCube::zeros(hsi::CubeDims::new(
@@ -130,7 +133,9 @@ mod tests {
     use hsi::{SceneConfig, SceneGenerator};
 
     fn small_scene() -> HyperCube {
-        SceneGenerator::new(SceneConfig::small(7)).unwrap().generate()
+        SceneGenerator::new(SceneConfig::small(7))
+            .unwrap()
+            .generate()
     }
 
     #[test]
@@ -151,8 +156,14 @@ mod tests {
     #[test]
     fn block_count_does_not_change_the_result_materially() {
         let cube = small_scene();
-        let a = SharedMemoryPct::default().with_blocks(2).run(&cube).unwrap();
-        let b = SharedMemoryPct::default().with_blocks(8).run(&cube).unwrap();
+        let a = SharedMemoryPct::default()
+            .with_blocks(2)
+            .run(&cube)
+            .unwrap();
+        let b = SharedMemoryPct::default()
+            .with_blocks(8)
+            .run(&cube)
+            .unwrap();
         let diff = a.image.mean_abs_diff(&b.image).unwrap();
         assert!(diff < 10.0, "block-count sensitivity {diff}");
     }
@@ -163,13 +174,18 @@ mod tests {
         let seq = SequentialPct::default().run(&cube).unwrap();
         let par = SharedMemoryPct::default().run(&cube).unwrap();
         let ratio = par.unique_count as f64 / seq.unique_count as f64;
-        assert!((0.8..=1.25).contains(&ratio), "unique counts diverge: {ratio}");
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "unique counts diverge: {ratio}"
+        );
     }
 
     #[test]
     fn without_screening_every_pixel_is_unique() {
         let cube = small_scene();
-        let out = SharedMemoryPct::new(PctConfig::without_screening()).run(&cube).unwrap();
+        let out = SharedMemoryPct::new(PctConfig::without_screening())
+            .run(&cube)
+            .unwrap();
         assert_eq!(out.unique_count, cube.pixels());
     }
 
@@ -177,7 +193,10 @@ mod tests {
     fn single_block_degenerates_to_sequential_semantics() {
         let cube = small_scene();
         let seq = SequentialPct::default().run(&cube).unwrap();
-        let par = SharedMemoryPct::default().with_blocks(1).run(&cube).unwrap();
+        let par = SharedMemoryPct::default()
+            .with_blocks(1)
+            .run(&cube)
+            .unwrap();
         assert_eq!(par.unique_count, seq.unique_count);
         assert_eq!(par.image, seq.image);
     }
