@@ -9,7 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A per-sender monotonically increasing sequence number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SeqNum(pub u64);
 
 impl SeqNum {

@@ -40,7 +40,12 @@ impl CommGraph {
     }
 
     /// Declares a channel `from -> to`.
-    pub fn declare(&mut self, from: impl Into<String>, to: impl Into<String>, label: impl Into<String>) {
+    pub fn declare(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        label: impl Into<String>,
+    ) {
         let key = (from.into(), to.into());
         self.labels.insert(key.clone(), label.into());
         self.channels.insert(key);

@@ -71,7 +71,10 @@ impl std::fmt::Display for ScpError {
             ScpError::Disconnected(name) => write!(f, "destination '{name}' disconnected"),
             ScpError::Timeout => write!(f, "receive timed out"),
             ScpError::ChannelNotDeclared { from, to } => {
-                write!(f, "channel {from} -> {to} not declared in the communication graph")
+                write!(
+                    f,
+                    "channel {from} -> {to} not declared in the communication graph"
+                )
             }
             ScpError::DuplicateName(name) => write!(f, "thread name '{name}' already registered"),
             ScpError::Shutdown => write!(f, "runtime has been shut down"),

@@ -34,7 +34,9 @@ pub struct Router<M> {
 
 impl<M> Clone for Router<M> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -141,7 +143,9 @@ mod tests {
     fn register_and_send_round_trip() {
         let router: Router<String> = Router::new();
         let rx = router.register("alice").unwrap();
-        router.send("bob", "alice", SeqNum(1), "hello".to_string()).unwrap();
+        router
+            .send("bob", "alice", SeqNum(1), "hello".to_string())
+            .unwrap();
         let env = rx.recv().unwrap();
         assert_eq!(env.payload, "hello");
         assert_eq!(env.from, "bob");
@@ -152,7 +156,10 @@ mod tests {
     fn duplicate_registration_is_rejected() {
         let router: Router<()> = Router::new();
         router.register("x").unwrap();
-        assert!(matches!(router.register("x"), Err(ScpError::DuplicateName(_))));
+        assert!(matches!(
+            router.register("x"),
+            Err(ScpError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -186,7 +193,10 @@ mod tests {
         router.send("m", "worker", SeqNum(2), 2).unwrap();
 
         assert_eq!(old_rx.recv().unwrap().payload, 1);
-        assert!(old_rx.try_recv().is_err(), "old mailbox must not see new traffic");
+        assert!(
+            old_rx.try_recv().is_err(),
+            "old mailbox must not see new traffic"
+        );
         assert_eq!(new_rx.recv().unwrap().payload, 2);
         assert_eq!(router.rebind_count(), 1);
     }
@@ -206,7 +216,10 @@ mod tests {
         let router: Router<()> = Router::new();
         let _a = router.register("zeta").unwrap();
         let _b = router.register("alpha").unwrap();
-        assert_eq!(router.bound_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            router.bound_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 
     #[test]
@@ -227,7 +240,8 @@ mod tests {
             let r = router.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..100u64 {
-                    r.send(format!("t{t}"), "sink", SeqNum(i + 1), t * 1000 + i).unwrap();
+                    r.send(format!("t{t}"), "sink", SeqNum(i + 1), t * 1000 + i)
+                        .unwrap();
                 }
             }));
         }

@@ -89,8 +89,12 @@ impl<M> ThreadContext<M> {
             });
         }
         let seq = self.next_seq;
-        self.router
-            .send_envelope(Envelope::new(self.name.clone(), to.to_string(), seq, payload))?;
+        self.router.send_envelope(Envelope::new(
+            self.name.clone(),
+            to.to_string(),
+            seq,
+            payload,
+        ))?;
         self.next_seq = self.next_seq.next();
         Ok(seq)
     }
@@ -104,8 +108,12 @@ impl<M> ThreadContext<M> {
                 to: to.to_string(),
             });
         }
-        self.router
-            .send_envelope(Envelope::new(self.name.clone(), to.to_string(), seq, payload))?;
+        self.router.send_envelope(Envelope::new(
+            self.name.clone(),
+            to.to_string(),
+            seq,
+            payload,
+        ))?;
         if seq >= self.next_seq {
             self.next_seq = seq.next();
         }
@@ -265,7 +273,8 @@ mod tests {
         let worker = runtime
             .spawn("worker", |mut ctx: ThreadContext<String>| {
                 let env = ctx.recv().unwrap();
-                ctx.send(&env.from, format!("echo:{}", env.payload)).unwrap();
+                ctx.send(&env.from, format!("echo:{}", env.payload))
+                    .unwrap();
                 env.payload
             })
             .unwrap();
@@ -291,7 +300,10 @@ mod tests {
     fn channel_validation_rejects_undeclared_sends() {
         let mut graph = CommGraph::new();
         graph.declare("a", "b", "ok");
-        let runtime: Runtime<()> = Runtime::new(RuntimeConfig { validate_channels: true, graph });
+        let runtime: Runtime<()> = Runtime::new(RuntimeConfig {
+            validate_channels: true,
+            graph,
+        });
         let mut a = runtime.context("a").unwrap();
         let mut b = runtime.context("b").unwrap();
         assert!(a.send("b", ()).is_ok());
@@ -333,10 +345,18 @@ mod tests {
         let mut receiver = runtime.context("manager").unwrap();
         let router = runtime.router();
         // Two replicas of "worker3" send the same logical messages.
-        router.send("worker3", "manager", SeqNum(1), "result-1").unwrap();
-        router.send("worker3", "manager", SeqNum(1), "result-1").unwrap();
-        router.send("worker3", "manager", SeqNum(2), "result-2").unwrap();
-        router.send("worker3", "manager", SeqNum(2), "result-2").unwrap();
+        router
+            .send("worker3", "manager", SeqNum(1), "result-1")
+            .unwrap();
+        router
+            .send("worker3", "manager", SeqNum(1), "result-1")
+            .unwrap();
+        router
+            .send("worker3", "manager", SeqNum(2), "result-2")
+            .unwrap();
+        router
+            .send("worker3", "manager", SeqNum(2), "result-2")
+            .unwrap();
 
         assert_eq!(receiver.recv_deduplicated().unwrap().payload, "result-1");
         assert_eq!(receiver.recv_deduplicated().unwrap().payload, "result-2");
@@ -361,7 +381,10 @@ mod tests {
         assert_eq!(regenerated.recv().unwrap().payload, 2);
         // The original mailbox no longer receives anything: its sender was
         // replaced by the rebind, so it reports either empty or shutdown.
-        assert!(matches!(original.try_recv(), Ok(None) | Err(ScpError::Shutdown)));
+        assert!(matches!(
+            original.try_recv(),
+            Ok(None) | Err(ScpError::Shutdown)
+        ));
         assert_eq!(regenerated.next_seq(), SeqNum(10));
     }
 
@@ -372,10 +395,13 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 runtime
-                    .spawn(format!("worker{i}"), move |mut ctx: ThreadContext<usize>| {
-                        let env = ctx.recv().unwrap();
-                        ctx.send("manager", env.payload * env.payload).unwrap();
-                    })
+                    .spawn(
+                        format!("worker{i}"),
+                        move |mut ctx: ThreadContext<usize>| {
+                            let env = ctx.recv().unwrap();
+                            ctx.send("manager", env.payload * env.payload).unwrap();
+                        },
+                    )
                     .unwrap()
             })
             .collect();
