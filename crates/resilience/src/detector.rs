@@ -28,7 +28,10 @@ impl DetectorConfig {
     /// A configuration matching the prototype described in the paper:
     /// heartbeats every 250 ms, declared failed after four misses (1 s).
     pub fn default_lan() -> Self {
-        Self { heartbeat_period_ms: 250, miss_threshold: 4 }
+        Self {
+            heartbeat_period_ms: 250,
+            miss_threshold: 4,
+        }
     }
 
     /// Time after the last heartbeat at which a member is declared failed.
@@ -163,7 +166,10 @@ mod tests {
 
     #[test]
     fn silent_member_becomes_suspect_then_failed() {
-        let config = DetectorConfig { heartbeat_period_ms: 100, miss_threshold: 4 };
+        let config = DetectorConfig {
+            heartbeat_period_ms: 100,
+            miss_threshold: 4,
+        };
         let mut d = FailureDetector::new(config);
         d.watch(member(1), 0);
         assert_eq!(d.health(&member(1), 150), MemberHealth::Healthy);
@@ -174,20 +180,29 @@ mod tests {
 
     #[test]
     fn sweep_reports_each_failure_once() {
-        let mut d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 100, miss_threshold: 2 });
+        let mut d = FailureDetector::new(DetectorConfig {
+            heartbeat_period_ms: 100,
+            miss_threshold: 2,
+        });
         d.watch(member(0), 0);
         d.watch(member(1), 0);
         d.heartbeat(&member(1), 150); // member 1 stays alive longer
         let first = d.sweep(250);
         assert_eq!(first, vec![member(0)]);
-        assert!(d.sweep(260).is_empty(), "already-declared failure must not repeat");
+        assert!(
+            d.sweep(260).is_empty(),
+            "already-declared failure must not repeat"
+        );
         let second = d.sweep(400);
         assert_eq!(second, vec![member(1)]);
     }
 
     #[test]
     fn late_heartbeat_clears_a_false_positive() {
-        let mut d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 100, miss_threshold: 2 });
+        let mut d = FailureDetector::new(DetectorConfig {
+            heartbeat_period_ms: 100,
+            miss_threshold: 2,
+        });
         d.watch(member(0), 0);
         assert_eq!(d.sweep(250), vec![member(0)]);
         // The member was only partitioned; its heartbeat resumes.
@@ -210,7 +225,10 @@ mod tests {
 
     #[test]
     fn detection_latency_formula() {
-        let d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: 250, miss_threshold: 4 });
+        let d = FailureDetector::new(DetectorConfig {
+            heartbeat_period_ms: 250,
+            miss_threshold: 4,
+        });
         assert_eq!(d.config().failure_timeout_ms(), 1000);
         assert_eq!(d.worst_case_detection_ms(100), 1100);
     }

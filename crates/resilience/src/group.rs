@@ -30,7 +30,10 @@ pub struct MemberId {
 impl MemberId {
     /// Creates a member id.
     pub fn new(group: impl Into<String>, incarnation: usize) -> Self {
-        Self { group: group.into(), incarnation }
+        Self {
+            group: group.into(),
+            incarnation,
+        }
     }
 
     /// The routing name of this member (`group#incarnation`).
@@ -41,7 +44,10 @@ impl MemberId {
     /// Parses a routing name back into a member id.
     pub fn parse(routing_name: &str) -> Option<MemberId> {
         let (group, inc) = routing_name.rsplit_once('#')?;
-        Some(MemberId { group: group.to_string(), incarnation: inc.parse().ok()? })
+        Some(MemberId {
+            group: group.to_string(),
+            incarnation: inc.parse().ok()?,
+        })
     }
 }
 
@@ -80,7 +86,13 @@ impl ReplicaGroup {
         }
         let members = (0..level).map(|i| MemberId::new(name.clone(), i)).collect();
         let placements = (0..level).map(|i| nodes[i % nodes.len()]).collect();
-        Ok(Self { name, level, members, placements, next_incarnation: level })
+        Ok(Self {
+            name,
+            level,
+            members,
+            placements,
+            next_incarnation: level,
+        })
     }
 
     /// Whether the group still has at least one live member.
@@ -191,7 +203,12 @@ pub struct GroupSender<M> {
 impl<M: Clone> GroupSender<M> {
     /// Creates a group sender for messages originating from `from`.
     pub fn new(router: Router<M>, membership: MembershipTable, from: impl Into<String>) -> Self {
-        Self { router, membership, from: from.into(), next_seq: SeqNum::FIRST }
+        Self {
+            router,
+            membership,
+            from: from.into(),
+            next_seq: SeqNum::FIRST,
+        }
     }
 
     /// The sequence number the next group send will carry.
@@ -283,7 +300,10 @@ mod tests {
         let table = MembershipTable::new();
         table.insert(ReplicaGroup::new("w0", 2, &[0, 1]).unwrap());
         table.insert(ReplicaGroup::new("w1", 2, &[2, 3]).unwrap());
-        assert_eq!(table.group_names(), vec!["w0".to_string(), "w1".to_string()]);
+        assert_eq!(
+            table.group_names(),
+            vec!["w0".to_string(), "w1".to_string()]
+        );
         assert_eq!(table.all_members().len(), 4);
         assert!(table.get("w2").is_err());
 

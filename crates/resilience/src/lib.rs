@@ -68,7 +68,10 @@ impl std::fmt::Display for ResilienceError {
             ResilienceError::UnknownGroup(g) => write!(f, "unknown replica group '{g}'"),
             ResilienceError::UnknownMember(m) => write!(f, "unknown group member '{m}'"),
             ResilienceError::GroupExhausted(g) => {
-                write!(f, "replica group '{g}' has no live members and cannot be regenerated")
+                write!(
+                    f,
+                    "replica group '{g}' has no live members and cannot be regenerated"
+                )
             }
             ResilienceError::Scp(e) => write!(f, "message-passing error: {e}"),
             ResilienceError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),

@@ -26,13 +26,19 @@ pub struct ReplicationPolicy {
 impl ReplicationPolicy {
     /// No resiliency: every thread is a singleton.
     pub fn none() -> Self {
-        Self { worker_level: 1, manager_level: 1 }
+        Self {
+            worker_level: 1,
+            manager_level: 1,
+        }
     }
 
     /// The paper's evaluated configuration: workers replicated to `level`,
     /// manager not replicated.
     pub fn workers_at(level: usize) -> Self {
-        Self { worker_level: level.max(1), manager_level: 1 }
+        Self {
+            worker_level: level.max(1),
+            manager_level: 1,
+        }
     }
 
     /// The Figure 4 configuration (level 2).
@@ -58,10 +64,11 @@ impl Default for ReplicationPolicy {
 }
 
 /// Where to place group members and regenerated replacements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PlacementPolicy {
     /// Members of a group are spread round-robin over the node list, skipping
     /// nodes that already host a member of the same group when possible.
+    #[default]
     SpreadAcrossNodes,
     /// Members are packed onto the lowest-numbered live nodes (useful for
     /// studying worst-case contention).
@@ -98,12 +105,6 @@ impl PlacementPolicy {
                 }
             }
         }
-    }
-}
-
-impl Default for PlacementPolicy {
-    fn default() -> Self {
-        PlacementPolicy::SpreadAcrossNodes
     }
 }
 

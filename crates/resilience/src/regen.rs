@@ -46,8 +46,17 @@ pub struct Regenerator {
 
 impl Regenerator {
     /// Creates a regenerator over the given membership table.
-    pub fn new(membership: MembershipTable, placement: PlacementPolicy, live_nodes: Vec<usize>) -> Self {
-        Self { membership, placement, live_nodes, history: Vec::new() }
+    pub fn new(
+        membership: MembershipTable,
+        placement: PlacementPolicy,
+        live_nodes: Vec<usize>,
+    ) -> Self {
+        Self {
+            membership,
+            placement,
+            live_nodes,
+            history: Vec::new(),
+        }
     }
 
     /// Marks a node as unusable (it was attacked or failed); members cannot
@@ -94,7 +103,9 @@ impl Regenerator {
     {
         let group_name = member.group.clone();
         // Step 2: remove the failed member.
-        let removed = self.membership.update(&group_name, |g| g.remove_member(member))?;
+        let removed = self
+            .membership
+            .update(&group_name, |g| g.remove_member(member))?;
         if !removed {
             return Ok(None);
         }
@@ -102,16 +113,27 @@ impl Regenerator {
         let snapshot = self.membership.get(&group_name)?;
         let node = self
             .placement
-            .choose(&self.live_nodes, &snapshot.occupied_nodes(), snapshot.next_incarnation)
+            .choose(
+                &self.live_nodes,
+                &snapshot.occupied_nodes(),
+                snapshot.next_incarnation,
+            )
             .ok_or_else(|| ResilienceError::GroupExhausted(group_name.clone()))?;
         // Step 4/5: reserve the membership slot, then spawn.
-        let replacement = self.membership.update(&group_name, |g| g.add_member(node))?;
+        let replacement = self
+            .membership
+            .update(&group_name, |g| g.add_member(node))?;
         if let Err(e) = factory(&replacement, node) {
             // Roll back so the group does not list a member that never started.
-            self.membership.update(&group_name, |g| g.remove_member(&replacement))?;
+            self.membership
+                .update(&group_name, |g| g.remove_member(&replacement))?;
             return Err(e);
         }
-        let event = RegenerationEvent { failed: member.clone(), replacement, node };
+        let event = RegenerationEvent {
+            failed: member.clone(),
+            replacement,
+            node,
+        };
         self.history.push(event.clone());
         Ok(Some(event))
     }
@@ -126,7 +148,11 @@ mod tests {
         let table = MembershipTable::new();
         table.insert(ReplicaGroup::new("w0", 2, &[0, 1]).unwrap());
         table.insert(ReplicaGroup::new("w1", 2, &[2, 3]).unwrap());
-        let regen = Regenerator::new(table.clone(), PlacementPolicy::SpreadAcrossNodes, vec![0, 1, 2, 3, 4, 5]);
+        let regen = Regenerator::new(
+            table.clone(),
+            PlacementPolicy::SpreadAcrossNodes,
+            vec![0, 1, 2, 3, 4, 5],
+        );
         (table, regen)
     }
 
@@ -159,7 +185,9 @@ mod tests {
         let (_, mut regen) = setup();
         let failed = MemberId::new("w0", 1);
         regen.handle_failure(&failed, |_, _| Ok(())).unwrap();
-        let second = regen.handle_failure(&failed, |_, _| panic!("must not spawn twice")).unwrap();
+        let second = regen
+            .handle_failure(&failed, |_, _| panic!("must not spawn twice"))
+            .unwrap();
         assert!(second.is_none());
     }
 
