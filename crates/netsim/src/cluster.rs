@@ -204,7 +204,9 @@ impl<M> ClusterSim<M> {
     /// Creates a simulator from a configuration.
     pub fn new(config: SimConfig) -> Result<Self> {
         if config.nodes.is_empty() {
-            return Err(SimError::InvalidConfig("cluster needs at least one node".into()));
+            return Err(SimError::InvalidConfig(
+                "cluster needs at least one node".into(),
+            ));
         }
         let metrics = SimMetrics::new(config.nodes.len());
         Ok(Self {
@@ -230,7 +232,10 @@ impl<M> ClusterSim<M> {
     /// Registers an actor on a node and returns its id.
     pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> Result<ActorId> {
         if node.0 >= self.nodes.len() {
-            return Err(SimError::UnknownEntity { kind: "node", id: node.0 });
+            return Err(SimError::UnknownEntity {
+                kind: "node",
+                id: node.0,
+            });
         }
         let id = ActorId(self.actors.len());
         self.actors.push(Some(actor));
@@ -240,7 +245,11 @@ impl<M> ClusterSim<M> {
 
     fn push_event(&mut self, time: SimTime, event: Event<M>) {
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, event }));
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            seq: self.seq,
+            event,
+        }));
     }
 
     fn node_alive_flags(&self) -> Vec<bool> {
@@ -252,7 +261,9 @@ impl<M> ClusterSim<M> {
     where
         F: FnOnce(&mut dyn Actor<M>, &mut ActorContext<'_, M>),
     {
-        let Some(slot) = self.actors.get_mut(actor_id.0) else { return };
+        let Some(slot) = self.actors.get_mut(actor_id.0) else {
+            return;
+        };
         let Some(mut actor) = slot.take() else { return };
         let node = self.actor_nodes[actor_id.0];
         let alive_flags = self.node_alive_flags();
@@ -336,7 +347,9 @@ impl<M> ClusterSim<M> {
 
         let mut processed = 0u64;
         while !self.halted {
-            let Some(Reverse(next)) = self.queue.pop() else { break };
+            let Some(Reverse(next)) = self.queue.pop() else {
+                break;
+            };
             processed += 1;
             if processed > self.max_events {
                 return Err(SimError::EventBudgetExhausted { processed });
@@ -423,13 +436,23 @@ mod tests {
         let a = sim
             .add_actor(
                 NodeId(0),
-                Box::new(PingPong { peer: None, remaining: rounds, initiator: false, finished_at: finished.clone() }),
+                Box::new(PingPong {
+                    peer: None,
+                    remaining: rounds,
+                    initiator: false,
+                    finished_at: finished.clone(),
+                }),
             )
             .unwrap();
         let _b = sim
             .add_actor(
                 NodeId(1),
-                Box::new(PingPong { peer: Some(a), remaining: rounds, initiator: true, finished_at: finished.clone() }),
+                Box::new(PingPong {
+                    peer: Some(a),
+                    remaining: rounds,
+                    initiator: true,
+                    finished_at: finished.clone(),
+                }),
             )
             .unwrap();
         let outcome = sim.run().unwrap();
@@ -485,8 +508,22 @@ mod tests {
         let mut sim: ClusterSim<()> = ClusterSim::new(config).unwrap();
         let d1 = std::rc::Rc::new(std::cell::Cell::new(0.0));
         let d2 = std::rc::Rc::new(std::cell::Cell::new(0.0));
-        sim.add_actor(NodeId(0), Box::new(Computer { work_secs: 2.0, done_at: d1.clone() })).unwrap();
-        sim.add_actor(NodeId(0), Box::new(Computer { work_secs: 3.0, done_at: d2.clone() })).unwrap();
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Computer {
+                work_secs: 2.0,
+                done_at: d1.clone(),
+            }),
+        )
+        .unwrap();
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Computer {
+                work_secs: 3.0,
+                done_at: d2.clone(),
+            }),
+        )
+        .unwrap();
         sim.run().unwrap();
         // Same CPU: second actor finishes only after both blocks ran.
         assert!((d1.get() - 2.0).abs() < 1e-9);
@@ -499,8 +536,22 @@ mod tests {
         let mut sim: ClusterSim<()> = ClusterSim::new(config).unwrap();
         let d1 = std::rc::Rc::new(std::cell::Cell::new(0.0));
         let d2 = std::rc::Rc::new(std::cell::Cell::new(0.0));
-        sim.add_actor(NodeId(0), Box::new(Computer { work_secs: 2.0, done_at: d1.clone() })).unwrap();
-        sim.add_actor(NodeId(1), Box::new(Computer { work_secs: 3.0, done_at: d2.clone() })).unwrap();
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Computer {
+                work_secs: 2.0,
+                done_at: d1.clone(),
+            }),
+        )
+        .unwrap();
+        sim.add_actor(
+            NodeId(1),
+            Box::new(Computer {
+                work_secs: 3.0,
+                done_at: d2.clone(),
+            }),
+        )
+        .unwrap();
         let outcome = sim.run().unwrap();
         assert!((d1.get() - 2.0).abs() < 1e-9);
         assert!((d2.get() - 3.0).abs() < 1e-9);
@@ -534,7 +585,8 @@ mod tests {
         let mut sim: ClusterSim<u8> = ClusterSim::new(config).unwrap();
         // Register the sink first so the talker knows its id.
         let sink = sim.add_actor(NodeId(1), Box::new(Sink)).unwrap();
-        sim.add_actor(NodeId(0), Box::new(Talker { peer: sink })).unwrap();
+        sim.add_actor(NodeId(0), Box::new(Talker { peer: sink }))
+            .unwrap();
         let outcome = sim.run().unwrap();
         assert_eq!(outcome.metrics.node_failures, 1);
         assert_eq!(outcome.metrics.messages_dropped, 1);
@@ -578,6 +630,9 @@ mod tests {
         config.max_events = 1000;
         let mut sim: ClusterSim<u8> = ClusterSim::new(config).unwrap();
         sim.add_actor(NodeId(0), Box::new(Flood)).unwrap();
-        assert!(matches!(sim.run(), Err(SimError::EventBudgetExhausted { .. })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventBudgetExhausted { .. })
+        ));
     }
 }

@@ -141,8 +141,7 @@ impl CostModel {
     /// component per pixel, plus the centring subtraction).
     pub fn transform_work(&self, pixels: usize, bands: usize) -> Duration {
         self.work(
-            pixels as f64
-                * (self.output_components as f64 * 2.0 * bands as f64 + bands as f64),
+            pixels as f64 * (self.output_components as f64 * 2.0 * bands as f64 + bands as f64),
         )
     }
 
@@ -234,7 +233,10 @@ mod tests {
     fn negative_or_zero_flops_cost_nothing() {
         let m = CostModel::paper();
         assert_eq!(m.work(-5.0), Duration::ZERO);
-        let broken = CostModel { flops: 0.0, ..CostModel::paper() };
+        let broken = CostModel {
+            flops: 0.0,
+            ..CostModel::paper()
+        };
         assert_eq!(broken.work(1e9), Duration::ZERO);
     }
 
@@ -243,7 +245,9 @@ mod tests {
         // Figure 4 shows the single-processor run of the 320x320x105 cube
         // taking on the order of hundreds of seconds (log-scale axis up to
         // 1000+).  The calibrated model must land in that range.
-        let t = CostModel::paper().sequential_total(PIXELS, BANDS).as_secs_f64();
+        let t = CostModel::paper()
+            .sequential_total(PIXELS, BANDS)
+            .as_secs_f64();
         assert!(t > 100.0, "sequential time {t} unrealistically small");
         assert!(t < 2000.0, "sequential time {t} unrealistically large");
     }

@@ -28,7 +28,9 @@ impl FaultPlan {
 
     /// Kills a single node at the given time.
     pub fn kill_at(node: NodeId, time: SimTime) -> Self {
-        Self { failures: vec![(time, node)] }
+        Self {
+            failures: vec![(time, node)],
+        }
     }
 
     /// Adds a failure to the plan (builder style).
@@ -65,7 +67,10 @@ impl FaultPlan {
             .iter()
             .enumerate()
             .map(|(i, &node)| {
-                (SimTime::from_nanos(start.as_nanos() + step * i as u64), node)
+                (
+                    SimTime::from_nanos(start.as_nanos() + step * i as u64),
+                    node,
+                )
             })
             .collect();
         Self { failures }

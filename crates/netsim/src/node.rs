@@ -138,8 +138,14 @@ mod tests {
         let mut fast = NodeState::new(NodeSpec { speed: 2.0 });
         let mut slow = NodeState::new(NodeSpec { speed: 0.5 });
         let work = Duration::from_secs(4);
-        assert_eq!(fast.reserve_cpu(SimTime::ZERO, work), SimTime::from_secs_f64(2.0));
-        assert_eq!(slow.reserve_cpu(SimTime::ZERO, work), SimTime::from_secs_f64(8.0));
+        assert_eq!(
+            fast.reserve_cpu(SimTime::ZERO, work),
+            SimTime::from_secs_f64(2.0)
+        );
+        assert_eq!(
+            slow.reserve_cpu(SimTime::ZERO, work),
+            SimTime::from_secs_f64(8.0)
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Sub};
 
 /// A span of virtual time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl Duration {
@@ -88,7 +90,9 @@ impl Sub for Duration {
 
 /// An absolute point on the virtual clock, in nanoseconds since simulation
 /// start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -190,12 +194,20 @@ mod tests {
 
     #[test]
     fn simtime_ordering_is_total() {
-        let times = [SimTime::from_nanos(5), SimTime::ZERO, SimTime::from_nanos(3)];
+        let times = [
+            SimTime::from_nanos(5),
+            SimTime::ZERO,
+            SimTime::from_nanos(3),
+        ];
         let mut sorted = times;
         sorted.sort();
         assert_eq!(
             sorted,
-            [SimTime::ZERO, SimTime::from_nanos(3), SimTime::from_nanos(5)]
+            [
+                SimTime::ZERO,
+                SimTime::from_nanos(3),
+                SimTime::from_nanos(5)
+            ]
         );
     }
 }
