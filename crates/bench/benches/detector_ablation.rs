@@ -30,7 +30,10 @@ fn bench_detector_sweep(c: &mut Criterion) {
 fn print_detection_latencies(_c: &mut Criterion) {
     println!("Worst-case detection latency (sweep every 100 ms):");
     for (period, misses) in [(100u64, 2u32), (250, 4), (500, 4), (1000, 3)] {
-        let d = FailureDetector::new(DetectorConfig { heartbeat_period_ms: period, miss_threshold: misses });
+        let d = FailureDetector::new(DetectorConfig {
+            heartbeat_period_ms: period,
+            miss_threshold: misses,
+        });
         println!(
             "  period {period:>5} ms, {misses} misses -> {:>6} ms",
             d.worst_case_detection_ms(100)
@@ -38,5 +41,9 @@ fn print_detection_latencies(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(detector_ablation, bench_detector_sweep, print_detection_latencies);
+criterion_group!(
+    detector_ablation,
+    bench_detector_sweep,
+    print_detection_latencies
+);
 criterion_main!(detector_ablation);

@@ -12,10 +12,16 @@ fn bench_figure4(c: &mut Criterion) {
     group.sample_size(10);
     for &procs in &[1usize, 4, 16] {
         for &resilient in &[false, true] {
-            let label = format!("P{}_{}", procs, if resilient { "resilient" } else { "plain" });
-            group.bench_with_input(BenchmarkId::from_parameter(label), &(procs, resilient), |b, &(p, r)| {
-                b.iter(|| simulate_fusion(&SimParams::figure4(p, r)).unwrap())
-            });
+            let label = format!(
+                "P{}_{}",
+                procs,
+                if resilient { "resilient" } else { "plain" }
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(procs, resilient),
+                |b, &(p, r)| b.iter(|| simulate_fusion(&SimParams::figure4(p, r)).unwrap()),
+            );
         }
     }
     group.finish();

@@ -9,9 +9,11 @@ fn bench_figure5(c: &mut Criterion) {
     for &procs in &[2usize, 16] {
         for &mult in &[1usize, 2, 3] {
             let label = format!("P{procs}_x{mult}");
-            group.bench_with_input(BenchmarkId::from_parameter(label), &(procs, mult), |b, &(p, m)| {
-                b.iter(|| simulate_fusion(&SimParams::figure5(p, m)).unwrap())
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(procs, mult),
+                |b, &(p, m)| b.iter(|| simulate_fusion(&SimParams::figure5(p, m)).unwrap()),
+            );
         }
     }
     group.finish();

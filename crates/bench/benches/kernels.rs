@@ -23,9 +23,11 @@ fn bench_screening(c: &mut Criterion) {
     for &size in &[16usize, 32] {
         let cube = scene(size, size, 24);
         let pixels = cube.pixel_vectors();
-        group.bench_with_input(BenchmarkId::from_parameter(size * size), &pixels, |b, px| {
-            b.iter(|| screen_pixels(px, PctConfig::paper().screening_angle_rad))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size * size),
+            &pixels,
+            |b, px| b.iter(|| screen_pixels(px, PctConfig::paper().screening_angle_rad)),
+        );
     }
     group.finish();
 }
@@ -60,14 +62,19 @@ fn bench_transform_and_colormap(c: &mut Criterion) {
     let mut group = c.benchmark_group("steps7_8_transform_colormap");
     group.sample_size(10);
     let cube = scene(32, 32, 24);
-    let unique = screen_pixels(&cube.pixel_vectors(), PctConfig::paper().screening_angle_rad);
+    let unique = screen_pixels(
+        &cube.pixel_vectors(),
+        PctConfig::paper().screening_angle_rad,
+    );
     let spec = derive_transform(&unique, &PctConfig::paper()).unwrap();
     group.bench_function("transform_32x32x24", |b| {
         b.iter(|| transform_cube(&spec, &cube).unwrap())
     });
     let transformed = transform_cube(&spec, &cube).unwrap();
     let scales = ComponentScale::from_eigenvalues(&spec.eigenvalues, 3);
-    group.bench_function("colormap_32x32", |b| b.iter(|| map_cube(&transformed, &scales)));
+    group.bench_function("colormap_32x32", |b| {
+        b.iter(|| map_cube(&transformed, &scales))
+    });
     group.finish();
 }
 

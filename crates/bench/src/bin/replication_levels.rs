@@ -6,7 +6,10 @@ use resilience::OverheadModel;
 
 fn main() {
     println!("Replication-level ablation, 320x320x105 cube, 8 processors\n");
-    println!("{:>8} {:>12} {:>10} {:>16}", "level", "time (s)", "ratio", "predicted ratio");
+    println!(
+        "{:>8} {:>12} {:>10} {:>16}",
+        "level", "time (s)", "ratio", "predicted ratio"
+    );
 
     let mut baseline = None;
     for level in 1..=4usize {

@@ -17,14 +17,22 @@ fn main() {
     config.dims = hsi::CubeDims::new(160, 160, 48);
     let cube = SceneGenerator::new(config).expect("valid scene").generate();
 
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let thread_counts: Vec<usize> = [1usize, 2, 4, 8, 16]
         .into_iter()
         .filter(|&t| t <= max_threads)
         .collect();
 
-    println!("Shared-memory PCT speed-up ({}x{}x{} cube, this machine)\n", 160, 160, 48);
-    println!("{:>10} {:>12} {:>10} {:>12}", "threads", "time (s)", "speedup", "% of linear");
+    println!(
+        "Shared-memory PCT speed-up ({}x{}x{} cube, this machine)\n",
+        160, 160, 48
+    );
+    println!(
+        "{:>10} {:>12} {:>10} {:>12}",
+        "threads", "time (s)", "speedup", "% of linear"
+    );
 
     let mut reference = None;
     for &threads in &thread_counts {

@@ -90,7 +90,11 @@ pub fn figure5_cells() -> Vec<Figure5Cell> {
     for &p in &FIGURE5_PROCESSORS {
         for &m in &FIGURE5_MULTIPLIERS {
             let report = simulate_fusion(&SimParams::figure5(p, m)).expect("simulation runs");
-            cells.push(Figure5Cell { processors: p, multiplier: m, report });
+            cells.push(Figure5Cell {
+                processors: p,
+                multiplier: m,
+                report,
+            });
         }
     }
     cells
@@ -115,14 +119,21 @@ mod tests {
         let rows = figure4_rows();
         for row in rows.iter().filter(|r| r.processors >= 2) {
             let ratio = row.overhead_ratio();
-            assert!((1.8..=2.6).contains(&ratio), "ratio {ratio} at P={}", row.processors);
+            assert!(
+                (1.8..=2.6).contains(&ratio),
+                "ratio {ratio} at P={}",
+                row.processors
+            );
         }
     }
 
     #[test]
     fn figure5_cells_cover_the_matrix() {
         let cells = figure5_cells();
-        assert_eq!(cells.len(), FIGURE5_PROCESSORS.len() * FIGURE5_MULTIPLIERS.len());
+        assert_eq!(
+            cells.len(),
+            FIGURE5_PROCESSORS.len() * FIGURE5_MULTIPLIERS.len()
+        );
         // Over-decomposition (x2) never loses to x1 at the same P.
         for &p in &FIGURE5_PROCESSORS {
             let t = |m: usize| {
