@@ -6,9 +6,7 @@
 //! Run with: `cargo run --example attack_drill --release`
 
 use resilience::group::ReplicaGroup;
-use resilience::{
-    DetectorConfig, FailureDetector, MembershipTable, PlacementPolicy, Regenerator,
-};
+use resilience::{DetectorConfig, FailureDetector, MembershipTable, PlacementPolicy, Regenerator};
 
 fn main() {
     // Four logical workers replicated to level 2 across eight nodes.
@@ -21,7 +19,11 @@ fn main() {
     for member in membership.all_members() {
         detector.watch(member, 0);
     }
-    let mut regenerator = Regenerator::new(membership.clone(), PlacementPolicy::SpreadAcrossNodes, nodes);
+    let mut regenerator = Regenerator::new(
+        membership.clone(),
+        PlacementPolicy::SpreadAcrossNodes,
+        nodes,
+    );
 
     // Attack wave: one member goes silent every 2 simulated seconds.
     let victims: Vec<_> = membership.all_members().into_iter().step_by(2).collect();
@@ -55,7 +57,15 @@ fn main() {
     for name in membership.group_names() {
         let group = membership.get(&name).expect("group exists");
         let members: Vec<String> = group.members.iter().map(|m| m.to_string()).collect();
-        println!("  {name}: {} members ({}), degraded: {}", members.len(), members.join(", "), group.is_degraded());
+        println!(
+            "  {name}: {} members ({}), degraded: {}",
+            members.len(),
+            members.join(", "),
+            group.is_degraded()
+        );
     }
-    println!("\nEvery group is back at its target level: {} regenerations performed.", regenerator.history().len());
+    println!(
+        "\nEvery group is back at its target level: {} regenerations performed.",
+        regenerator.history().len()
+    );
 }

@@ -30,10 +30,16 @@ fn main() {
     let swir_path = out_dir.join("band_1998nm.pgm");
     io::write_band_pgm(&cube, band_visible, &visible_path).expect("write 400nm frame");
     io::write_band_pgm(&cube, band_swir, &swir_path).expect("write 1998nm frame");
-    println!("figure 2 frames: {} and {}", visible_path.display(), swir_path.display());
+    println!(
+        "figure 2 frames: {} and {}",
+        visible_path.display(),
+        swir_path.display()
+    );
 
     // Figure 3: the fused colour composite (sequential reference).
-    let sequential = SequentialPct::new(PctConfig::paper()).run(&cube).expect("sequential fusion");
+    let sequential = SequentialPct::new(PctConfig::paper())
+        .run(&cube)
+        .expect("sequential fusion");
     let fused_path = out_dir.join("fused.ppm");
     io::write_ppm(&sequential.image, &fused_path).expect("write fused composite");
     println!(

@@ -7,11 +7,15 @@ use pct::distributed_sim::{simulate_fusion, SimParams};
 
 fn main() {
     println!("Simulated fusion time (seconds) on the 320x320x105 cube\n");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "procs", "x1", "x2", "x3", "x10");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "procs", "x1", "x2", "x3", "x10"
+    );
     for procs in [2usize, 4, 8, 16] {
         let mut row = format!("{procs:>8}");
         for mult in [1usize, 2, 3, 10] {
-            let report = simulate_fusion(&SimParams::figure5(procs, mult)).expect("simulation runs");
+            let report =
+                simulate_fusion(&SimParams::figure5(procs, mult)).expect("simulation runs");
             row.push_str(&format!(" {:>12.1}", report.elapsed_secs));
         }
         println!("{row}");

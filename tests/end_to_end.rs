@@ -18,8 +18,12 @@ fn all_implementations_agree_on_the_fused_image() {
     let cube = test_scene(1);
     let sequential = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
     let shared = SharedMemoryPct::new(PctConfig::paper()).run(&cube).unwrap();
-    let distributed = DistributedPct::new(PctConfig::paper(), 3).run(&cube).unwrap();
-    let resilient = ResilientPct::new(PctConfig::paper(), 3, 2).run(&cube).unwrap();
+    let distributed = DistributedPct::new(PctConfig::paper(), 3)
+        .run(&cube)
+        .unwrap();
+    let resilient = ResilientPct::new(PctConfig::paper(), 3, 2)
+        .run(&cube)
+        .unwrap();
 
     for (name, other) in [
         ("shared-memory", &shared),
@@ -29,7 +33,10 @@ fn all_implementations_agree_on_the_fused_image() {
         assert_eq!(other.pixels, sequential.pixels);
         let diff = sequential.image.mean_abs_diff(&other.image).unwrap();
         assert!(diff < 10.0, "{name} image diverges from sequential: {diff}");
-        assert!(other.variance_fraction(3) > 0.9, "{name} lost variance compaction");
+        assert!(
+            other.variance_fraction(3) > 0.9,
+            "{name} lost variance compaction"
+        );
     }
     // Distributed and resilient share the exact same decomposition and
     // deterministic merge order, so they agree bit-for-bit.
@@ -49,8 +56,7 @@ fn fused_composite_improves_contrast_over_single_bands() {
         let plane = cube.band_plane(band).unwrap();
         let gray = io::plane_to_gray(&plane);
         let mean = gray.iter().map(|&g| g as f64).sum::<f64>() / gray.len() as f64;
-        let var =
-            gray.iter().map(|&g| (g as f64 - mean).powi(2)).sum::<f64>() / gray.len() as f64;
+        let var = gray.iter().map(|&g| (g as f64 - mean).powi(2)).sum::<f64>() / gray.len() as f64;
         best_band_contrast = best_band_contrast.max(var.sqrt());
     }
     // The opponent colour mapping spreads the dynamic range over three
@@ -72,7 +78,9 @@ fn resilient_run_under_attack_matches_undisturbed_run() {
     // the regeneration-specific assertions live in the pct unit tests.
     let cube = test_scene(3);
 
-    let reference = DistributedPct::new(PctConfig::paper(), 2).run(&cube).unwrap();
+    let reference = DistributedPct::new(PctConfig::paper(), 2)
+        .run(&cube)
+        .unwrap();
     let (attacked, report) = ResilientPct::new(PctConfig::paper(), 2, 2)
         .run_with_attack(&cube, AttackPlan::kill_first_worker_member())
         .unwrap();
@@ -86,9 +94,15 @@ fn resilient_run_under_attack_matches_undisturbed_run() {
 fn figure4_shape_holds_end_to_end() {
     // Speed-up grows with processors and resiliency costs roughly the
     // replication factor — the two headline claims of the evaluation.
-    let t1 = simulate_fusion(&SimParams::figure4(1, false)).unwrap().elapsed_secs;
-    let t8 = simulate_fusion(&SimParams::figure4(8, false)).unwrap().elapsed_secs;
-    let t8_res = simulate_fusion(&SimParams::figure4(8, true)).unwrap().elapsed_secs;
+    let t1 = simulate_fusion(&SimParams::figure4(1, false))
+        .unwrap()
+        .elapsed_secs;
+    let t8 = simulate_fusion(&SimParams::figure4(8, false))
+        .unwrap()
+        .elapsed_secs;
+    let t8_res = simulate_fusion(&SimParams::figure4(8, true))
+        .unwrap()
+        .elapsed_secs;
     assert!(t1 / t8 > 6.0, "8-processor speed-up only {}", t1 / t8);
     let ratio = t8_res / t8;
     assert!((1.8..=2.6).contains(&ratio), "resiliency ratio {ratio}");
@@ -97,8 +111,12 @@ fn figure4_shape_holds_end_to_end() {
 #[test]
 fn figure5_shape_holds_end_to_end() {
     for procs in [4usize, 8] {
-        let x1 = simulate_fusion(&SimParams::figure5(procs, 1)).unwrap().elapsed_secs;
-        let x2 = simulate_fusion(&SimParams::figure5(procs, 2)).unwrap().elapsed_secs;
+        let x1 = simulate_fusion(&SimParams::figure5(procs, 1))
+            .unwrap()
+            .elapsed_secs;
+        let x2 = simulate_fusion(&SimParams::figure5(procs, 2))
+            .unwrap()
+            .elapsed_secs;
         assert!(
             x2 <= x1 * 1.001,
             "over-decomposition did not help at {procs} processors: x1={x1}, x2={x2}"
@@ -117,7 +135,9 @@ fn cube_files_round_trip_through_disk() {
     let reloaded = io::read_cube(&cube_path).unwrap();
     assert_eq!(cube, reloaded);
 
-    let fused = SequentialPct::new(PctConfig::paper()).run(&reloaded).unwrap();
+    let fused = SequentialPct::new(PctConfig::paper())
+        .run(&reloaded)
+        .unwrap();
     io::write_ppm(&fused.image, &ppm_path).unwrap();
     let reread = io::read_ppm(&ppm_path).unwrap();
     assert_eq!(fused.image, reread);
