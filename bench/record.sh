@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Appends the stable benchmark numbers of this checkout to
+# bench/BENCH_history.csv so performance trends are visible per PR.
+#
+# Recorded metrics:
+#   * fig4_p16_plain_secs / fig4_p16_resilient_secs — simulated seconds of
+#     the Figure 4 reproduction at 16 processors (deterministic discrete-event
+#     simulation: stable across machines).
+#   * fig5_p16_x2_secs — simulated seconds of the Figure 5 cell at 16
+#     processors with 2 sub-cubes per worker (also deterministic).
+#   * service_* — the fusiond throughput benchmark: job/task/unique counters
+#     are deterministic; jobs_per_sec is wall-clock and trend-only.
+#
+# Usage: bash bench/record.sh   (from anywhere; non-gating in CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+CSV=bench/BENCH_history.csv
+
+if [ ! -f "$CSV" ]; then
+    echo "recorded_at,rev,metric,value" > "$CSV"
+fi
+
+cargo build --release -p bench --bins >/dev/null 2>&1
+
+FIG4=$(cargo run --release -q -p bench --bin fig4_speedup 2>/dev/null)
+PLAIN16=$(echo "$FIG4" | awk '$1=="16" && NF>=6 {print $2; exit}')
+RESIL16=$(echo "$FIG4" | awk '$1=="16" && NF>=6 {print $3; exit}')
+
+FIG5=$(cargo run --release -q -p bench --bin fig5_granularity 2>/dev/null)
+G16X2=$(echo "$FIG5" | awk '$1=="16" && $2!="sub-cubes:" {print $3; exit}')
+
+SVC=$(cargo run --release -q -p bench --bin service_throughput 2>/dev/null)
+
+{
+    echo "$STAMP,$REV,fig4_p16_plain_secs,$PLAIN16"
+    echo "$STAMP,$REV,fig4_p16_resilient_secs,$RESIL16"
+    echo "$STAMP,$REV,fig5_p16_x2_secs,$G16X2"
+    echo "$SVC" | awk -v s="$STAMP" -v r="$REV" '$1=="CSV" {print s "," r "," $2 "," $3}'
+} >> "$CSV"
+
+echo "recorded $(grep -c "^$STAMP,$REV," "$CSV") metrics for $REV into $CSV:"
+grep "^$STAMP,$REV," "$CSV"

@@ -1,0 +1,73 @@
+//! Service-layer throughput benchmark: drives a fixed mixed workload of 32
+//! fusion jobs through `fusiond` and reports the run.
+//!
+//! The deterministic counters (jobs, tasks, unique-set sizes) are stable
+//! across runs and machines; the throughput figure is wall-clock and
+//! recorded for trend-watching only.  Lines starting with `CSV` are parsed
+//! by `bench/record.sh` into `bench/BENCH_history.csv`.
+
+use hsi::{CubeDims, SceneConfig, SceneGenerator};
+use service::{
+    BackendKind, CubeSource, FusionService, JobSpec, PoolConfig, Priority, ServiceConfig,
+};
+use std::sync::Arc;
+
+const JOBS: u64 = 32;
+
+fn scene(i: u64) -> SceneConfig {
+    let mut config = SceneConfig::small(500 + i);
+    config.dims = CubeDims::new(28, 28, 14);
+    config
+}
+
+fn main() {
+    let service = FusionService::start(ServiceConfig {
+        pool: PoolConfig {
+            standard_workers: 4,
+            replica_groups: 2,
+            replication_level: 2,
+            ..PoolConfig::default()
+        },
+        queue_capacity: JOBS as usize,
+        max_in_flight: 12,
+    })
+    .expect("service starts");
+
+    let mut jobs = Vec::new();
+    for i in 0..JOBS {
+        let cube = Arc::new(
+            SceneGenerator::new(scene(i))
+                .expect("valid scene")
+                .generate(),
+        );
+        let spec = JobSpec::new(CubeSource::InMemory(cube))
+            .with_priority(Priority::ALL[i as usize % 3])
+            .with_backend(if i % 4 == 0 {
+                BackendKind::Resilient
+            } else {
+                BackendKind::Standard
+            })
+            .with_shards(4);
+        jobs.push(service.submit(spec).expect("submission accepted"));
+    }
+
+    let mut unique_sum: usize = 0;
+    for id in jobs {
+        let output = service.wait(id).expect("job completes");
+        unique_sum += output.unique_count;
+    }
+    let report = service.shutdown();
+
+    println!("service throughput benchmark — {JOBS} mixed jobs, 28x28x14 cubes");
+    println!();
+    print!("{}", report.render());
+    println!();
+    // Stable, machine-independent numbers first; wall-clock throughput last.
+    println!("CSV service_jobs_completed {}", report.jobs_completed);
+    println!("CSV service_tasks_dispatched {}", report.tasks_dispatched);
+    println!("CSV service_unique_sum {unique_sum}");
+    println!(
+        "CSV service_jobs_per_sec {:.2}",
+        report.throughput_jobs_per_sec()
+    );
+}

@@ -1,0 +1,113 @@
+//! The [`FusionBackend`] trait: every pipeline implementation as a reusable
+//! engine.
+//!
+//! The original reproduction exposed each implementation as a one-shot
+//! `run` function with its own concrete type.  The service layer (and any
+//! future multi-backend router) needs to treat them uniformly: construct an
+//! engine once, hand it cubes many times, and pick the engine per request.
+//! `FusionBackend` is that common face; it is object safe, so a
+//! `Box<dyn FusionBackend>` can sit in a routing table.
+
+use crate::config::FusionOutput;
+use crate::distributed::DistributedPct;
+use crate::resilient::ResilientPct;
+use crate::sequential::SequentialPct;
+use crate::shared_memory::SharedMemoryPct;
+use crate::Result;
+use hsi::HyperCube;
+
+/// A reusable fusion engine: one of the interchangeable implementations of
+/// the eight-step pipeline, usable many times over many cubes.
+pub trait FusionBackend: Send + Sync {
+    /// A short human-readable name for reports and routing tables.
+    fn label(&self) -> &'static str;
+
+    /// Runs the full pipeline on `cube` and returns the fused output.
+    fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput>;
+}
+
+impl FusionBackend for SequentialPct {
+    fn label(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.run(cube)
+    }
+}
+
+impl FusionBackend for SharedMemoryPct {
+    fn label(&self) -> &'static str {
+        "shared-memory"
+    }
+
+    fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.run(cube)
+    }
+}
+
+impl FusionBackend for DistributedPct {
+    fn label(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.run(cube)
+    }
+}
+
+impl FusionBackend for ResilientPct {
+    fn label(&self) -> &'static str {
+        "resilient"
+    }
+
+    fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.run(cube)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PctConfig;
+    use hsi::{SceneConfig, SceneGenerator};
+
+    #[test]
+    fn backends_are_interchangeable_behind_the_trait() {
+        let cube = SceneGenerator::new(SceneConfig::small(21))
+            .unwrap()
+            .generate();
+        let backends: Vec<Box<dyn FusionBackend>> = vec![
+            Box::new(SequentialPct::new(PctConfig::paper())),
+            Box::new(SharedMemoryPct::new(PctConfig::paper())),
+            Box::new(DistributedPct::new(PctConfig::paper(), 2)),
+            Box::new(ResilientPct::new(PctConfig::paper(), 2, 1)),
+        ];
+        let reference = backends[0].fuse(&cube).unwrap();
+        let mut labels = Vec::new();
+        for backend in &backends {
+            labels.push(backend.label());
+            let out = backend.fuse(&cube).unwrap();
+            assert_eq!(out.pixels, reference.pixels);
+            let diff = reference.image.mean_abs_diff(&out.image).unwrap();
+            assert!(diff < 10.0, "{} diverges: {diff}", backend.label());
+        }
+        assert_eq!(
+            labels,
+            vec!["sequential", "shared-memory", "distributed", "resilient"]
+        );
+    }
+
+    #[test]
+    fn engines_are_reusable_across_cubes() {
+        let backend = SequentialPct::new(PctConfig::paper());
+        for seed in [1u64, 2] {
+            let cube = SceneGenerator::new(SceneConfig::small(seed))
+                .unwrap()
+                .generate();
+            let a = FusionBackend::fuse(&backend, &cube).unwrap();
+            let b = FusionBackend::fuse(&backend, &cube).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

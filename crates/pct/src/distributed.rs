@@ -12,8 +12,8 @@
 use crate::colormap::{map_pixel, ComponentScale};
 use crate::config::{FusionOutput, PctConfig};
 use crate::messages::{PctMessage, TaskId};
-use crate::pipeline::{finalize_transform, TransformSpec};
-use crate::screening::{merge_unique_sets, screen_pixels};
+use crate::pipeline::{derive_transform, finalize_transform, TransformSpec};
+use crate::screening::{merge_unique_sets, screen_pixels, screen_pixels_seeded};
 use crate::{PctError, Result};
 use hsi::partition::{GranularityPolicy, SubCubeSpec};
 use hsi::{HyperCube, RgbImage, SubCube};
@@ -131,6 +131,31 @@ pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
             transform,
             scales,
         } => Some(transform_and_map(task, &sub, &mean, &transform, &scales)),
+        PctMessage::ScreenSeededTask {
+            task,
+            sub,
+            seed,
+            threshold_rad,
+        } => {
+            let accepted = screen_pixels_seeded(&seed, &sub.data.pixel_vectors(), threshold_rad);
+            Some(PctMessage::SeededUnique { task, accepted })
+        }
+        PctMessage::DeriveTask {
+            task,
+            unique,
+            config,
+        } => Some(match derive_transform(&unique, &config) {
+            Ok(spec) => PctMessage::DerivedTransform {
+                task,
+                mean: spec.mean,
+                transform: spec.transform,
+                eigenvalues: spec.eigenvalues,
+            },
+            Err(e) => PctMessage::TaskFailed {
+                task,
+                error: e.to_string(),
+            },
+        }),
         // Results, heartbeats and shutdown are not tasks.
         _ => None,
     }
@@ -175,8 +200,10 @@ fn transform_and_map(
     }
 }
 
-/// The plain (non-replicated) worker loop.
-fn worker_loop(mut ctx: ThreadContext<PctMessage>) {
+/// The plain (non-replicated) worker loop: services tasks until shut down.
+/// Exposed so the service layer's long-lived pool can run the same loop on
+/// its standard (non-resilient) workers.
+pub fn worker_loop(mut ctx: ThreadContext<PctMessage>) {
     loop {
         let Ok(envelope) = ctx.recv() else { return };
         match envelope.payload {
@@ -473,6 +500,76 @@ mod tests {
             }
             other => panic!("unexpected reply {}", other.kind()),
         }
+    }
+
+    #[test]
+    fn handle_task_seeded_screening_continues_the_chain() {
+        let cube = small_scene();
+        let threshold = PctConfig::paper().screening_angle_rad;
+        let specs = partition_rows(cube.dims(), 2).unwrap();
+        let first = handle_task(PctMessage::ScreenSeededTask {
+            task: 0,
+            sub: specs[0].extract(&cube).unwrap(),
+            seed: vec![],
+            threshold_rad: threshold,
+        })
+        .unwrap();
+        let PctMessage::SeededUnique { accepted: seed, .. } = first else {
+            panic!("unexpected reply");
+        };
+        let second = handle_task(PctMessage::ScreenSeededTask {
+            task: 1,
+            sub: specs[1].extract(&cube).unwrap(),
+            seed: seed.clone(),
+            threshold_rad: threshold,
+        })
+        .unwrap();
+        let PctMessage::SeededUnique { accepted, .. } = second else {
+            panic!("unexpected reply");
+        };
+        // The chained result is exactly whole-image screening.
+        let mut chained = seed;
+        chained.extend(accepted);
+        assert_eq!(chained, screen_pixels(&cube.pixel_vectors(), threshold));
+    }
+
+    #[test]
+    fn handle_task_derive_matches_direct_derivation() {
+        let cube = small_scene();
+        let config = PctConfig::paper();
+        let unique = screen_pixels(&cube.pixel_vectors(), config.screening_angle_rad);
+        let reply = handle_task(PctMessage::DeriveTask {
+            task: 4,
+            unique: unique.clone(),
+            config,
+        })
+        .unwrap();
+        let spec = derive_transform(&unique, &config).unwrap();
+        match reply {
+            PctMessage::DerivedTransform {
+                task,
+                mean,
+                transform,
+                eigenvalues,
+            } => {
+                assert_eq!(task, 4);
+                assert_eq!(mean, spec.mean);
+                assert_eq!(transform, spec.transform);
+                assert_eq!(eigenvalues, spec.eigenvalues);
+            }
+            other => panic!("unexpected reply {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn handle_task_derive_reports_failure_on_empty_unique_set() {
+        let reply = handle_task(PctMessage::DeriveTask {
+            task: 5,
+            unique: vec![],
+            config: PctConfig::paper(),
+        })
+        .unwrap();
+        assert!(matches!(reply, PctMessage::TaskFailed { task: 5, .. }));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod colormap;
 pub mod config;
 pub mod distributed;
@@ -34,9 +35,10 @@ pub mod screening;
 pub mod sequential;
 pub mod shared_memory;
 
+pub use backend::FusionBackend;
 pub use config::{FusionOutput, PctConfig};
 pub use distributed::DistributedPct;
-pub use resilient::{ResilientPct, ResilientRunReport};
+pub use resilient::{ResilientManagerState, ResilientPct, ResilientRunReport};
 pub use sequential::SequentialPct;
 pub use shared_memory::SharedMemoryPct;
 

@@ -82,6 +82,56 @@ pub enum PctMessage {
         /// Interleaved RGB bytes (`rows * width * 3`).
         rgb: Vec<u8>,
     },
+    /// Manager → worker: screen this sub-cube's pixels against an
+    /// already-accepted seed set (the service layer's exact screening chain:
+    /// folding consecutive sub-cubes through seeded screening reproduces
+    /// whole-image screening bit-for-bit).
+    ScreenSeededTask {
+        /// Work item identifier.
+        task: TaskId,
+        /// The sub-cube to screen.
+        sub: SubCube,
+        /// Unique vectors already accepted by earlier links of the chain.
+        seed: Vec<Vector>,
+        /// Screening threshold in radians.
+        threshold_rad: f64,
+    },
+    /// Worker → manager: the vectors newly admitted by a seeded screening
+    /// task, in admission order.
+    SeededUnique {
+        /// Work item identifier.
+        task: TaskId,
+        /// Newly admitted unique vectors (the seed is not echoed back).
+        accepted: Vec<Vector>,
+    },
+    /// Manager → worker: derive the transform (steps 3–6) from the merged
+    /// unique set in one pass, exactly as the sequential reference does.
+    DeriveTask {
+        /// Work item identifier.
+        task: TaskId,
+        /// The merged unique set.
+        unique: Vec<Vector>,
+        /// Pipeline configuration (screening angle, output components).
+        config: crate::config::PctConfig,
+    },
+    /// Worker → manager: the derived transform specification.
+    DerivedTransform {
+        /// Work item identifier.
+        task: TaskId,
+        /// Mean vector of the unique set (step 3).
+        mean: Vector,
+        /// Rows are the leading eigenvectors (step 6).
+        transform: Matrix,
+        /// All eigenvalues, sorted descending.
+        eigenvalues: Vec<f64>,
+    },
+    /// Worker → manager: a task could not be computed from its inputs.
+    TaskFailed {
+        /// Work item identifier.
+        task: TaskId,
+        /// Human-readable cause.
+        error: String,
+    },
     /// Worker → manager: liveness signal consumed by the failure detector.
     Heartbeat,
     /// Manager → worker: all phases complete, exit the worker loop.
@@ -98,6 +148,11 @@ impl PctMessage {
             PctMessage::CovarianceSum { .. } => "covariance-sum",
             PctMessage::TransformTask { .. } => "transform-task",
             PctMessage::RgbStrip { .. } => "rgb-strip",
+            PctMessage::ScreenSeededTask { .. } => "screen-seeded-task",
+            PctMessage::SeededUnique { .. } => "seeded-unique",
+            PctMessage::DeriveTask { .. } => "derive-task",
+            PctMessage::DerivedTransform { .. } => "derived-transform",
+            PctMessage::TaskFailed { .. } => "task-failed",
             PctMessage::Heartbeat => "heartbeat",
             PctMessage::Shutdown => "shutdown",
         }
@@ -111,7 +166,12 @@ impl PctMessage {
             | PctMessage::CovarianceTask { task, .. }
             | PctMessage::CovarianceSum { task, .. }
             | PctMessage::TransformTask { task, .. }
-            | PctMessage::RgbStrip { task, .. } => Some(*task),
+            | PctMessage::RgbStrip { task, .. }
+            | PctMessage::ScreenSeededTask { task, .. }
+            | PctMessage::SeededUnique { task, .. }
+            | PctMessage::DeriveTask { task, .. }
+            | PctMessage::DerivedTransform { task, .. }
+            | PctMessage::TaskFailed { task, .. } => Some(*task),
             PctMessage::Heartbeat | PctMessage::Shutdown => None,
         }
     }

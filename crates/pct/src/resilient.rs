@@ -10,6 +10,13 @@
 //! still owes — restoring the replication level instead of merely degrading.
 //! That restore-not-degrade behaviour is the paper's definition of
 //! computational resiliency.
+//!
+//! The manager-side machinery (membership, attack injection, failure
+//! detection, regeneration, spawn handles and run accounting) is folded into
+//! one owned [`ResilientManagerState`], so a long-lived owner — this
+//! pipeline for the duration of a run, or the service layer's worker pool
+//! for the lifetime of the process — carries a single value instead of
+//! threading a dozen loose arguments.
 
 use crate::colormap::ComponentScale;
 use crate::config::{FusionOutput, PctConfig};
@@ -26,7 +33,7 @@ use resilience::attack::AttackInjector;
 use resilience::group::ReplicaGroup;
 use resilience::{
     DetectorConfig, FailureDetector, KillSwitch, MemberId, MembershipTable, PlacementPolicy,
-    RegenerationEvent, Regenerator,
+    Regenerator,
 };
 use scp::{Runtime, RuntimeConfig, ScpError, ThreadContext, ThreadHandle};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -68,9 +75,212 @@ pub struct ResilientRunReport {
     /// Members the attack plan killed.
     pub members_attacked: Vec<String>,
     /// Regenerations the protocol performed.
-    pub regenerations: Vec<RegenerationEvent>,
+    pub regenerations: Vec<resilience::RegenerationEvent>,
     /// Tasks that had to be re-issued after a regeneration.
     pub tasks_reissued: u64,
+}
+
+/// The folded manager-side state of the resilient protocol (the former 13
+/// loose arguments of `run_resilient_manager`).
+///
+/// Owns everything needed to keep a set of replica groups alive: membership,
+/// the kill-switch registry used to emulate attacks, the heartbeat failure
+/// detector, the regeneration driver, the spawn handles of every member ever
+/// created, and the run accounting.  [`ResilientPct`] builds one per run;
+/// the service layer's worker pool owns one for the lifetime of the process.
+pub struct ResilientManagerState {
+    /// Replica-group membership, shared with the regenerator.
+    pub membership: MembershipTable,
+    /// Kill-switch registry used to emulate attacks against members.
+    pub injector: AttackInjector,
+    /// Heartbeat failure detector over all live members.
+    pub detector: FailureDetector,
+    /// The regeneration protocol driver.
+    pub regenerator: Regenerator,
+    /// Handles of every member thread ever spawned (including regenerated
+    /// replacements and members later declared failed).
+    pub handles: Vec<ThreadHandle<()>>,
+    /// Run accounting (heartbeats, duplicates, re-issues).
+    pub report: ResilientRunReport,
+    attack: AttackPlan,
+    attack_fired: bool,
+    results_seen: usize,
+}
+
+impl ResilientManagerState {
+    /// Builds the state for one replica group per name in `group_names`,
+    /// each with `level` members, spawning every member on `runtime` and
+    /// watching it in a detector configured by `detector_config`.  Members
+    /// are placed round-robin over virtual nodes `0..group_names.len()`
+    /// (placement bookkeeping only — all members are OS threads on this
+    /// machine).
+    pub fn build(
+        runtime: &Runtime<PctMessage>,
+        group_names: &[String],
+        level: usize,
+        detector_config: DetectorConfig,
+        attack: AttackPlan,
+    ) -> Result<Self> {
+        let membership = MembershipTable::new();
+        let injector = AttackInjector::new();
+        let mut handles: Vec<ThreadHandle<()>> = Vec::new();
+        let nodes: Vec<usize> = (0..group_names.len()).collect();
+        for (w, name) in group_names.iter().enumerate() {
+            let placements: Vec<usize> = (0..level)
+                .map(|m| (w + m) % group_names.len().max(1))
+                .collect();
+            let group = ReplicaGroup::new(name.clone(), level, &placements)?;
+            for member in &group.members {
+                handles.push(spawn_member(runtime, &injector, member)?);
+            }
+            membership.insert(group);
+        }
+        let mut detector = FailureDetector::new(detector_config);
+        for member in membership.all_members() {
+            detector.watch(member, 0);
+        }
+        let regenerator = Regenerator::new(
+            membership.clone(),
+            PlacementPolicy::SpreadAcrossNodes,
+            nodes,
+        );
+        Ok(Self {
+            membership,
+            injector,
+            detector,
+            regenerator,
+            handles,
+            report: ResilientRunReport::default(),
+            attack,
+            attack_fired: false,
+            results_seen: 0,
+        })
+    }
+
+    /// Records a heartbeat-equivalent signal from the routing name `from` at
+    /// `now_ms`, refreshing its detector lease if it names a group member.
+    pub fn heartbeat_from(&mut self, from: &str, now_ms: u64) {
+        if let Some(member) = MemberId::parse(from) {
+            self.detector.heartbeat(&member, now_ms);
+        }
+    }
+
+    /// Counts one consumed task result toward the staged attack trigger.
+    pub fn note_result(&mut self) {
+        self.results_seen += 1;
+    }
+
+    /// Fires the staged [`AttackPlan`] once enough results have been seen.
+    pub fn fire_attack_if_due(&mut self) {
+        if !self.attack_fired
+            && self.results_seen >= self.attack.after_results
+            && !self.attack.victims.is_empty()
+        {
+            for victim in &self.attack.victims {
+                self.injector.attack(victim);
+            }
+            self.attack_fired = true;
+        }
+    }
+
+    /// Sends a task to every live member of a group.  Returns the members
+    /// whose mailboxes turned out to be gone — a killed thread's queue
+    /// disappears when it exits, so a failed send is an immediate failure
+    /// report that complements the heartbeat detector.
+    pub fn group_send(
+        &self,
+        ctx: &mut ThreadContext<PctMessage>,
+        group: &str,
+        msg: &PctMessage,
+    ) -> Result<Vec<MemberId>> {
+        let snapshot = self.membership.get(group)?;
+        let mut dead = Vec::new();
+        for member in &snapshot.members {
+            if let Err(ScpError::Disconnected(_)) = ctx.send(&member.routing_name(), msg.clone()) {
+                dead.push(member.clone());
+            }
+        }
+        Ok(dead)
+    }
+
+    /// Attack assessment: sweeps the detector at `now_ms` and probes each
+    /// silence-flagged member through its mailbox.  Heartbeat silence alone
+    /// is not proof of death — a member deep in a long screening task goes
+    /// silent too — so a probe that is *accepted* refreshes the member's
+    /// lease, while a probe that reports `Disconnected` confirms the member
+    /// is gone.  Returns the confirmed failures.
+    pub fn sweep_and_probe(
+        &mut self,
+        ctx: &mut ThreadContext<PctMessage>,
+        now_ms: u64,
+    ) -> Vec<MemberId> {
+        let mut failures = Vec::new();
+        for suspect in self.detector.sweep(now_ms) {
+            match ctx.send(&suspect.routing_name(), PctMessage::Heartbeat) {
+                Err(ScpError::Disconnected(_)) => failures.push(suspect),
+                _ => self.detector.heartbeat(&suspect, now_ms),
+            }
+        }
+        failures
+    }
+
+    /// Handles one member failure (reported by the detector or by a failed
+    /// send): regenerate the member on another node, start watching the
+    /// replacement, and re-issue every task its group still owes
+    /// (`outstanding` maps task id to the owning group and the task message).
+    pub fn handle_member_failure(
+        &mut self,
+        ctx: &mut ThreadContext<PctMessage>,
+        runtime: &Runtime<PctMessage>,
+        outstanding: &HashMap<TaskId, (String, PctMessage)>,
+        now_ms: u64,
+        failed: &MemberId,
+    ) -> Result<()> {
+        let Self {
+            injector,
+            detector,
+            regenerator,
+            handles,
+            report,
+            ..
+        } = self;
+        detector.unwatch(failed);
+        let event = regenerator.handle_failure(failed, |replacement, _node| {
+            let handle = spawn_member(runtime, injector, replacement)
+                .map_err(|_| resilience::ResilienceError::InvalidConfig("spawn failed".into()))?;
+            handles.push(handle);
+            Ok(())
+        })?;
+        if let Some(event) = event {
+            detector.watch(event.replacement.clone(), now_ms);
+            for (group, msg) in outstanding.values() {
+                if *group == event.replacement.group {
+                    let _ = ctx.send(&event.replacement.routing_name(), msg.clone());
+                    report.tasks_reissued += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shuts down every member that ever existed — not just current group
+    /// membership.  A member falsely declared failed is removed from its
+    /// group but its thread keeps running; addressing the shutdown by spawn
+    /// handle reaches those orphans too, so the joins cannot hang on them.
+    /// Folds the attack and regeneration logs into the report and returns it.
+    pub fn shutdown(mut self, ctx: &mut ThreadContext<PctMessage>) -> ResilientRunReport {
+        for handle in &self.handles {
+            let _ = ctx.send(&handle.name, PctMessage::Shutdown);
+        }
+        // Killed members exit via their kill switches; joining is safe either
+        // way.
+        for handle in self.handles {
+            handle.join();
+        }
+        self.report.regenerations = self.regenerator.history().to_vec();
+        self.report.members_attacked = self.injector.attack_log();
+        self.report
+    }
 }
 
 /// The resilient distributed fusion pipeline.
@@ -118,36 +328,17 @@ impl ResilientPct {
         let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
         let mut manager_ctx = runtime.context(MANAGER)?;
 
-        let membership = MembershipTable::new();
-        let injector = AttackInjector::new();
-        let mut handles: Vec<ThreadHandle<()>> = Vec::new();
-
-        // Spawn `level` members for each logical worker, placed round-robin
-        // over virtual nodes 0..workers (placement bookkeeping only — all
-        // members are OS threads on this machine).
-        let nodes: Vec<usize> = (0..self.workers).collect();
-        for w in 0..self.workers {
-            let placements: Vec<usize> = (0..self.level).map(|m| (w + m) % self.workers).collect();
-            let group = ReplicaGroup::new(format!("worker{w}"), self.level, &placements)?;
-            for member in &group.members {
-                handles.push(spawn_member(&runtime, &injector, member)?);
-            }
-            membership.insert(group);
-        }
-
-        let mut detector = FailureDetector::new(DetectorConfig {
-            heartbeat_period_ms: 50,
-            miss_threshold: 8,
-        });
-        for member in membership.all_members() {
-            detector.watch(member, 0);
-        }
-        let mut regenerator = Regenerator::new(
-            membership.clone(),
-            PlacementPolicy::SpreadAcrossNodes,
-            nodes,
-        );
-        let mut report = ResilientRunReport::default();
+        let groups: Vec<String> = (0..self.workers).map(|w| format!("worker{w}")).collect();
+        let mut state = ResilientManagerState::build(
+            &runtime,
+            &groups,
+            self.level,
+            DetectorConfig {
+                heartbeat_period_ms: 50,
+                miss_threshold: 8,
+            },
+            attack,
+        )?;
 
         let result = run_resilient_manager(
             &mut manager_ctx,
@@ -155,36 +346,18 @@ impl ResilientPct {
             cube,
             &self.config,
             self.granularity,
-            self.workers,
-            &membership,
-            &injector,
-            &mut detector,
-            &mut regenerator,
-            &mut handles,
-            &attack,
-            &mut report,
+            &mut state,
         );
 
-        // Shut down every member that ever existed — not just current group
-        // membership. A member falsely declared failed is removed from its
-        // group but its thread keeps running; addressing the shutdown by
-        // spawn handle reaches those orphans too, so the joins below cannot
-        // hang on them.
-        for handle in &handles {
-            let _ = manager_ctx.send(&handle.name, PctMessage::Shutdown);
-        }
-        // Killed members exit via their kill switches; joining is safe either way.
-        for handle in handles {
-            handle.join();
-        }
-        report.regenerations = regenerator.history().to_vec();
-        report.members_attacked = injector.attack_log();
+        let report = state.shutdown(&mut manager_ctx);
         result.map(|out| (out, report))
     }
 }
 
 /// Spawns one replica-group member thread and registers its kill switch.
-fn spawn_member(
+/// Exposed so the service layer's pool can create members the same way the
+/// regeneration path does.
+pub fn spawn_member(
     runtime: &Runtime<PctMessage>,
     injector: &AttackInjector,
     member: &MemberId,
@@ -228,76 +401,13 @@ fn member_loop(mut ctx: ThreadContext<PctMessage>, kill: KillSwitch) {
     }
 }
 
-/// Sends a task to every live member of a group.  Returns the members whose
-/// mailboxes turned out to be gone — a killed thread's queue disappears when
-/// it exits, so a failed send is an immediate failure report that complements
-/// the heartbeat detector.
-fn group_send(
-    ctx: &mut ThreadContext<PctMessage>,
-    membership: &MembershipTable,
-    group: &str,
-    msg: &PctMessage,
-) -> Result<Vec<MemberId>> {
-    let snapshot = membership.get(group)?;
-    let mut dead = Vec::new();
-    for member in &snapshot.members {
-        if let Err(ScpError::Disconnected(_)) = ctx.send(&member.routing_name(), msg.clone()) {
-            dead.push(member.clone());
-        }
-    }
-    Ok(dead)
-}
-
-/// Handles one member failure (reported by the detector or by a failed send):
-/// regenerate the member on another node, start watching the replacement, and
-/// re-issue every task its group still owes to the new member.
-#[allow(clippy::too_many_arguments)]
-fn handle_member_failure(
-    ctx: &mut ThreadContext<PctMessage>,
-    runtime: &Runtime<PctMessage>,
-    injector: &AttackInjector,
-    detector: &mut FailureDetector,
-    regenerator: &mut Regenerator,
-    handles: &mut Vec<ThreadHandle<()>>,
-    outstanding: &HashMap<TaskId, (String, PctMessage)>,
-    report: &mut ResilientRunReport,
-    now_ms: u64,
-    failed: &MemberId,
-) -> Result<()> {
-    detector.unwatch(failed);
-    let event = regenerator.handle_failure(failed, |replacement, _node| {
-        let handle = spawn_member(runtime, injector, replacement)
-            .map_err(|_| resilience::ResilienceError::InvalidConfig("spawn failed".into()))?;
-        handles.push(handle);
-        Ok(())
-    })?;
-    if let Some(event) = event {
-        detector.watch(event.replacement.clone(), now_ms);
-        for (group, msg) in outstanding.values() {
-            if *group == event.replacement.group {
-                let _ = ctx.send(&event.replacement.routing_name(), msg.clone());
-                report.tasks_reissued += 1;
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Arguments threaded through the group work-queue distribution.
-#[allow(clippy::too_many_arguments)]
+/// Work-queue distribution of a set of tasks over the replica groups, with
+/// deduplication, failure detection and regeneration driven by `state`.
 fn distribute_to_groups<T>(
     ctx: &mut ThreadContext<PctMessage>,
     runtime: &Runtime<PctMessage>,
     groups: &[String],
-    membership: &MembershipTable,
-    injector: &AttackInjector,
-    detector: &mut FailureDetector,
-    regenerator: &mut Regenerator,
-    handles: &mut Vec<ThreadHandle<()>>,
-    attack: &AttackPlan,
-    attack_fired: &mut bool,
-    total_results_seen: &mut usize,
-    report: &mut ResilientRunReport,
+    state: &mut ResilientManagerState,
     start: Instant,
     tasks: Vec<(TaskId, PctMessage)>,
     mut extract: impl FnMut(PctMessage) -> Option<T>,
@@ -307,15 +417,13 @@ fn distribute_to_groups<T>(
     let mut outstanding: HashMap<TaskId, (String, PctMessage)> = HashMap::new();
     let mut completed: HashSet<TaskId> = HashSet::new();
     let mut results: Vec<(TaskId, T)> = Vec::with_capacity(total);
-    // Which group handled which task, so the next task goes to a group that
-    // just freed up.
     let deadline = start + Duration::from_secs(300);
 
     // Prime each group with one task.
     let mut dead_members: Vec<MemberId> = Vec::new();
     for group in groups {
         if let Some((task, msg)) = pending.pop_front() {
-            dead_members.extend(group_send(ctx, membership, group, &msg)?);
+            dead_members.extend(state.group_send(ctx, group, &msg)?);
             outstanding.insert(task, (group.clone(), msg));
         }
     }
@@ -332,24 +440,20 @@ fn distribute_to_groups<T>(
                 let from = envelope.from.clone();
                 match envelope.payload {
                     PctMessage::Heartbeat => {
-                        report.heartbeats += 1;
-                        if let Some(member) = MemberId::parse(&from) {
-                            detector.heartbeat(&member, now_ms);
-                        }
+                        state.report.heartbeats += 1;
+                        state.heartbeat_from(&from, now_ms);
                     }
                     msg => {
-                        if let Some(member) = MemberId::parse(&from) {
-                            detector.heartbeat(&member, now_ms);
-                        }
+                        state.heartbeat_from(&from, now_ms);
                         let Some(task) = msg.task() else { continue };
                         if completed.contains(&task) {
-                            report.duplicates_ignored += 1;
+                            state.report.duplicates_ignored += 1;
                             continue;
                         }
                         let Some(value) = extract(msg) else { continue };
                         completed.insert(task);
                         results.push((task, value));
-                        *total_results_seen += 1;
+                        state.note_result();
                         // Hand the next pending task to the group that just
                         // finished this one.
                         let finished_group = outstanding
@@ -359,7 +463,7 @@ fn distribute_to_groups<T>(
                         if let (Some(group), Some((next_task, next_msg))) =
                             (finished_group, pending.pop_front())
                         {
-                            dead_members.extend(group_send(ctx, membership, &group, &next_msg)?);
+                            dead_members.extend(state.group_send(ctx, &group, &next_msg)?);
                             outstanding.insert(next_task, (group, next_msg));
                         }
                     }
@@ -370,46 +474,16 @@ fn distribute_to_groups<T>(
         }
 
         // Fire the staged attack once enough results have been seen.
-        if !*attack_fired
-            && *total_results_seen >= attack.after_results
-            && !attack.victims.is_empty()
-        {
-            for victim in &attack.victims {
-                injector.attack(victim);
-            }
-            *attack_fired = true;
-        }
+        state.fire_attack_if_due();
 
-        // Attack assessment: anything whose heartbeat stopped, or whose
-        // mailbox vanished under a send, is regenerated immediately.
-        // Heartbeat silence alone is not proof of death — a member that is
-        // deep in a long screening task goes silent too — so each
-        // silence-flagged member is probed through its mailbox: a dead
-        // thread's receiver is gone (the send reports Disconnected), while a
-        // busy thread's mailbox accepts the probe and the member is given a
-        // fresh heartbeat lease instead of being regenerated.
+        // Attack assessment: anything whose heartbeat stopped (and whose
+        // mailbox probe confirms the silence), or whose mailbox vanished
+        // under a send, is regenerated immediately.
         let now_ms = start.elapsed().as_millis() as u64;
-        let mut failures = Vec::new();
-        for suspect in detector.sweep(now_ms) {
-            match ctx.send(&suspect.routing_name(), PctMessage::Heartbeat) {
-                Err(ScpError::Disconnected(_)) => failures.push(suspect),
-                _ => detector.heartbeat(&suspect, now_ms),
-            }
-        }
+        let mut failures = state.sweep_and_probe(ctx, now_ms);
         failures.append(&mut dead_members);
         for failed in failures {
-            handle_member_failure(
-                ctx,
-                runtime,
-                injector,
-                detector,
-                regenerator,
-                handles,
-                &outstanding,
-                report,
-                now_ms,
-                &failed,
-            )?;
+            state.handle_member_failure(ctx, runtime, &outstanding, now_ms, &failed)?;
         }
     }
     // Sort back into task order so the merge and covariance steps are
@@ -420,28 +494,18 @@ fn distribute_to_groups<T>(
 
 /// The manager side of the resilient protocol: the same three phases as the
 /// plain distributed manager, but with group addressing, deduplication,
-/// failure detection and regeneration.
-#[allow(clippy::too_many_arguments)]
+/// failure detection and regeneration — all carried by `state`.
 fn run_resilient_manager(
     ctx: &mut ThreadContext<PctMessage>,
     runtime: &Runtime<PctMessage>,
     cube: &HyperCube,
     config: &PctConfig,
     granularity: GranularityPolicy,
-    workers: usize,
-    membership: &MembershipTable,
-    injector: &AttackInjector,
-    detector: &mut FailureDetector,
-    regenerator: &mut Regenerator,
-    handles: &mut Vec<ThreadHandle<()>>,
-    attack: &AttackPlan,
-    report: &mut ResilientRunReport,
+    state: &mut ResilientManagerState,
 ) -> Result<FusionOutput> {
-    let groups: Vec<String> = (0..workers).map(|w| format!("worker{w}")).collect();
-    let specs = partition_for_workers(cube.dims(), workers, granularity)?;
+    let groups: Vec<String> = state.membership.group_names();
+    let specs = partition_for_workers(cube.dims(), groups.len(), granularity)?;
     let start = Instant::now();
-    let mut attack_fired = false;
-    let mut results_seen = 0usize;
 
     // ---- Phase 1: screening --------------------------------------------------------
     let screen_tasks: Vec<(TaskId, PctMessage)> = specs
@@ -461,15 +525,7 @@ fn run_resilient_manager(
         ctx,
         runtime,
         &groups,
-        membership,
-        injector,
-        detector,
-        regenerator,
-        handles,
-        attack,
-        &mut attack_fired,
-        &mut results_seen,
-        report,
+        state,
         start,
         screen_tasks,
         |msg| match msg {
@@ -503,31 +559,24 @@ fn run_resilient_manager(
             )
         })
         .collect();
-    let partials = distribute_to_groups(
-        ctx,
-        runtime,
-        &groups,
-        membership,
-        injector,
-        detector,
-        regenerator,
-        handles,
-        attack,
-        &mut attack_fired,
-        &mut results_seen,
-        report,
-        start,
-        cov_tasks,
-        |msg| match msg {
-            PctMessage::CovarianceSum {
-                packed,
-                bands,
-                count,
-                ..
-            } => Some((packed, bands, count)),
-            _ => None,
-        },
-    )?;
+    let partials =
+        distribute_to_groups(
+            ctx,
+            runtime,
+            &groups,
+            state,
+            start,
+            cov_tasks,
+            |msg| match msg {
+                PctMessage::CovarianceSum {
+                    packed,
+                    bands,
+                    count,
+                    ..
+                } => Some((packed, bands, count)),
+                _ => None,
+            },
+        )?;
     let mut sum = SymMatrix::zeros(bands);
     let mut total_count = 0u64;
     for (packed, b, count) in partials {
@@ -566,15 +615,7 @@ fn run_resilient_manager(
         ctx,
         runtime,
         &groups,
-        membership,
-        injector,
-        detector,
-        regenerator,
-        handles,
-        attack,
-        &mut attack_fired,
-        &mut results_seen,
-        report,
+        state,
         start,
         transform_tasks,
         |msg| match msg {
@@ -680,5 +721,67 @@ mod tests {
         let plan = AttackPlan::kill_first_worker_member();
         assert_eq!(plan.victims, vec!["worker0#0".to_string()]);
         assert_eq!(plan.after_results, 1);
+    }
+
+    #[test]
+    fn manager_state_builds_watches_and_shuts_down_cleanly() {
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
+        let mut ctx = runtime.context(MANAGER).unwrap();
+        let groups = vec!["g0".to_string(), "g1".to_string()];
+        let state = ResilientManagerState::build(
+            &runtime,
+            &groups,
+            2,
+            DetectorConfig {
+                heartbeat_period_ms: 50,
+                miss_threshold: 8,
+            },
+            AttackPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(state.membership.all_members().len(), 4);
+        assert_eq!(state.detector.watched(), 4);
+        assert_eq!(state.handles.len(), 4);
+        let report = state.shutdown(&mut ctx);
+        assert!(report.regenerations.is_empty());
+        assert!(report.members_attacked.is_empty());
+    }
+
+    #[test]
+    fn manager_state_regenerates_a_killed_member_on_probe() {
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
+        let mut ctx = runtime.context(MANAGER).unwrap();
+        let groups = vec!["g0".to_string()];
+        let mut state = ResilientManagerState::build(
+            &runtime,
+            &groups,
+            2,
+            DetectorConfig {
+                heartbeat_period_ms: 5,
+                miss_threshold: 2,
+            },
+            AttackPlan::none(),
+        )
+        .unwrap();
+        // Kill one member and wait for its thread to exit (mailbox gone).
+        assert!(state.injector.attack("g0#0"));
+        let start = Instant::now();
+        while !state.handles[0].is_finished() && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // A send now reports the death; hand it to the failure handler.
+        let dead = state
+            .group_send(&mut ctx, "g0", &PctMessage::Heartbeat)
+            .unwrap();
+        assert_eq!(dead.len(), 1);
+        let outstanding = HashMap::new();
+        state
+            .handle_member_failure(&mut ctx, &runtime, &outstanding, 0, &dead[0])
+            .unwrap();
+        assert_eq!(state.regenerator.history().len(), 1);
+        assert_eq!(state.membership.get("g0").unwrap().members.len(), 2);
+        let report = state.shutdown(&mut ctx);
+        assert_eq!(report.members_attacked, vec!["g0#0".to_string()]);
+        assert_eq!(report.regenerations.len(), 1);
     }
 }

@@ -8,8 +8,159 @@
 //! per-worker sets with the same rule.  The covariance of step 4 is then
 //! computed over the merged unique set, so each distinct spectral signature
 //! contributes roughly equally regardless of how many pixels carry it.
+//!
+//! ## Hot-path note
+//!
+//! Screening is O(unique × pixels) and dominates phase 1 at paper scale, so
+//! the membership test avoids redundant work: member norms are computed once
+//! when a vector joins the set (instead of once per comparison), and the
+//! angle test is decided on the cosine directly — `acos` is only evaluated
+//! inside a vanishingly narrow band around the threshold where the cheap
+//! cosine bound cannot decide.  The result is bit-for-bit identical to the
+//! naive `spectral_angle`-per-pair formulation (the fallback band is wide
+//! enough to absorb the `acos` rounding error), which the tests below check
+//! against a reference implementation.
 
 use linalg::Vector;
+use std::f64::consts::FRAC_PI_2;
+
+/// Angular slack (radians) around the screening threshold inside which the
+/// cosine bound is considered inconclusive and the exact `acos` comparison
+/// runs instead.  `acos` is accurate to a few ulps (≪ 1e-12 rad), so any
+/// cosine outside this band decides the comparison exactly as the naive
+/// formulation would.
+const BOUND_SLACK_RAD: f64 = 1e-9;
+
+/// The spectral-angle acceptance rule with precomputed cosine bounds.
+#[derive(Debug, Clone, Copy)]
+struct AngleGuard {
+    threshold_rad: f64,
+    /// `cos(threshold - slack)`: a cosine at or above this is certainly
+    /// within the threshold (similar) — no `acos` needed.
+    cos_similar: f64,
+    /// `cos(threshold + slack)`: a cosine strictly below this is certainly
+    /// beyond the threshold (distinct) — no `acos` needed.
+    cos_distinct: f64,
+}
+
+impl AngleGuard {
+    fn new(threshold_rad: f64) -> Self {
+        Self {
+            threshold_rad,
+            cos_similar: (threshold_rad - BOUND_SLACK_RAD).max(0.0).cos(),
+            cos_distinct: (threshold_rad + BOUND_SLACK_RAD)
+                .min(std::f64::consts::PI)
+                .cos(),
+        }
+    }
+
+    /// Whether `pixel` and `other` are within the threshold angle (i.e.
+    /// `other` *screens out* `pixel`).  `pixel_norm` and `other_norm` are the
+    /// callers' cached Euclidean norms of the two vectors.
+    fn similar(&self, pixel: &Vector, pixel_norm: f64, other: &Vector, other_norm: f64) -> bool {
+        let denom = pixel_norm * other_norm;
+        if denom == 0.0 {
+            // A zero pixel carries no spectral direction: the angle is
+            // defined as pi/2 (see `Vector::spectral_angle`).
+            return FRAC_PI_2 <= self.threshold_rad;
+        }
+        let dot = pixel
+            .dot(other)
+            .expect("pixels in one scene share a band count");
+        let cos = (dot / denom).clamp(-1.0, 1.0);
+        if cos >= self.cos_similar {
+            return true;
+        }
+        if cos < self.cos_distinct {
+            return false;
+        }
+        cos.acos() <= self.threshold_rad
+    }
+}
+
+/// An incrementally built unique set with cached member norms.
+///
+/// This is the screening engine shared by [`screen_pixels`],
+/// [`screen_pixels_seeded`] and [`merge_unique_sets`]; the service layer's
+/// exact screening chain drives it through [`screen_pixels_seeded`].
+#[derive(Debug, Clone)]
+pub struct UniqueSet {
+    guard: AngleGuard,
+    vectors: Vec<Vector>,
+    norms: Vec<f64>,
+}
+
+impl UniqueSet {
+    /// Creates an empty unique set for the given screening threshold.
+    pub fn new(threshold_rad: f64) -> Self {
+        Self {
+            guard: AngleGuard::new(threshold_rad),
+            vectors: Vec::new(),
+            norms: Vec::new(),
+        }
+    }
+
+    /// Creates a unique set pre-populated with `seed` — vectors that are
+    /// already known to satisfy the screening rule (a previously computed
+    /// unique set) and are therefore admitted without re-checking.
+    pub fn seeded(seed: impl IntoIterator<Item = Vector>, threshold_rad: f64) -> Self {
+        let vectors: Vec<Vector> = seed.into_iter().collect();
+        let norms = vectors.iter().map(Vector::norm).collect();
+        Self {
+            guard: AngleGuard::new(threshold_rad),
+            vectors,
+            norms,
+        }
+    }
+
+    /// Number of vectors in the set.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The vectors admitted so far, in admission order.
+    pub fn vectors(&self) -> &[Vector] {
+        &self.vectors
+    }
+
+    /// Consumes the set and returns its vectors in admission order.
+    pub fn into_vectors(self) -> Vec<Vector> {
+        self.vectors
+    }
+
+    /// Whether `pixel` is separated from every member by more than the
+    /// threshold angle.
+    pub fn is_unique(&self, pixel: &Vector) -> bool {
+        let norm = pixel.norm();
+        !self
+            .vectors
+            .iter()
+            .zip(&self.norms)
+            .any(|(other, &other_norm)| self.guard.similar(pixel, norm, other, other_norm))
+    }
+
+    /// Admits `pixel` if it is unique against the current members; returns
+    /// whether it was admitted.
+    pub fn admit(&mut self, pixel: &Vector) -> bool {
+        let norm = pixel.norm();
+        let screened = self
+            .vectors
+            .iter()
+            .zip(&self.norms)
+            .any(|(other, &other_norm)| self.guard.similar(pixel, norm, other, other_norm));
+        if screened {
+            return false;
+        }
+        self.vectors.push(pixel.clone());
+        self.norms.push(norm);
+        true
+    }
+}
 
 /// Builds the unique set of a collection of pixel vectors using greedy
 /// spectral-angle screening (step 1).
@@ -21,27 +172,42 @@ pub fn screen_pixels(pixels: &[Vector], threshold_rad: f64) -> Vec<Vector> {
     if threshold_rad <= 0.0 {
         return pixels.to_vec();
     }
-    let mut unique: Vec<Vector> = Vec::new();
+    let mut unique = UniqueSet::new(threshold_rad);
     for pixel in pixels {
-        if is_unique_against(pixel, &unique, threshold_rad) {
-            unique.push(pixel.clone());
-        }
+        unique.admit(pixel);
     }
-    unique
+    unique.into_vectors()
+}
+
+/// Greedy screening of `pixels` against an already-accepted `seed` set,
+/// returning only the *newly* admitted vectors in admission order.
+///
+/// This is the exactness primitive of the service layer's screening chain:
+/// for any split of a pixel sequence into consecutive parts, folding the
+/// parts through seeded screening reproduces [`screen_pixels`] of the whole
+/// sequence bit-for-bit —
+/// `screen(A ++ B) == screen(A) ++ screen_seeded(screen(A), B)`.
+pub fn screen_pixels_seeded(seed: &[Vector], pixels: &[Vector], threshold_rad: f64) -> Vec<Vector> {
+    if threshold_rad <= 0.0 {
+        return pixels.to_vec();
+    }
+    let mut unique = UniqueSet::seeded(seed.iter().cloned(), threshold_rad);
+    let seeded = unique.len();
+    for pixel in pixels {
+        unique.admit(pixel);
+    }
+    let mut vectors = unique.into_vectors();
+    vectors.split_off(seeded)
 }
 
 /// Whether `pixel` is separated from every member of `unique` by more than
 /// `threshold_rad`.
 pub fn is_unique_against(pixel: &Vector, unique: &[Vector], threshold_rad: f64) -> bool {
-    for existing in unique {
-        let angle = pixel
-            .spectral_angle(existing)
-            .expect("pixels in one scene share a band count");
-        if angle <= threshold_rad {
-            return false;
-        }
-    }
-    true
+    let guard = AngleGuard::new(threshold_rad);
+    let norm = pixel.norm();
+    !unique
+        .iter()
+        .any(|other| guard.similar(pixel, norm, other, other.norm()))
 }
 
 /// Merges several per-worker unique sets into one (step 2), applying the same
@@ -51,15 +217,13 @@ pub fn merge_unique_sets(sets: Vec<Vec<Vector>>, threshold_rad: f64) -> Vec<Vect
     if threshold_rad <= 0.0 {
         return sets.into_iter().flatten().collect();
     }
-    let mut merged: Vec<Vector> = Vec::new();
+    let mut merged = UniqueSet::new(threshold_rad);
     for set in sets {
         for pixel in set {
-            if is_unique_against(&pixel, &merged, threshold_rad) {
-                merged.push(pixel);
-            }
+            merged.admit(&pixel);
         }
     }
-    merged
+    merged.into_vectors()
 }
 
 /// Summary of a screening pass, reported by the examples and the screening
@@ -88,6 +252,44 @@ mod tests {
 
     fn v(data: &[f64]) -> Vector {
         Vector::from_vec(data.to_vec())
+    }
+
+    /// The naive formulation the optimised path must match bit-for-bit: a
+    /// full `spectral_angle` (two norms, dot, `acos`) per comparison.
+    fn naive_screen(pixels: &[Vector], threshold_rad: f64) -> Vec<Vector> {
+        if threshold_rad <= 0.0 {
+            return pixels.to_vec();
+        }
+        let mut unique: Vec<Vector> = Vec::new();
+        for pixel in pixels {
+            let distinct = unique
+                .iter()
+                .all(|u| pixel.spectral_angle(u).unwrap() > threshold_rad);
+            if distinct {
+                unique.push(pixel.clone());
+            }
+        }
+        unique
+    }
+
+    /// A deterministic pseudo-random pixel cloud with clusters, outliers and
+    /// degenerate (zero) vectors.
+    fn pixel_cloud(n: usize) -> Vec<Vector> {
+        (0..n)
+            .map(|i| {
+                if i % 47 == 13 {
+                    return Vector::zeros(4);
+                }
+                let a = (i % 23) as f64 * 0.11 + (i as f64) * 1e-4;
+                let s = 1.0 + (i % 5) as f64;
+                v(&[
+                    s * a.cos(),
+                    s * a.sin(),
+                    s * (a * 1.7).cos(),
+                    s * (0.3 + (i % 7) as f64 * 0.01),
+                ])
+            })
+            .collect()
     }
 
     #[test]
@@ -149,6 +351,82 @@ mod tests {
         pixels.push(v(&[0.9, 0.2, 0.4]));
         let unique = screen_pixels(&pixels, 0.05);
         assert_eq!(unique.len(), 2);
+    }
+
+    #[test]
+    fn optimised_screening_matches_naive_reference_exactly() {
+        let pixels = pixel_cloud(400);
+        for threshold in [
+            0.01,
+            5.0_f64.to_radians(),
+            0.11, // lands exactly on cluster spacing used by pixel_cloud
+            FRAC_PI_2,
+            2.0,
+            std::f64::consts::PI,
+        ] {
+            let fast = screen_pixels(&pixels, threshold);
+            let slow = naive_screen(&pixels, threshold);
+            assert_eq!(
+                fast, slow,
+                "optimised screening diverged at threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_unique_against_matches_set_membership_test() {
+        let pixels = pixel_cloud(120);
+        let threshold = 0.09;
+        let unique = screen_pixels(&pixels, threshold);
+        let set = UniqueSet::seeded(unique.iter().cloned(), threshold);
+        for p in &pixels {
+            assert_eq!(is_unique_against(p, &unique, threshold), set.is_unique(p));
+        }
+    }
+
+    #[test]
+    fn seeded_screening_chain_equals_whole_screening() {
+        let pixels = pixel_cloud(300);
+        let threshold = 5.0_f64.to_radians();
+        let whole = screen_pixels(&pixels, threshold);
+
+        // Fold the same sequence through an arbitrary consecutive split.
+        let mut acc: Vec<Vector> = Vec::new();
+        for part in pixels.chunks(71) {
+            let newly = screen_pixels_seeded(&acc, part, threshold);
+            acc.extend(newly);
+        }
+        assert_eq!(acc, whole);
+    }
+
+    #[test]
+    fn seeded_screening_with_zero_threshold_keeps_everything() {
+        let seed = vec![v(&[1.0, 0.0])];
+        let pixels = vec![v(&[1.0, 0.0]), v(&[0.0, 1.0])];
+        assert_eq!(screen_pixels_seeded(&seed, &pixels, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn unique_set_admit_reports_membership() {
+        let mut set = UniqueSet::new(0.3);
+        assert!(set.is_empty());
+        assert!(set.admit(&v(&[1.0, 0.0])));
+        assert!(!set.admit(&v(&[1.0, 0.001])));
+        assert!(set.admit(&v(&[0.0, 1.0])));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_unique(&v(&[0.001, 1.0])));
+        assert_eq!(set.vectors().len(), 2);
+        assert_eq!(set.clone().into_vectors().len(), 2);
+    }
+
+    #[test]
+    fn zero_vectors_are_mutually_unique_below_right_angle_threshold() {
+        // A zero pixel's angle to anything is pi/2, so with the usual small
+        // thresholds every zero pixel is admitted — matching the naive rule.
+        let pixels = vec![Vector::zeros(3), Vector::zeros(3), v(&[1.0, 0.0, 0.0])];
+        assert_eq!(screen_pixels(&pixels, 0.1).len(), 3);
+        // With a threshold at or beyond pi/2 they collapse.
+        assert_eq!(screen_pixels(&pixels, FRAC_PI_2).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Job specifications, identifiers, priorities and lifecycle states.
+
+use crate::{Result, ServiceError};
+use hsi::{HyperCube, SceneConfig, SceneGenerator};
+use pct::PctConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of one submitted fusion job, unique within a service instance.
+pub type JobId = u64;
+
+/// Scheduling priority of a job.  Higher priorities are admitted and
+/// dispatched first; within a priority, jobs run in submission order.
+///
+/// Variants are declared least-urgent first so the derived `Ord` agrees
+/// with [`Priority::rank`]: `Low < Normal < High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Dispatched only when nothing more urgent is runnable.
+    Low,
+    /// The default.
+    Normal,
+    /// Dispatched before everything else.
+    High,
+}
+
+impl Priority {
+    /// All priorities, most urgent first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Numeric urgency used for queue ordering (larger is more urgent).
+    pub fn rank(&self) -> u8 {
+        *self as u8
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Which pool lane executes the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Plain long-lived worker threads (no replication).
+    Standard,
+    /// Replica groups with failure detection and regeneration: the job
+    /// survives worker kills with byte-identical output.
+    Resilient,
+}
+
+impl BackendKind {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Standard => "standard",
+            BackendKind::Resilient => "resilient",
+        }
+    }
+}
+
+/// Where a job's cube comes from.
+#[derive(Debug, Clone)]
+pub enum CubeSource {
+    /// A cube already in memory, shared without copying.
+    InMemory(Arc<HyperCube>),
+    /// A synthetic scene generated at admission time from its config — the
+    /// deterministic stand-in for an ingestion path that loads data on
+    /// demand.
+    Synthetic(SceneConfig),
+}
+
+impl CubeSource {
+    /// Materialises the cube.
+    pub fn realize(&self) -> Result<Arc<HyperCube>> {
+        match self {
+            CubeSource::InMemory(cube) => Ok(Arc::clone(cube)),
+            CubeSource::Synthetic(config) => {
+                let generator = SceneGenerator::new(config.clone())?;
+                Ok(Arc::new(generator.generate()))
+            }
+        }
+    }
+}
+
+/// Everything the service needs to run one fusion job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The cube to fuse.
+    pub source: CubeSource,
+    /// Pipeline configuration (screening angle, output components).
+    pub config: PctConfig,
+    /// Which pool lane executes the job.
+    pub backend: BackendKind,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Number of sub-cubes the job is sharded into (clamped to the cube's
+    /// row count at admission).  The decomposition is fixed per job, so the
+    /// output does not depend on pool width.
+    pub shards: usize,
+    /// Optional deadline measured from admission; an expired job is
+    /// abandoned with [`crate::JobStatus::TimedOut`].
+    pub timeout: Option<Duration>,
+}
+
+impl JobSpec {
+    /// Creates a spec with the paper configuration, the standard backend,
+    /// normal priority and four shards.
+    pub fn new(source: CubeSource) -> Self {
+        Self {
+            source,
+            config: PctConfig::paper(),
+            backend: BackendKind::Standard,
+            priority: Priority::Normal,
+            shards: 4,
+            timeout: None,
+        }
+    }
+
+    /// Overrides the pipeline configuration.
+    pub fn with_config(mut self, config: PctConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the backend lane.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Overrides the shard count (at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets a deadline relative to admission.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Materialises a synthetic source into an in-memory cube.  The front
+    /// end calls this on the submitting thread so scene generation never
+    /// stalls the scheduler's dispatch/result loop.
+    pub fn into_realized(mut self) -> Result<Self> {
+        let cube = self.source.realize()?;
+        self.source = CubeSource::InMemory(cube);
+        Ok(self)
+    }
+
+    /// Validates the spec against the service configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.config
+            .validate()
+            .map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
+        if self.shards == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "a job needs at least one shard".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted into the admission queue, not yet scheduled.
+    Queued,
+    /// Admitted by the scheduler; tasks are in flight.
+    Running,
+    /// Finished successfully; the output is available.
+    Completed,
+    /// Finished unsuccessfully.
+    Failed,
+    /// Cancelled by the client before completion.
+    Cancelled,
+    /// Abandoned after exceeding its deadline.
+    TimedOut,
+}
+
+impl JobStatus {
+    /// Whether the status is final (no further transitions).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi::CubeDims;
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)))
+            .with_backend(BackendKind::Resilient)
+            .with_priority(Priority::High)
+            .with_shards(0)
+            .with_timeout(Duration::from_secs(5));
+        assert_eq!(spec.backend, BackendKind::Resilient);
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.shards, 1, "shards clamp to at least 1");
+        assert!(spec.timeout.is_some());
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_pipeline_config_is_rejected() {
+        let mut spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)));
+        spec.config.output_components = 0;
+        assert!(matches!(
+            spec.validate(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_source_is_deterministic() {
+        let mut config = SceneConfig::small(9);
+        config.dims = CubeDims::new(8, 8, 4);
+        let source = CubeSource::Synthetic(config);
+        let a = source.realize().unwrap();
+        let b = source.realize().unwrap();
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn in_memory_source_shares_the_cube() {
+        let cube = Arc::new(HyperCube::zeros(CubeDims::new(2, 2, 2)));
+        let source = CubeSource::InMemory(Arc::clone(&cube));
+        let realized = source.realize().unwrap();
+        assert!(Arc::ptr_eq(&cube, &realized));
+    }
+
+    #[test]
+    fn priority_ranks_and_labels() {
+        assert!(Priority::High.rank() > Priority::Normal.rank());
+        assert!(Priority::Normal.rank() > Priority::Low.rank());
+        // The derived Ord must agree with rank(), so either ordering is safe.
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Low);
+        assert_eq!(Priority::ALL.len(), 3);
+        assert_eq!(Priority::High.label(), "high");
+        assert_eq!(BackendKind::Resilient.label(), "resilient");
+    }
+
+    #[test]
+    fn into_realized_materialises_synthetic_sources() {
+        let spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(2)))
+            .into_realized()
+            .unwrap();
+        assert!(matches!(spec.source, CubeSource::InMemory(_)));
+        // Already-in-memory sources pass through untouched.
+        let again = spec.into_realized().unwrap();
+        assert!(matches!(again.source, CubeSource::InMemory(_)));
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        assert!(!JobStatus::Queued.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+        assert!(JobStatus::Completed.is_terminal());
+        assert!(JobStatus::Failed.is_terminal());
+        assert!(JobStatus::Cancelled.is_terminal());
+        assert!(JobStatus::TimedOut.is_terminal());
+    }
+}

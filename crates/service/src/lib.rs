@@ -1,0 +1,120 @@
+//! `fusiond` — a sharded, batched fusion service layer over the PCT
+//! pipelines.
+//!
+//! The paper's resilient PCT fuses *one* cube per run; this crate turns the
+//! reproduction into a job-oriented service that multiplexes many fusion
+//! requests over one long-lived, sharded worker pool:
+//!
+//! * **Ingestion front end** — a [`JobSpec`] (cube source, [`pct::PctConfig`],
+//!   backend choice, priority, shard count, optional deadline) is submitted
+//!   through a bounded admission queue with backpressure ([`FusionService::submit`]
+//!   blocks when full, [`FusionService::try_submit`] rejects) and tracked by
+//!   [`JobId`]/[`JobStatus`].
+//! * **Batch scheduler** — admitted jobs are sharded via `hsi::partition`,
+//!   and their tasks are batch-dispatched in priority order onto a shared
+//!   pool of long-lived `scp` workers: a *standard* lane of plain worker
+//!   threads and a *resilient* lane of `resilience` replica groups owned by
+//!   one [`pct::ResilientManagerState`] — no per-request pipeline spawning.
+//! * **Results plane** — per-job [`pct::FusionOutput`] collection
+//!   ([`FusionService::wait`]), cancellation, per-job timeouts, and a
+//!   [`ServiceReport`] with queue-depth/latency/throughput counters.
+//!
+//! ## Determinism
+//!
+//! Scheduling is concurrent, but every job's output is **byte-identical to
+//! [`pct::SequentialPct`]** on the same cube and configuration, regardless of
+//! pool size, lane, interleaving with other jobs, or worker kills on the
+//! resilient lane.  Three properties make that exact:
+//!
+//! 1. screening runs as a *chain* of seeded tasks over the job's shards
+//!    (`pct::screening::screen_pixels_seeded` reproduces whole-image greedy
+//!    screening bit-for-bit for consecutive splits),
+//! 2. statistics (steps 3–6) are derived in a single task over the merged
+//!    unique set, exactly as the sequential reference computes them, and
+//! 3. the transform/colour phase is per-pixel pure, so row-strip fan-out
+//!    reassembles to the identical image.
+//!
+//! Intra-job screening is therefore pipelined rather than fanned out; pool
+//! utilisation comes from running many jobs concurrently, which is the
+//! service's reason to exist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod report;
+pub mod service;
+
+mod pool;
+mod queue;
+mod scheduler;
+mod status;
+
+pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobStatus, Priority};
+pub use report::{LatencyStats, ServiceReport};
+pub use service::{FusionService, PoolConfig, ServiceConfig};
+
+/// Errors produced by the fusion service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The admission queue is full (backpressure): the job was rejected.
+    Saturated,
+    /// The service is shutting down and no longer accepts jobs.
+    ShuttingDown,
+    /// No job with this id is known to the service.
+    UnknownJob(JobId),
+    /// The job failed; the payload is the cause.
+    Failed(String),
+    /// The job was cancelled before it completed.
+    Cancelled,
+    /// The job exceeded its deadline and was abandoned.
+    TimedOut,
+    /// A job or service configuration value is invalid.
+    InvalidConfig(String),
+    /// An internal substrate error (message passing, resiliency, pipeline).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Saturated => write!(f, "admission queue is full"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServiceError::Failed(cause) => write!(f, "job failed: {cause}"),
+            ServiceError::Cancelled => write!(f, "job was cancelled"),
+            ServiceError::TimedOut => write!(f, "job timed out"),
+            ServiceError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ServiceError::Internal(msg) => write!(f, "internal service error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<scp::ScpError> for ServiceError {
+    fn from(e: scp::ScpError) -> Self {
+        ServiceError::Internal(format!("message passing: {e}"))
+    }
+}
+
+impl From<pct::PctError> for ServiceError {
+    fn from(e: pct::PctError) -> Self {
+        ServiceError::Internal(format!("pipeline: {e}"))
+    }
+}
+
+impl From<resilience::ResilienceError> for ServiceError {
+    fn from(e: resilience::ResilienceError) -> Self {
+        ServiceError::Internal(format!("resiliency: {e}"))
+    }
+}
+
+impl From<hsi::HsiError> for ServiceError {
+    fn from(e: hsi::HsiError) -> Self {
+        ServiceError::Internal(format!("imagery: {e}"))
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;

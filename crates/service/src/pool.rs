@@ -1,0 +1,129 @@
+//! The long-lived worker pool shared by every job.
+//!
+//! Two lanes over one `scp` runtime:
+//!
+//! * **standard** — plain worker threads running the distributed
+//!   implementation's reactive `worker_loop`;
+//! * **resilient** — replica groups owned by a [`pct::ResilientManagerState`]
+//!   (kill switches, heartbeat detector, regenerator), the same machinery the
+//!   resilient pipeline uses per run, here owned for the pool's lifetime.
+//!
+//! The scheduler addresses the pool through the manager [`ThreadContext`];
+//! pool threads are spawned once at service start and live until shutdown —
+//! no per-request pipeline spawning.
+
+use crate::service::PoolConfig;
+use crate::Result;
+use pct::distributed::{worker_loop, MANAGER};
+use pct::messages::PctMessage;
+use pct::resilient::{AttackPlan, ResilientManagerState, ResilientRunReport};
+use resilience::attack::AttackInjector;
+use scp::{Runtime, RuntimeConfig, ThreadContext, ThreadHandle};
+
+pub(crate) struct WorkerPool {
+    pub runtime: Runtime<PctMessage>,
+    /// Routing names of the standard-lane workers.
+    pub standard: Vec<String>,
+    /// Logical group names of the resilient lane.
+    pub groups: Vec<String>,
+    standard_handles: Vec<ThreadHandle<()>>,
+    /// The folded resilient-lane state (membership, detector, regenerator,
+    /// member handles).
+    pub resilient: ResilientManagerState,
+}
+
+impl WorkerPool {
+    /// Spawns the pool and returns it together with the manager context the
+    /// scheduler drives it through.
+    pub fn start(config: &PoolConfig) -> Result<(WorkerPool, ThreadContext<PctMessage>)> {
+        // Channel validation is off for the same reason as the resilient
+        // pipeline: regenerated members introduce routing names a static
+        // graph cannot anticipate.
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
+        let ctx = runtime.context(MANAGER)?;
+
+        let standard: Vec<String> = (0..config.standard_workers.max(1))
+            .map(|i| format!("svc{i}"))
+            .collect();
+        let standard_handles = standard
+            .iter()
+            .map(|name| runtime.spawn(name.clone(), worker_loop))
+            .collect::<scp::Result<Vec<_>>>()?;
+
+        let groups: Vec<String> = (0..config.replica_groups)
+            .map(|i| format!("rg{i}"))
+            .collect();
+        let resilient = ResilientManagerState::build(
+            &runtime,
+            &groups,
+            config.replication_level.max(1),
+            config.detector,
+            AttackPlan::none(),
+        )?;
+
+        Ok((
+            WorkerPool {
+                runtime,
+                standard,
+                groups,
+                standard_handles,
+                resilient,
+            },
+            ctx,
+        ))
+    }
+
+    /// The kill-switch registry of the resilient lane (for attack drills).
+    pub fn injector(&self) -> AttackInjector {
+        self.resilient.injector.clone()
+    }
+
+    /// Shuts both lanes down and returns the resilient lane's run report.
+    pub fn shutdown(mut self, ctx: &mut ThreadContext<PctMessage>) -> ResilientRunReport {
+        for name in &self.standard {
+            let _ = ctx.send(name, PctMessage::Shutdown);
+        }
+        for handle in self.standard_handles.drain(..) {
+            handle.join();
+        }
+        self.resilient.shutdown(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_starts_and_shuts_down_idle() {
+        let config = PoolConfig {
+            standard_workers: 2,
+            replica_groups: 2,
+            replication_level: 2,
+            ..PoolConfig::default()
+        };
+        let (pool, mut ctx) = WorkerPool::start(&config).unwrap();
+        assert_eq!(pool.standard, vec!["svc0", "svc1"]);
+        assert_eq!(pool.groups, vec!["rg0", "rg1"]);
+        assert_eq!(pool.resilient.membership.all_members().len(), 4);
+        let mut targets = pool.injector().targets();
+        targets.sort();
+        assert_eq!(targets, vec!["rg0#0", "rg0#1", "rg1#0", "rg1#1"]);
+        let report = pool.shutdown(&mut ctx);
+        assert!(report.regenerations.is_empty());
+    }
+
+    #[test]
+    fn pool_can_run_without_a_resilient_lane() {
+        let config = PoolConfig {
+            standard_workers: 1,
+            replica_groups: 0,
+            ..PoolConfig::default()
+        };
+        let (pool, mut ctx) = WorkerPool::start(&config).unwrap();
+        assert!(pool.groups.is_empty());
+        assert!(pool.resilient.membership.all_members().is_empty());
+        let report = pool.shutdown(&mut ctx);
+        assert!(report.members_attacked.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! The bounded, priority-ordered admission queue.
+//!
+//! Submissions enter here; the scheduler drains from here.  The queue is the
+//! backpressure point of the service: `try_push` rejects when full (the
+//! caller sees [`ServiceError::Saturated`]) and `push_blocking` parks the
+//! submitter until space frees up or the queue closes.  Within the bound the
+//! queue orders by priority, FIFO within a priority.
+
+use crate::job::{JobId, JobSpec, Priority};
+use crate::ServiceError;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A job as it travels from the front end to the scheduler.
+#[derive(Debug)]
+pub(crate) struct QueuedJob {
+    /// The job's identifier.
+    pub id: JobId,
+    /// When the front end accepted it (latency is measured from here).
+    pub submitted: Instant,
+    /// The full specification.
+    pub spec: JobSpec,
+}
+
+struct Entry {
+    rank: u8,
+    seq: u64,
+    job: QueuedJob,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: more urgent first; among equals, earlier submission first.
+        self.rank.cmp(&other.rank).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    high_water: usize,
+    closed: bool,
+}
+
+/// The bounded admission queue shared by the front end and the scheduler.
+pub(crate) struct AdmissionQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    space: Condvar,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                high_water: 0,
+                closed: false,
+            }),
+            space: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn push_locked(inner: &mut Inner, priority: Priority, job: QueuedJob) {
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry {
+            rank: priority.rank(),
+            seq,
+            job,
+        });
+        inner.high_water = inner.high_water.max(inner.heap.len());
+    }
+
+    /// Non-blocking submission: rejects with `Saturated` when full.
+    pub fn try_push(&self, job: QueuedJob) -> Result<(), ServiceError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err(ServiceError::Saturated);
+        }
+        let priority = job.spec.priority;
+        Self::push_locked(&mut inner, priority, job);
+        Ok(())
+    }
+
+    /// Blocking submission: waits for space, errs only on shutdown.
+    pub fn push_blocking(&self, job: QueuedJob) -> Result<(), ServiceError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while !inner.closed && inner.heap.len() >= self.capacity {
+            inner = self.space.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let priority = job.spec.priority;
+        Self::push_locked(&mut inner, priority, job);
+        Ok(())
+    }
+
+    /// Scheduler side: takes the most urgent queued job, if any.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let entry = inner.heap.pop();
+        if entry.is_some() {
+            self.space.notify_one();
+        }
+        entry.map(|e| e.job)
+    }
+
+    /// Number of jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").heap.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().expect("queue lock").high_water
+    }
+
+    /// Stops accepting submissions and wakes all blocked submitters.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CubeSource, JobSpec};
+    use hsi::SceneConfig;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn job(id: JobId, priority: Priority) -> QueuedJob {
+        QueuedJob {
+            id,
+            submitted: Instant::now(),
+            spec: JobSpec::new(CubeSource::Synthetic(SceneConfig::small(id)))
+                .with_priority(priority),
+        }
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = AdmissionQueue::new(10);
+        q.try_push(job(1, Priority::Low)).unwrap();
+        q.try_push(job(2, Priority::Normal)).unwrap();
+        q.try_push(job(3, Priority::High)).unwrap();
+        q.try_push(job(4, Priority::Normal)).unwrap();
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        assert_eq!(order, vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn saturation_rejects_and_high_water_tracks() {
+        let q = AdmissionQueue::new(2);
+        q.try_push(job(1, Priority::Normal)).unwrap();
+        q.try_push(job(2, Priority::Normal)).unwrap();
+        assert_eq!(
+            q.try_push(job(3, Priority::High)).unwrap_err(),
+            ServiceError::Saturated
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+        q.pop().unwrap();
+        q.try_push(job(3, Priority::High)).unwrap();
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        q.try_push(job(1, Priority::Normal)).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_blocking(job(2, Priority::Normal)));
+        // Give the pusher a moment to park, then free space.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.pop().unwrap().id, 1);
+        pusher.join().unwrap().unwrap();
+        assert_eq!(q.pop().unwrap().id, 2);
+    }
+
+    #[test]
+    fn close_rejects_and_wakes_blocked_pushers() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        q.try_push(job(1, Priority::Normal)).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_blocking(job(2, Priority::Normal)));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert_eq!(
+            pusher.join().unwrap().unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        assert_eq!(
+            q.try_push(job(3, Priority::Normal)).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        // Already-queued jobs still drain.
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(job(1, Priority::Normal)).unwrap();
+        assert!(q.try_push(job(2, Priority::Normal)).is_err());
+    }
+}

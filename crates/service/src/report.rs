@@ -1,0 +1,173 @@
+//! The [`ServiceReport`]: counters and latency statistics describing one
+//! service lifetime.
+
+use crate::job::Priority;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Latency statistics for one priority class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of completed jobs measured.
+    pub count: u64,
+    /// Sum of submit-to-completion latencies.
+    pub total: Duration,
+    /// Worst submit-to-completion latency.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Records one completed job's latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.count += 1;
+        self.total += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Mean latency (zero when nothing was measured).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Aggregate accounting of one service lifetime, returned by
+/// [`crate::FusionService::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Jobs accepted into the queue (admitted or still queued at shutdown).
+    pub jobs_submitted: u64,
+    /// Jobs that completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs that failed.
+    pub jobs_failed: u64,
+    /// Jobs cancelled by clients.
+    pub jobs_cancelled: u64,
+    /// Jobs abandoned after exceeding their deadline.
+    pub jobs_timed_out: u64,
+    /// Submissions rejected by admission backpressure.
+    pub jobs_rejected: u64,
+    /// Tasks dispatched to the pool (group sends count once).
+    pub tasks_dispatched: u64,
+    /// First-per-task results consumed.
+    pub results_received: u64,
+    /// Duplicate replica results discarded.
+    pub duplicates_ignored: u64,
+    /// Heartbeats consumed from resilient-lane members.
+    pub heartbeats: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_high_water: usize,
+    /// Member regenerations performed by the resilient lane.
+    pub regenerations: usize,
+    /// Members killed by attack injection during the run.
+    pub members_attacked: Vec<String>,
+    /// Wall-clock lifetime of the scheduler.
+    pub elapsed: Duration,
+    /// Submit-to-completion latency per priority class.
+    pub latency: BTreeMap<Priority, LatencyStats>,
+}
+
+impl ServiceReport {
+    /// Completed jobs per wall-clock second.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.jobs_completed as f64 / secs
+        }
+    }
+
+    /// Records one completed job's latency under its priority class.
+    pub fn record_latency(&mut self, priority: Priority, latency: Duration) {
+        self.latency.entry(priority).or_default().record(latency);
+    }
+
+    /// A human-readable multi-line rendering for examples and logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("fusiond service report\n");
+        out.push_str(&format!(
+            "  jobs:   {} completed, {} failed, {} cancelled, {} timed out ({} submitted, {} rejected by backpressure)\n",
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_cancelled,
+            self.jobs_timed_out,
+            self.jobs_submitted,
+            self.jobs_rejected,
+        ));
+        out.push_str(&format!(
+            "  tasks:  {} dispatched, {} results ({} replica duplicates ignored), {} heartbeats\n",
+            self.tasks_dispatched, self.results_received, self.duplicates_ignored, self.heartbeats,
+        ));
+        out.push_str(&format!(
+            "  queue:  high-water mark {} jobs\n",
+            self.queue_high_water
+        ));
+        out.push_str(&format!(
+            "  pool:   {} regenerations, attacked members: {:?}\n",
+            self.regenerations, self.members_attacked
+        ));
+        out.push_str(&format!(
+            "  time:   {:.3} s elapsed -> {:.1} jobs/s throughput\n",
+            self.elapsed.as_secs_f64(),
+            self.throughput_jobs_per_sec(),
+        ));
+        for priority in Priority::ALL {
+            if let Some(stats) = self.latency.get(&priority) {
+                out.push_str(&format!(
+                    "  latency {:>6}: mean {:>8.3} ms, max {:>8.3} ms ({} jobs)\n",
+                    priority.label(),
+                    stats.mean().as_secs_f64() * 1e3,
+                    stats.max.as_secs_f64() * 1e3,
+                    stats.count,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_track_mean_and_max() {
+        let mut stats = LatencyStats::default();
+        assert_eq!(stats.mean(), Duration::ZERO);
+        stats.record(Duration::from_millis(10));
+        stats.record(Duration::from_millis(30));
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.mean(), Duration::from_millis(20));
+        assert_eq!(stats.max, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn throughput_handles_zero_elapsed() {
+        let report = ServiceReport::default();
+        assert_eq!(report.throughput_jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_the_headline_numbers() {
+        let mut report = ServiceReport {
+            jobs_submitted: 5,
+            jobs_completed: 4,
+            jobs_rejected: 1,
+            queue_high_water: 3,
+            elapsed: Duration::from_secs(2),
+            ..ServiceReport::default()
+        };
+        report.record_latency(Priority::High, Duration::from_millis(12));
+        let text = report.render();
+        assert!(text.contains("4 completed"));
+        assert!(text.contains("1 rejected"));
+        assert!(text.contains("high-water mark 3"));
+        assert!(text.contains("latency   high"));
+        assert!((report.throughput_jobs_per_sec() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,640 @@
+//! The batch scheduler: admits jobs from the queue, shards them, and
+//! multiplexes their tasks over the shared pool.
+//!
+//! Each scheduler tick forms a dispatch batch: every runnable task of every
+//! admitted job, ordered by priority then submission, is matched against the
+//! free execution slots of its lane (standard workers or replica groups, one
+//! outstanding task per slot).  Jobs advance through three phases:
+//!
+//! 1. **Screen** — a chain of seeded screening tasks, one shard at a time,
+//!    so the accumulated unique set is bit-for-bit the whole-image greedy
+//!    screening (intra-job pipelining; cross-job concurrency fills the pool).
+//! 2. **Derive** — one task computing steps 3–6 over the merged unique set,
+//!    exactly as the sequential reference does.
+//! 3. **Transform** — per-shard transform/colour tasks fanned out freely
+//!    (per-pixel pure), reassembled into the fused image.
+//!
+//! The resilient lane reuses [`pct::ResilientManagerState`]: heartbeats are
+//! consumed here, silence-flagged members are probed, dead members are
+//! regenerated and their groups' outstanding tasks re-issued, and duplicate
+//! replica results are discarded by task id — all without disturbing job
+//! outputs.
+
+use crate::job::{BackendKind, JobId, JobStatus, Priority};
+use crate::pool::WorkerPool;
+use crate::queue::AdmissionQueue;
+use crate::report::ServiceReport;
+use crate::status::StatusTable;
+use hsi::partition::{partition_rows, SubCubeSpec};
+use hsi::HyperCube;
+use linalg::{Matrix, Vector};
+use pct::colormap::ComponentScale;
+use pct::distributed::assemble_image;
+use pct::messages::{PctMessage, TaskId};
+use pct::{FusionOutput, PctConfig};
+use resilience::MemberId;
+use scp::{Envelope, ScpError, ThreadContext};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which pool slot a task occupies.
+#[derive(Debug, Clone)]
+enum Assignee {
+    Worker(String),
+    Group(String),
+}
+
+/// One dispatched, not-yet-answered task.
+struct InFlight {
+    job: JobId,
+    assignee: Assignee,
+    /// Kept for re-issue when a replica-group member is regenerated.
+    message: PctMessage,
+}
+
+/// Job execution phases (see module docs).
+enum Phase {
+    Screen,
+    Derive,
+    Transform,
+}
+
+/// Scheduler-side state of one admitted job.
+struct JobRun {
+    priority: Priority,
+    backend: BackendKind,
+    config: PctConfig,
+    cube: Arc<HyperCube>,
+    shards: Vec<SubCubeSpec>,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    phase: Phase,
+    unique: Vec<Vector>,
+    unique_count: usize,
+    screen_next: usize,
+    screen_outstanding: bool,
+    derive_outstanding: bool,
+    transform_next: usize,
+    strips: Vec<(usize, usize, usize, Vec<u8>)>,
+    eigenvalues: Vec<f64>,
+    mean: Option<Vector>,
+    transform: Option<Matrix>,
+    scales: Vec<(f64, f64)>,
+}
+
+impl JobRun {
+    /// Produces the next dispatchable task message, updating phase-progress
+    /// bookkeeping; `None` when the job is waiting on outstanding results.
+    fn next_task_message(&mut self, task: TaskId) -> Option<PctMessage> {
+        match self.phase {
+            Phase::Screen => {
+                if self.screen_outstanding || self.screen_next >= self.shards.len() {
+                    return None;
+                }
+                let sub = self.shards[self.screen_next].extract(&self.cube).ok()?;
+                self.screen_outstanding = true;
+                Some(PctMessage::ScreenSeededTask {
+                    task,
+                    sub,
+                    seed: self.unique.clone(),
+                    threshold_rad: self.config.screening_angle_rad,
+                })
+            }
+            Phase::Derive => {
+                if self.derive_outstanding {
+                    return None;
+                }
+                self.derive_outstanding = true;
+                self.unique_count = self.unique.len();
+                Some(PctMessage::DeriveTask {
+                    task,
+                    unique: std::mem::take(&mut self.unique),
+                    config: self.config,
+                })
+            }
+            Phase::Transform => {
+                if self.transform_next >= self.shards.len() {
+                    return None;
+                }
+                let sub = self.shards[self.transform_next].extract(&self.cube).ok()?;
+                self.transform_next += 1;
+                Some(PctMessage::TransformTask {
+                    task,
+                    sub,
+                    mean: self.mean.clone()?,
+                    transform: self.transform.clone()?,
+                    scales: self.scales.clone(),
+                })
+            }
+        }
+    }
+}
+
+/// What a consumed result means for its job, decided while the job is
+/// borrowed and acted on afterwards.
+enum Outcome {
+    InProgress,
+    Complete,
+    Failed(String),
+}
+
+/// How many recently completed group-lane task ids are remembered for
+/// duplicate accounting.  Only replica groups produce duplicates (level - 1
+/// extra results per task, plus re-issues), and those arrive promptly, so a
+/// small bounded window keeps `duplicates_ignored` accurate without growing
+/// with service lifetime.  An evicted id merely stops being counted.
+const DEDUP_WINDOW: usize = 4096;
+
+/// The scheduler: owns the pool and drives everything from one thread.
+pub(crate) struct Scheduler {
+    pool: WorkerPool,
+    ctx: ThreadContext<PctMessage>,
+    queue: Arc<AdmissionQueue>,
+    status: Arc<StatusTable>,
+    cancels: Arc<Mutex<Vec<JobId>>>,
+    shutdown: Arc<AtomicBool>,
+    max_in_flight: usize,
+    running: BTreeMap<JobId, JobRun>,
+    tasks: HashMap<TaskId, InFlight>,
+    completed_group_tasks: HashSet<TaskId>,
+    completed_group_order: VecDeque<TaskId>,
+    cancelled_queued: HashSet<JobId>,
+    free_workers: VecDeque<String>,
+    free_groups: VecDeque<String>,
+    next_task: TaskId,
+    started: Instant,
+    report: ServiceReport,
+}
+
+impl Scheduler {
+    pub fn new(
+        pool: WorkerPool,
+        ctx: ThreadContext<PctMessage>,
+        queue: Arc<AdmissionQueue>,
+        status: Arc<StatusTable>,
+        cancels: Arc<Mutex<Vec<JobId>>>,
+        shutdown: Arc<AtomicBool>,
+        max_in_flight: usize,
+    ) -> Self {
+        let free_workers = pool.standard.iter().cloned().collect();
+        let free_groups = pool.groups.iter().cloned().collect();
+        Self {
+            pool,
+            ctx,
+            queue,
+            status,
+            cancels,
+            shutdown,
+            max_in_flight: max_in_flight.max(1),
+            running: BTreeMap::new(),
+            tasks: HashMap::new(),
+            completed_group_tasks: HashSet::new(),
+            completed_group_order: VecDeque::new(),
+            cancelled_queued: HashSet::new(),
+            free_workers,
+            free_groups,
+            next_task: 1,
+            started: Instant::now(),
+            report: ServiceReport::default(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The scheduler main loop; returns the final report at shutdown.
+    pub fn run(mut self) -> ServiceReport {
+        loop {
+            self.drain_cancels();
+            self.admit();
+            self.dispatch();
+            match self.ctx.recv_timeout(Duration::from_millis(5)) {
+                Ok(envelope) => {
+                    self.on_message(envelope);
+                    while let Ok(Some(envelope)) = self.ctx.try_recv() {
+                        self.on_message(envelope);
+                    }
+                }
+                Err(ScpError::Timeout) => {}
+                Err(_) => break,
+            }
+            self.maintain_resilient();
+            self.enforce_deadlines();
+            if self.shutdown.load(Ordering::Acquire)
+                && self.running.is_empty()
+                && self.queue.is_empty()
+            {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    /// Applies client cancellation requests.
+    fn drain_cancels(&mut self) {
+        let drained: Vec<JobId> = {
+            let mut cancels = self.cancels.lock().expect("cancel lock");
+            std::mem::take(&mut *cancels)
+        };
+        for id in drained {
+            if self.running.contains_key(&id) {
+                self.fail_job(id, JobStatus::Cancelled, String::new());
+            } else if self.status.status(id) == Some(JobStatus::Queued) {
+                self.cancelled_queued.insert(id);
+            }
+        }
+    }
+
+    /// Admits queued jobs while in-flight capacity remains.
+    fn admit(&mut self) {
+        while self.running.len() < self.max_in_flight {
+            let Some(queued) = self.queue.pop() else {
+                break;
+            };
+            self.report.jobs_submitted += 1;
+            if self.cancelled_queued.remove(&queued.id) {
+                self.report.jobs_cancelled += 1;
+                self.status
+                    .transition(queued.id, JobStatus::Cancelled, None, None);
+                continue;
+            }
+            let cube = match queued.spec.source.realize() {
+                Ok(cube) => cube,
+                Err(e) => {
+                    self.report.jobs_failed += 1;
+                    self.status
+                        .transition(queued.id, JobStatus::Failed, None, Some(e.to_string()));
+                    continue;
+                }
+            };
+            let shards = match partition_rows(cube.dims(), queued.spec.shards) {
+                Ok(shards) => shards,
+                Err(e) => {
+                    self.report.jobs_failed += 1;
+                    self.status
+                        .transition(queued.id, JobStatus::Failed, None, Some(e.to_string()));
+                    continue;
+                }
+            };
+            let run = JobRun {
+                priority: queued.spec.priority,
+                backend: queued.spec.backend,
+                config: queued.spec.config,
+                cube,
+                shards,
+                deadline: queued.spec.timeout.map(|t| Instant::now() + t),
+                submitted: queued.submitted,
+                phase: Phase::Screen,
+                unique: Vec::new(),
+                unique_count: 0,
+                screen_next: 0,
+                screen_outstanding: false,
+                derive_outstanding: false,
+                transform_next: 0,
+                strips: Vec::new(),
+                eigenvalues: Vec::new(),
+                mean: None,
+                transform: None,
+                scales: Vec::new(),
+            };
+            self.status
+                .transition(queued.id, JobStatus::Running, None, None);
+            self.running.insert(queued.id, run);
+        }
+    }
+
+    /// Forms this tick's dispatch batch: runnable jobs in (priority,
+    /// submission) order, each matched to free slots of its lane.
+    fn dispatch(&mut self) {
+        let mut order: Vec<(u8, JobId)> = self
+            .running
+            .iter()
+            .map(|(id, job)| (job.priority.rank(), *id))
+            .collect();
+        order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, id) in order {
+            self.dispatch_job(id);
+        }
+    }
+
+    /// Dispatches as many of one job's ready tasks as its lane has slots.
+    fn dispatch_job(&mut self, id: JobId) {
+        loop {
+            let Some(job) = self.running.get_mut(&id) else {
+                return;
+            };
+            let lane_free = match job.backend {
+                BackendKind::Standard => !self.free_workers.is_empty(),
+                BackendKind::Resilient => !self.free_groups.is_empty(),
+            };
+            if !lane_free {
+                return;
+            }
+            let task = self.next_task;
+            let Some(message) = job.next_task_message(task) else {
+                return;
+            };
+            self.next_task += 1;
+            let backend = job.backend;
+            match backend {
+                BackendKind::Standard => {
+                    let worker = self.free_workers.pop_front().expect("lane checked");
+                    self.tasks.insert(
+                        task,
+                        InFlight {
+                            job: id,
+                            assignee: Assignee::Worker(worker.clone()),
+                            message: message.clone(),
+                        },
+                    );
+                    if self.ctx.send(&worker, message).is_err() {
+                        // A standard worker's mailbox is gone: unrecoverable
+                        // for this lane (no replication) — fail the job.
+                        self.tasks.remove(&task);
+                        self.fail_job(
+                            id,
+                            JobStatus::Failed,
+                            format!("standard worker '{worker}' lost"),
+                        );
+                        return;
+                    }
+                    self.report.tasks_dispatched += 1;
+                }
+                BackendKind::Resilient => {
+                    let group = self.free_groups.pop_front().expect("lane checked");
+                    // Record the task before sending so a failure-triggered
+                    // re-issue covers it.
+                    self.tasks.insert(
+                        task,
+                        InFlight {
+                            job: id,
+                            assignee: Assignee::Group(group.clone()),
+                            message: message.clone(),
+                        },
+                    );
+                    let dead = match self
+                        .pool
+                        .resilient
+                        .group_send(&mut self.ctx, &group, &message)
+                    {
+                        Ok(dead) => dead,
+                        Err(e) => {
+                            self.tasks.remove(&task);
+                            self.fail_job(id, JobStatus::Failed, e.to_string());
+                            return;
+                        }
+                    };
+                    self.report.tasks_dispatched += 1;
+                    let now_ms = self.now_ms();
+                    for failed in dead {
+                        self.recover_member(failed, now_ms);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes one envelope from the pool.
+    fn on_message(&mut self, envelope: Envelope<PctMessage>) {
+        let now_ms = self.now_ms();
+        let from = envelope.from;
+        match envelope.payload {
+            PctMessage::Heartbeat => {
+                self.report.heartbeats += 1;
+                self.pool.resilient.heartbeat_from(&from, now_ms);
+            }
+            msg => {
+                // Any traffic from a member is proof of life.
+                self.pool.resilient.heartbeat_from(&from, now_ms);
+                let Some(task) = msg.task() else { return };
+                let Some(inflight) = self.tasks.remove(&task) else {
+                    if self.completed_group_tasks.contains(&task) {
+                        self.report.duplicates_ignored += 1;
+                    }
+                    return;
+                };
+                match inflight.assignee {
+                    Assignee::Worker(name) => self.free_workers.push_back(name),
+                    Assignee::Group(name) => {
+                        self.free_groups.push_back(name);
+                        self.remember_completed_group_task(task);
+                    }
+                }
+                self.report.results_received += 1;
+                let id = inflight.job;
+                let Some(job) = self.running.get_mut(&id) else {
+                    // Job already cancelled, timed out or failed.
+                    return;
+                };
+                let outcome = match msg {
+                    PctMessage::SeededUnique { accepted, .. } => {
+                        job.unique.extend(accepted);
+                        job.screen_outstanding = false;
+                        job.screen_next += 1;
+                        if job.screen_next >= job.shards.len() {
+                            job.phase = Phase::Derive;
+                        }
+                        Outcome::InProgress
+                    }
+                    PctMessage::DerivedTransform {
+                        mean,
+                        transform,
+                        eigenvalues,
+                        ..
+                    } => {
+                        job.scales = ComponentScale::from_eigenvalues(&eigenvalues, 3)
+                            .into_iter()
+                            .map(|s| (s.min, s.max))
+                            .collect();
+                        job.mean = Some(mean);
+                        job.transform = Some(transform);
+                        job.eigenvalues = eigenvalues;
+                        job.phase = Phase::Transform;
+                        Outcome::InProgress
+                    }
+                    PctMessage::RgbStrip {
+                        row_start,
+                        rows,
+                        width,
+                        rgb,
+                        ..
+                    } => {
+                        job.strips.push((row_start, rows, width, rgb));
+                        if job.strips.len() >= job.shards.len() {
+                            Outcome::Complete
+                        } else {
+                            Outcome::InProgress
+                        }
+                    }
+                    PctMessage::TaskFailed { error, .. } => Outcome::Failed(error),
+                    // Protocol messages the service never requests.
+                    _ => Outcome::InProgress,
+                };
+                match outcome {
+                    Outcome::InProgress => {}
+                    Outcome::Complete => self.complete_job(id),
+                    Outcome::Failed(error) => self.fail_job(id, JobStatus::Failed, error),
+                }
+            }
+        }
+    }
+
+    /// Assembles and publishes a finished job.
+    fn complete_job(&mut self, id: JobId) {
+        let Some(job) = self.running.remove(&id) else {
+            return;
+        };
+        match assemble_image(job.cube.width(), job.cube.height(), job.strips) {
+            Ok(image) => {
+                let output = FusionOutput {
+                    image,
+                    eigenvalues: job.eigenvalues,
+                    unique_count: job.unique_count,
+                    pixels: job.cube.pixels(),
+                };
+                self.report.jobs_completed += 1;
+                self.report
+                    .record_latency(job.priority, job.submitted.elapsed());
+                self.status
+                    .transition(id, JobStatus::Completed, Some(output), None);
+            }
+            Err(e) => {
+                self.report.jobs_failed += 1;
+                self.status
+                    .transition(id, JobStatus::Failed, None, Some(e.to_string()));
+            }
+        }
+    }
+
+    /// Removes a job with a non-success terminal status.  Its outstanding
+    /// tasks stay in the table so their eventual results free the slots.
+    fn fail_job(&mut self, id: JobId, status: JobStatus, error: String) {
+        if self.running.remove(&id).is_none() {
+            return;
+        }
+        match status {
+            JobStatus::Failed => self.report.jobs_failed += 1,
+            JobStatus::Cancelled => self.report.jobs_cancelled += 1,
+            JobStatus::TimedOut => self.report.jobs_timed_out += 1,
+            _ => {}
+        }
+        let error = if error.is_empty() { None } else { Some(error) };
+        self.status.transition(id, status, None, error);
+    }
+
+    /// Periodic resilient-lane upkeep: sweep, probe, regenerate.
+    fn maintain_resilient(&mut self) {
+        if self.pool.groups.is_empty() {
+            return;
+        }
+        let now_ms = self.now_ms();
+        let failures = self.pool.resilient.sweep_and_probe(&mut self.ctx, now_ms);
+        for failed in failures {
+            self.recover_member(failed, now_ms);
+        }
+    }
+
+    /// Records a completed group-lane task id in the bounded duplicate
+    /// window (replica results for it may still be in flight).
+    fn remember_completed_group_task(&mut self, task: TaskId) {
+        if self.completed_group_tasks.insert(task) {
+            self.completed_group_order.push_back(task);
+            if self.completed_group_order.len() > DEDUP_WINDOW {
+                if let Some(evicted) = self.completed_group_order.pop_front() {
+                    self.completed_group_tasks.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Tasks currently in flight on one replica group, keyed for re-issue.
+    /// Only that group's tasks are cloned — re-issue never touches others.
+    fn group_outstanding(&self, group: &str) -> HashMap<TaskId, (String, PctMessage)> {
+        self.tasks
+            .iter()
+            .filter_map(|(task, inflight)| match &inflight.assignee {
+                Assignee::Group(g) if g == group => {
+                    Some((*task, (g.clone(), inflight.message.clone())))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Regenerates a failed member; if regeneration is impossible, fails the
+    /// jobs whose tasks were riding on that group.
+    fn recover_member(&mut self, failed: MemberId, now_ms: u64) {
+        let outstanding = self.group_outstanding(&failed.group);
+        let result = self.pool.resilient.handle_member_failure(
+            &mut self.ctx,
+            &self.pool.runtime,
+            &outstanding,
+            now_ms,
+            &failed,
+        );
+        if let Err(e) = result {
+            let affected: Vec<(TaskId, JobId)> = self
+                .tasks
+                .iter()
+                .filter_map(|(task, inflight)| match &inflight.assignee {
+                    Assignee::Group(group) if *group == failed.group => Some((*task, inflight.job)),
+                    _ => None,
+                })
+                .collect();
+            for (task, _) in &affected {
+                self.tasks.remove(task);
+            }
+            for (_, id) in affected {
+                self.fail_job(
+                    id,
+                    JobStatus::Failed,
+                    format!("replica group '{}' unrecoverable: {e}", failed.group),
+                );
+            }
+        }
+    }
+
+    /// Abandons jobs past their deadline.
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<JobId> = self
+            .running
+            .iter()
+            .filter_map(|(id, job)| match job.deadline {
+                Some(deadline) if now > deadline => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for id in expired {
+            self.fail_job(id, JobStatus::TimedOut, String::new());
+        }
+    }
+
+    /// Tears the pool down and closes the books.
+    fn finalize(mut self) -> ServiceReport {
+        // Anything still tracked at this point (abnormal exit) fails.
+        let leftover: Vec<JobId> = self.running.keys().copied().collect();
+        for id in leftover {
+            self.fail_job(id, JobStatus::Failed, "service stopped".to_string());
+        }
+        while let Some(queued) = self.queue.pop() {
+            self.report.jobs_submitted += 1;
+            self.report.jobs_failed += 1;
+            self.status.transition(
+                queued.id,
+                JobStatus::Failed,
+                None,
+                Some("service stopped".to_string()),
+            );
+        }
+        let resilient_report = self.pool.shutdown(&mut self.ctx);
+        self.report.regenerations = resilient_report.regenerations.len();
+        self.report.members_attacked = resilient_report.members_attacked;
+        self.report.queue_high_water = self.queue.high_water();
+        self.report.elapsed = self.started.elapsed();
+        self.report
+    }
+}

@@ -1,0 +1,355 @@
+//! The public face of `fusiond`: configuration, submission, status, results.
+
+use crate::job::{BackendKind, JobId, JobSpec, JobStatus};
+use crate::pool::WorkerPool;
+use crate::queue::{AdmissionQueue, QueuedJob};
+use crate::report::ServiceReport;
+use crate::scheduler::Scheduler;
+use crate::status::{JobRecord, StatusTable};
+use crate::{Result, ServiceError};
+use pct::FusionOutput;
+use resilience::DetectorConfig;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing of the shared worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Plain worker threads of the standard lane.
+    pub standard_workers: usize,
+    /// Replica groups of the resilient lane (0 disables the lane).
+    pub replica_groups: usize,
+    /// Members per replica group (the paper evaluates level 2).
+    pub replication_level: usize,
+    /// Failure-detector tuning for the resilient lane.
+    pub detector: DetectorConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            standard_workers: 4,
+            replica_groups: 2,
+            replication_level: 2,
+            detector: DetectorConfig {
+                heartbeat_period_ms: 50,
+                miss_threshold: 8,
+            },
+        }
+    }
+}
+
+/// Service-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Pool sizing.
+    pub pool: PoolConfig,
+    /// Bound of the admission queue (the backpressure point).
+    pub queue_capacity: usize,
+    /// Maximum number of jobs admitted (running) concurrently.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            pool: PoolConfig::default(),
+            queue_capacity: 64,
+            max_in_flight: 16,
+        }
+    }
+}
+
+/// A running fusion service: one scheduler thread driving one long-lived
+/// worker pool, fed through a bounded admission queue.
+///
+/// Dropping the service without calling [`FusionService::shutdown`] tears the
+/// pool down but discards the report.
+pub struct FusionService {
+    queue: Arc<AdmissionQueue>,
+    status: Arc<StatusTable>,
+    cancels: Arc<Mutex<Vec<JobId>>>,
+    shutdown_flag: Arc<AtomicBool>,
+    injector: resilience::attack::AttackInjector,
+    resilient_lane: bool,
+    next_job: AtomicU64,
+    rejected: AtomicU64,
+    scheduler: Option<JoinHandle<ServiceReport>>,
+}
+
+impl FusionService {
+    /// Starts the pool and the scheduler thread.
+    pub fn start(config: ServiceConfig) -> Result<FusionService> {
+        if config.max_in_flight == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "max_in_flight must be at least 1".to_string(),
+            ));
+        }
+        let (pool, ctx) = WorkerPool::start(&config.pool)?;
+        let injector = pool.injector();
+        let resilient_lane = !pool.groups.is_empty();
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let status = Arc::new(StatusTable::new());
+        let cancels = Arc::new(Mutex::new(Vec::new()));
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let scheduler = Scheduler::new(
+            pool,
+            ctx,
+            Arc::clone(&queue),
+            Arc::clone(&status),
+            Arc::clone(&cancels),
+            Arc::clone(&shutdown_flag),
+            config.max_in_flight,
+        );
+        let handle = std::thread::Builder::new()
+            .name("fusiond-scheduler".to_string())
+            .spawn(move || scheduler.run())
+            .expect("failed to spawn scheduler thread");
+        Ok(FusionService {
+            queue,
+            status,
+            cancels,
+            shutdown_flag,
+            injector,
+            resilient_lane,
+            next_job: AtomicU64::new(1),
+            rejected: AtomicU64::new(0),
+            scheduler: Some(handle),
+        })
+    }
+
+    fn enqueue(&self, spec: JobSpec, blocking: bool) -> Result<JobId> {
+        spec.validate()?;
+        if spec.backend == BackendKind::Resilient && !self.resilient_lane {
+            return Err(ServiceError::InvalidConfig(
+                "resilient backend requested but the pool has no replica groups".to_string(),
+            ));
+        }
+        // Pay any cube-generation cost here, on the submitting thread — the
+        // scheduler's control plane must never stall on ingestion.
+        let spec = spec.into_realized()?;
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.status.insert(id, JobRecord::queued());
+        let queued = QueuedJob {
+            id,
+            submitted: Instant::now(),
+            spec,
+        };
+        let pushed = if blocking {
+            self.queue.push_blocking(queued)
+        } else {
+            self.queue.try_push(queued)
+        };
+        match pushed {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.status.remove(id);
+                if e == ServiceError::Saturated {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits a job, blocking while the admission queue is full.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId> {
+        self.enqueue(spec, true)
+    }
+
+    /// Submits a job, rejecting immediately with [`ServiceError::Saturated`]
+    /// when the admission queue is full (backpressure).
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId> {
+        self.enqueue(spec, false)
+    }
+
+    /// Current lifecycle status of a job, if known.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.status.status(id)
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its output
+    /// (or the terminal error).  The job's record is consumed: a later
+    /// `wait` or [`FusionService::status`] for the same id reports it as
+    /// unknown.  This keeps the results plane bounded over a long service
+    /// lifetime.
+    pub fn wait(&self, id: JobId) -> Result<FusionOutput> {
+        self.status.wait_terminal(id)
+    }
+
+    /// Requests cancellation of a job.  Returns whether the job was known
+    /// and not yet terminal when the request was recorded; the scheduler
+    /// applies it asynchronously.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let live = matches!(
+            self.status.status(id),
+            Some(status) if !status.is_terminal()
+        );
+        if live {
+            self.cancels.lock().expect("cancel lock").push(id);
+        }
+        live
+    }
+
+    /// Number of jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Bound of the admission queue (the backpressure point).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Routing names of the resilient lane's live attack targets.
+    pub fn attack_targets(&self) -> Vec<String> {
+        self.injector.targets()
+    }
+
+    /// Kills a resilient-lane member by routing name (attack drill).
+    /// Returns whether the member was a registered target.
+    pub fn inject_attack(&self, member: &str) -> bool {
+        self.injector.attack(member)
+    }
+
+    /// Graceful shutdown: stops accepting jobs, drains the queue and every
+    /// running job, tears the pool down and returns the final report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.shutdown_flag.store(true, Ordering::Release);
+        self.queue.close();
+        let mut report = match self.scheduler.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => ServiceReport::default(),
+        };
+        report.jobs_rejected = self.rejected.load(Ordering::Relaxed);
+        report
+    }
+}
+
+impl Drop for FusionService {
+    fn drop(&mut self) {
+        if let Some(handle) = self.scheduler.take() {
+            self.shutdown_flag.store(true, Ordering::Release);
+            self.queue.close();
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CubeSource, Priority};
+    use hsi::{CubeDims, SceneConfig, SceneGenerator};
+    use pct::{PctConfig, SequentialPct};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn tiny_pool() -> ServiceConfig {
+        ServiceConfig {
+            pool: PoolConfig {
+                standard_workers: 2,
+                replica_groups: 1,
+                replication_level: 2,
+                ..PoolConfig::default()
+            },
+            queue_capacity: 16,
+            max_in_flight: 4,
+        }
+    }
+
+    fn scene(seed: u64, side: usize, bands: usize) -> SceneConfig {
+        let mut config = SceneConfig::small(seed);
+        config.dims = CubeDims::new(side, side, bands);
+        config
+    }
+
+    #[test]
+    fn jobs_complete_byte_identical_to_sequential() {
+        let service = FusionService::start(tiny_pool()).unwrap();
+        let mut jobs = Vec::new();
+        for i in 0..4u64 {
+            let config = scene(40 + i, 16, 8);
+            let cube = Arc::new(SceneGenerator::new(config).unwrap().generate());
+            let backend = if i % 2 == 0 {
+                BackendKind::Standard
+            } else {
+                BackendKind::Resilient
+            };
+            let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
+                .with_backend(backend)
+                .with_shards(3);
+            let id = service.submit(spec).unwrap();
+            jobs.push((id, cube));
+        }
+        for (id, cube) in jobs {
+            assert!(service.status(id).is_some());
+            let output = service.wait(id).unwrap();
+            let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+            assert_eq!(output, reference, "job {id} diverged from sequential");
+            // wait() consumed the record.
+            assert_eq!(service.status(id), None);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 4);
+        assert_eq!(report.jobs_failed, 0);
+    }
+
+    #[test]
+    fn synthetic_sources_and_priorities_flow_through() {
+        let service = FusionService::start(tiny_pool()).unwrap();
+        let id = service
+            .submit(
+                JobSpec::new(CubeSource::Synthetic(scene(7, 12, 6)))
+                    .with_priority(Priority::High)
+                    .with_shards(2),
+            )
+            .unwrap();
+        let output = service.wait(id).unwrap();
+        let cube = SceneGenerator::new(scene(7, 12, 6)).unwrap().generate();
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(output, reference);
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 1);
+        assert!(report.latency.contains_key(&Priority::High));
+    }
+
+    #[test]
+    fn resilient_submission_without_lane_is_rejected() {
+        let mut config = tiny_pool();
+        config.pool.replica_groups = 0;
+        let service = FusionService::start(config).unwrap();
+        let err = service
+            .submit(
+                JobSpec::new(CubeSource::Synthetic(scene(1, 8, 4)))
+                    .with_backend(BackendKind::Resilient),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_timeout_job_times_out() {
+        let service = FusionService::start(tiny_pool()).unwrap();
+        let id = service
+            .submit(
+                JobSpec::new(CubeSource::Synthetic(scene(3, 24, 12))).with_timeout(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(service.wait(id).unwrap_err(), ServiceError::TimedOut);
+        let report = service.shutdown();
+        assert_eq!(report.jobs_timed_out, 1);
+    }
+
+    #[test]
+    fn unknown_job_queries() {
+        let service = FusionService::start(tiny_pool()).unwrap();
+        assert_eq!(service.status(99), None);
+        assert!(!service.cancel(99));
+        assert_eq!(service.wait(99).unwrap_err(), ServiceError::UnknownJob(99));
+        service.shutdown();
+    }
+}

@@ -1,0 +1,162 @@
+//! The shared job-status table: the results plane between the scheduler and
+//! waiting clients.
+
+use crate::job::{JobId, JobStatus};
+use crate::{Result, ServiceError};
+use pct::FusionOutput;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+/// Everything the service remembers about one job.
+#[derive(Debug, Clone)]
+pub(crate) struct JobRecord {
+    pub status: JobStatus,
+    pub output: Option<FusionOutput>,
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    pub fn queued() -> Self {
+        Self {
+            status: JobStatus::Queued,
+            output: None,
+            error: None,
+        }
+    }
+}
+
+/// Concurrently readable job table with change notification.
+#[derive(Default)]
+pub(crate) struct StatusTable {
+    records: Mutex<HashMap<JobId, JobRecord>>,
+    changed: Condvar,
+}
+
+impl StatusTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&self, id: JobId, record: JobRecord) {
+        self.records.lock().expect("status lock").insert(id, record);
+    }
+
+    pub fn remove(&self, id: JobId) {
+        self.records.lock().expect("status lock").remove(&id);
+    }
+
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.records
+            .lock()
+            .expect("status lock")
+            .get(&id)
+            .map(|r| r.status)
+    }
+
+    /// Transitions a job to a (possibly terminal) status, recording output or
+    /// error, and wakes waiters.  Terminal states are never overwritten.
+    pub fn transition(
+        &self,
+        id: JobId,
+        status: JobStatus,
+        output: Option<FusionOutput>,
+        error: Option<String>,
+    ) {
+        let mut records = self.records.lock().expect("status lock");
+        if let Some(record) = records.get_mut(&id) {
+            if record.status.is_terminal() {
+                return;
+            }
+            record.status = status;
+            record.output = output;
+            record.error = error;
+        }
+        drop(records);
+        self.changed.notify_all();
+    }
+
+    /// Blocks until the job reaches a terminal status, then *consumes* its
+    /// record and maps it to the client-facing result.  Consuming bounds the
+    /// table: a long-lived service would otherwise retain every completed
+    /// job's full image forever.  A second wait on the same id reports the
+    /// job as unknown.
+    pub fn wait_terminal(&self, id: JobId) -> Result<FusionOutput> {
+        let mut records = self.records.lock().expect("status lock");
+        loop {
+            let Some(record) = records.get(&id) else {
+                return Err(ServiceError::UnknownJob(id));
+            };
+            if record.status.is_terminal() {
+                break;
+            }
+            records = self.changed.wait(records).expect("status lock");
+        }
+        let record = records.remove(&id).expect("present: checked above");
+        match record.status {
+            JobStatus::Completed => record
+                .output
+                .ok_or_else(|| ServiceError::Internal("completed without output".into())),
+            JobStatus::Failed => Err(ServiceError::Failed(
+                record.error.unwrap_or_else(|| "unknown".into()),
+            )),
+            JobStatus::Cancelled => Err(ServiceError::Cancelled),
+            JobStatus::TimedOut => Err(ServiceError::TimedOut),
+            JobStatus::Queued | JobStatus::Running => {
+                unreachable!("loop exits only on terminal status")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn transition_and_wait_round_trip() {
+        let table = Arc::new(StatusTable::new());
+        table.insert(7, JobRecord::queued());
+        assert_eq!(table.status(7), Some(JobStatus::Queued));
+
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || table.wait_terminal(7))
+        };
+        table.transition(7, JobStatus::Running, None, None);
+        table.transition(7, JobStatus::Failed, None, Some("boom".into()));
+        assert_eq!(
+            waiter.join().unwrap().unwrap_err(),
+            ServiceError::Failed("boom".into())
+        );
+    }
+
+    #[test]
+    fn terminal_states_are_sticky_and_wait_consumes() {
+        let table = StatusTable::new();
+        table.insert(1, JobRecord::queued());
+        table.transition(1, JobStatus::Cancelled, None, None);
+        table.transition(1, JobStatus::Running, None, None);
+        assert_eq!(table.status(1), Some(JobStatus::Cancelled));
+        assert_eq!(table.wait_terminal(1).unwrap_err(), ServiceError::Cancelled);
+        // The record was consumed by the wait; the table does not grow.
+        assert_eq!(table.status(1), None);
+        assert_eq!(
+            table.wait_terminal(1).unwrap_err(),
+            ServiceError::UnknownJob(1)
+        );
+    }
+
+    #[test]
+    fn unknown_job_is_an_error() {
+        let table = StatusTable::new();
+        assert_eq!(table.status(9), None);
+        assert_eq!(
+            table.wait_terminal(9).unwrap_err(),
+            ServiceError::UnknownJob(9)
+        );
+        table.insert(9, JobRecord::queued());
+        table.remove(9);
+        assert_eq!(table.status(9), None);
+    }
+}

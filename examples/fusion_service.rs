@@ -1,0 +1,105 @@
+//! `fusiond` under load: 64 concurrent fusion jobs — mixed priorities,
+//! mixed backends, one mid-run worker kill on the resilient lane — all
+//! multiplexed over one shared, sharded worker pool, with every output
+//! verified byte-identical to the sequential reference.
+//!
+//! Run with: `cargo run --release --example fusion_service`
+
+use hsi::{CubeDims, HyperCube, SceneConfig, SceneGenerator};
+use pct::{PctConfig, SequentialPct};
+use service::{
+    BackendKind, CubeSource, FusionService, JobSpec, PoolConfig, Priority, ServiceConfig,
+};
+use std::sync::Arc;
+
+const JOBS: u64 = 64;
+
+fn scene(i: u64) -> SceneConfig {
+    let mut config = SceneConfig::small(100 + i);
+    let side = 24 + (i as usize % 5) * 4; // 24..40 pixels square
+    let bands = 12 + (i as usize % 3) * 4; // 12..20 spectral bands
+    config.dims = CubeDims::new(side, side, bands);
+    config
+}
+
+fn main() {
+    let service = FusionService::start(ServiceConfig {
+        pool: PoolConfig {
+            standard_workers: 4,
+            replica_groups: 2,
+            replication_level: 2,
+            ..PoolConfig::default()
+        },
+        queue_capacity: JOBS as usize,
+        max_in_flight: 12,
+    })
+    .expect("service starts");
+
+    println!(
+        "fusiond up: 4 standard workers + 2 replica groups x level 2 ({:?})",
+        service.attack_targets()
+    );
+
+    // Submit 64 jobs: priorities cycle high/normal/low, every third job runs
+    // on the resilient lane, shard counts vary per job.
+    let mut jobs: Vec<(u64, Arc<HyperCube>, &'static str, &'static str)> = Vec::new();
+    let mut attacked = false;
+    for i in 0..JOBS {
+        let cube = Arc::new(
+            SceneGenerator::new(scene(i))
+                .expect("valid scene")
+                .generate(),
+        );
+        let priority = Priority::ALL[i as usize % 3];
+        let backend = if i % 3 == 1 {
+            BackendKind::Resilient
+        } else {
+            BackendKind::Standard
+        };
+        let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
+            .with_priority(priority)
+            .with_backend(backend)
+            .with_shards(3 + i as usize % 3);
+        let id = service.submit(spec).expect("submission accepted");
+        jobs.push((id, cube, priority.label(), backend.label()));
+
+        // Stage the attack once a batch of resilient work is in flight: kill
+        // one member of replica group 0 while the service is busy.
+        if i == JOBS / 4 && !attacked {
+            attacked = service.inject_attack("rg0#0");
+            println!("attack injected against rg0#0 (accepted: {attacked})");
+        }
+    }
+    assert!(attacked, "the staged attack must have fired");
+    println!(
+        "{} jobs submitted (queue depth now {})",
+        JOBS,
+        service.queue_depth()
+    );
+
+    // Collect every output and verify it byte-for-byte against the
+    // sequential reference — concurrency, sharding, replication and the
+    // attack must all be invisible in the results.
+    let mut verified = 0;
+    for (id, cube, priority, backend) in &jobs {
+        let output = service.wait(*id).expect("job completes");
+        let reference = SequentialPct::new(PctConfig::paper())
+            .run(cube)
+            .expect("reference run");
+        assert_eq!(
+            output, reference,
+            "job {id} ({priority}/{backend}) diverged from the sequential reference"
+        );
+        verified += 1;
+    }
+    println!("{verified}/{JOBS} outputs byte-identical to SequentialPct");
+
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, JOBS);
+    assert!(
+        !report.members_attacked.is_empty(),
+        "attack log must record the kill"
+    );
+    println!();
+    print!("{}", report.render());
+}

@@ -13,3 +13,4 @@ pub use netsim;
 pub use pct;
 pub use resilience;
 pub use scp;
+pub use service;

@@ -6,6 +6,12 @@ use hsi::{io, CubeDims, SceneConfig, SceneGenerator};
 use pct::distributed_sim::{simulate_fusion, SimParams};
 use pct::resilient::{AttackPlan, ResilientPct};
 use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
+use service::{
+    BackendKind, CubeSource, FusionService, JobSpec, JobStatus, PoolConfig, Priority,
+    ServiceConfig, ServiceError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn test_scene(seed: u64) -> hsi::HyperCube {
     let mut config = SceneConfig::small(seed);
@@ -144,6 +150,175 @@ fn cube_files_round_trip_through_disk() {
 
     std::fs::remove_file(cube_path).ok();
     std::fs::remove_file(ppm_path).ok();
+}
+
+/// A service sized small enough that scheduling pressure is real in tests.
+fn test_service(queue_capacity: usize, max_in_flight: usize) -> FusionService {
+    FusionService::start(ServiceConfig {
+        pool: PoolConfig {
+            standard_workers: 2,
+            replica_groups: 2,
+            replication_level: 2,
+            ..PoolConfig::default()
+        },
+        queue_capacity,
+        max_in_flight,
+    })
+    .expect("service starts")
+}
+
+fn small_job_scene(seed: u64) -> SceneConfig {
+    let mut config = SceneConfig::small(seed);
+    config.dims = CubeDims::new(20, 20, 10);
+    config
+}
+
+/// A cube big enough that a debug-build screening task reliably outlives the
+/// cancellation / backpressure assertions racing against it.
+fn slow_job_scene(seed: u64) -> SceneConfig {
+    let mut config = SceneConfig::small(seed);
+    config.dims = CubeDims::new(64, 64, 32);
+    config
+}
+
+fn wait_for_running(service: &FusionService, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while service.status(id) == Some(JobStatus::Queued) {
+        assert!(Instant::now() < deadline, "job {id} never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn service_concurrent_jobs_are_byte_identical_to_sequential() {
+    // A dozen concurrent jobs, mixed lanes and priorities, all multiplexed
+    // over one shared pool — every output must match the sequential
+    // reference exactly, which is the service's determinism contract.
+    let service = test_service(16, 8);
+    let mut jobs = Vec::new();
+    for i in 0..12u64 {
+        let cube = Arc::new(
+            SceneGenerator::new(small_job_scene(60 + i))
+                .unwrap()
+                .generate(),
+        );
+        let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
+            .with_backend(if i % 3 == 0 {
+                BackendKind::Resilient
+            } else {
+                BackendKind::Standard
+            })
+            .with_priority(Priority::ALL[i as usize % 3])
+            .with_shards(2 + i as usize % 3);
+        jobs.push((service.submit(spec).unwrap(), cube));
+    }
+    for (id, cube) in jobs {
+        let output = service.wait(id).unwrap();
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(output, reference, "job {id} diverged");
+    }
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, 12);
+    assert_eq!(report.jobs_failed, 0);
+    assert!(report.duplicates_ignored > 0, "replica lane never deduped");
+}
+
+#[test]
+fn service_admission_queue_applies_backpressure() {
+    // One job in flight, a queue of two: once the queue is full, try_submit
+    // must reject with Saturated until the scheduler drains something.
+    let service = test_service(2, 1);
+    let slow = JobSpec::new(CubeSource::Synthetic(slow_job_scene(70))).with_shards(1);
+    let running = service.submit(slow.clone()).unwrap();
+    wait_for_running(&service, running);
+
+    // The scheduler is saturated (max_in_flight=1), so these two fill the
+    // queue deterministically...
+    let queued_a = service.try_submit(slow.clone()).unwrap();
+    let queued_b = service.try_submit(slow.clone()).unwrap();
+    assert_eq!(service.queue_depth(), 2);
+    // ...and the third submission bounces.
+    assert_eq!(
+        service.try_submit(slow.clone()).unwrap_err(),
+        ServiceError::Saturated
+    );
+
+    // Cancel the queued work so shutdown only waits for the running job.
+    assert!(service.cancel(queued_a));
+    assert!(service.cancel(queued_b));
+    assert!(service.wait(running).is_ok());
+    let report = service.shutdown();
+    assert_eq!(report.jobs_rejected, 1);
+    assert_eq!(report.jobs_cancelled, 2);
+    assert_eq!(report.queue_high_water, 2);
+}
+
+#[test]
+fn service_cancellation_mid_flight_and_while_queued() {
+    let service = test_service(8, 1);
+    let running = service
+        .submit(JobSpec::new(CubeSource::Synthetic(slow_job_scene(71))).with_shards(2))
+        .unwrap();
+    let queued = service
+        .submit(JobSpec::new(CubeSource::Synthetic(small_job_scene(72))))
+        .unwrap();
+    wait_for_running(&service, running);
+
+    // Cancel the in-flight job mid-screening and the queued job behind it.
+    assert!(service.cancel(running));
+    assert!(service.cancel(queued));
+    assert_eq!(service.wait(running).unwrap_err(), ServiceError::Cancelled);
+    assert_eq!(service.wait(queued).unwrap_err(), ServiceError::Cancelled);
+    // wait() consumes the record, so the id is no longer known.
+    assert_eq!(service.status(running), None);
+
+    // The pool survives cancellation: fresh work still completes correctly.
+    let fresh_cube = Arc::new(SceneGenerator::new(small_job_scene(73)).unwrap().generate());
+    let fresh = service
+        .submit(JobSpec::new(CubeSource::InMemory(Arc::clone(&fresh_cube))))
+        .unwrap();
+    let output = service.wait(fresh).unwrap();
+    let reference = SequentialPct::new(PctConfig::paper())
+        .run(&fresh_cube)
+        .unwrap();
+    assert_eq!(output, reference);
+    let report = service.shutdown();
+    assert_eq!(report.jobs_cancelled, 2);
+    assert_eq!(report.jobs_completed, 1);
+}
+
+#[test]
+fn service_resilient_jobs_survive_member_kill() {
+    // Kill a replica-group member while resilient jobs stream through the
+    // pool: the member is regenerated and every output stays byte-identical.
+    let service = test_service(16, 4);
+    let mut jobs = Vec::new();
+    for i in 0..6u64 {
+        let cube = Arc::new(
+            SceneGenerator::new(small_job_scene(80 + i))
+                .unwrap()
+                .generate(),
+        );
+        let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
+            .with_backend(BackendKind::Resilient)
+            .with_shards(4);
+        jobs.push((service.submit(spec).unwrap(), cube));
+        if i == 0 {
+            assert!(service.inject_attack("rg0#0"));
+        }
+    }
+    for (id, cube) in jobs {
+        let output = service.wait(id).unwrap();
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(output, reference, "job {id} diverged after the attack");
+    }
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, 6);
+    assert_eq!(report.members_attacked, vec!["rg0#0".to_string()]);
+    assert!(
+        report.regenerations >= 1,
+        "killed member was never regenerated: {report:?}"
+    );
 }
 
 #[test]
