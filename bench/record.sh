@@ -10,6 +10,11 @@
 #     processors with 2 sub-cubes per worker (also deterministic).
 #   * service_* — the fusiond throughput benchmark: job/task/unique counters
 #     are deterministic; jobs_per_sec is wall-clock and trend-only.
+#     service_bytes_cloned_{screen,transform} measure (via the hsi clone
+#     ledger) the sub-cube payload bytes deep-copied into task messages —
+#     0 on the Arc-backed view message plane — and
+#     service_payload_bytes_shipped is the volume the pre-view plane used
+#     to deep-copy per task, recorded as the before/after denominator.
 #
 # Usage: bash bench/record.sh   (from anywhere; non-gating in CI)
 set -euo pipefail

@@ -30,6 +30,7 @@ fn main() {
         },
         queue_capacity: JOBS as usize,
         max_in_flight: 12,
+        ..ServiceConfig::default()
     })
     .expect("service starts");
 
@@ -66,6 +67,22 @@ fn main() {
     println!("CSV service_jobs_completed {}", report.jobs_completed);
     println!("CSV service_tasks_dispatched {}", report.tasks_dispatched);
     println!("CSV service_unique_sum {unique_sum}");
+    // The zero-copy message plane, measured per phase via the clone ledger:
+    // `bytes_cloned` must be 0 for the screening and transform phases, and
+    // `payload_bytes_shipped` is the volume the pre-view plane deep-copied
+    // per task (the "before" this PR removes).
+    println!(
+        "CSV service_bytes_cloned_screen {}",
+        report.bytes_cloned_screen
+    );
+    println!(
+        "CSV service_bytes_cloned_transform {}",
+        report.bytes_cloned_transform
+    );
+    println!(
+        "CSV service_payload_bytes_shipped {}",
+        report.payload_bytes_shipped
+    );
     println!(
         "CSV service_jobs_per_sec {:.2}",
         report.throughput_jobs_per_sec()

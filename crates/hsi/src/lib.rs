@@ -18,6 +18,9 @@
 //! * [`partition`] — manager-side decomposition of a cube into sub-cubes
 //!   (the unit of work handed to workers) with the granularity control
 //!   studied in Figure 5.
+//! * [`view`] — zero-copy `Arc`-backed [`CubeView`] windows over a shared
+//!   cube: what the message plane ships instead of owned sub-cube copies,
+//!   plus the process-wide clone ledger that proves it (`bytes_cloned`).
 //! * [`io`] — PGM/PPM writers for single bands and fused colour composites,
 //!   plus a simple binary cube format for persisting synthetic scenes.
 //! * [`stats`] — per-band statistics and image-quality metrics (contrast,
@@ -32,11 +35,13 @@ pub mod partition;
 pub mod rgb;
 pub mod stats;
 pub mod synthetic;
+pub mod view;
 
 pub use cube::{CubeDims, HyperCube};
 pub use partition::{GranularityPolicy, SubCube, SubCubeSpec};
 pub use rgb::RgbImage;
 pub use synthetic::{Material, SceneConfig, SceneGenerator};
+pub use view::{cloned_bytes_total, CloneLedger, CubeView};
 
 /// Errors produced by the hyper-spectral imagery substrate.
 #[derive(Debug)]

@@ -15,8 +15,10 @@
 //! range) rely on.
 
 use crate::cube::{CubeDims, HyperCube};
+use crate::view::CubeView;
 use crate::{HsiError, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How many sub-cubes to create for a given worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,13 +84,33 @@ impl SubCubeSpec {
         self.samples() * std::mem::size_of::<f64>()
     }
 
-    /// Extracts the pixel payload from the full cube.
+    /// Extracts the pixel payload from the full cube as an owned deep copy.
+    ///
+    /// This is the pre-view code path, kept for true process/serialization
+    /// boundaries and as the byte-identity reference the view property tests
+    /// compare against.  The copy is charged to the clone ledger
+    /// ([`crate::view::cloned_bytes_total`]); the in-process message plane
+    /// uses [`SubCubeSpec::view`] instead, which copies nothing.
     pub fn extract(&self, cube: &HyperCube) -> Result<SubCube> {
+        crate::view::charge_cloned_bytes(self.payload_bytes());
         let window = cube.window(0, self.row_start, self.width, self.rows)?;
         Ok(SubCube {
             spec: *self,
             data: window,
         })
+    }
+
+    /// A zero-copy [`CubeView`] of this sub-cube's window over the shared
+    /// full cube: the payload the message plane ships instead of an owned
+    /// [`SubCube`].
+    pub fn view(&self, cube: &Arc<HyperCube>) -> Result<CubeView> {
+        if self.bands != cube.bands() || self.width != cube.width() {
+            return Err(HsiError::ShapeMismatch {
+                expected: self.width * self.bands,
+                actual: cube.width() * cube.bands(),
+            });
+        }
+        CubeView::window(Arc::clone(cube), 0, self.row_start, self.width, self.rows)
     }
 }
 
@@ -140,6 +162,16 @@ pub fn partition_rows(dims: CubeDims, count: usize) -> Result<Vec<SubCubeSpec>> 
     }
     debug_assert_eq!(row, dims.height);
     Ok(specs)
+}
+
+/// Partitions a shared cube into `count` zero-copy row-band views — the
+/// view-based message plane's counterpart of [`partition_rows`].  The specs
+/// and views are index-aligned (`views[i]` is `specs[i]`'s window).
+pub fn partition_views(cube: &Arc<HyperCube>, count: usize) -> Result<Vec<CubeView>> {
+    partition_rows(cube.dims(), count)?
+        .iter()
+        .map(|spec| spec.view(cube))
+        .collect()
 }
 
 /// Convenience: partition according to a [`GranularityPolicy`].
@@ -227,6 +259,37 @@ mod tests {
             sub.blit_into(&mut rebuilt).unwrap();
         }
         assert_eq!(rebuilt, cube);
+    }
+
+    #[test]
+    fn views_read_byte_identical_to_extracted_sub_cubes() {
+        let gen = SceneGenerator::new(SceneConfig::small(9)).unwrap();
+        let cube = Arc::new(gen.generate());
+        let specs = partition_rows(cube.dims(), 7).unwrap();
+        let views = partition_views(&cube, 7).unwrap();
+        assert_eq!(specs.len(), views.len());
+        for (spec, view) in specs.iter().zip(&views) {
+            let owned = spec.extract(&cube).unwrap();
+            assert_eq!(view.row_start(), spec.row_start);
+            assert_eq!(view.dims(), owned.data.dims());
+            assert_eq!(view.materialize(), owned.data);
+            assert_eq!(view.pixel_vectors(), owned.data.pixel_vectors());
+        }
+    }
+
+    #[test]
+    fn view_rejects_mismatched_storage() {
+        let spec = SubCubeSpec {
+            id: 0,
+            row_start: 0,
+            rows: 2,
+            width: 4,
+            bands: 3,
+        };
+        let other = Arc::new(HyperCube::zeros(CubeDims::new(4, 4, 2)));
+        assert!(spec.view(&other).is_err());
+        let narrow = Arc::new(HyperCube::zeros(CubeDims::new(3, 4, 3)));
+        assert!(spec.view(&narrow).is_err());
     }
 
     #[test]

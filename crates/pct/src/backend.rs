@@ -15,6 +15,7 @@ use crate::sequential::SequentialPct;
 use crate::shared_memory::SharedMemoryPct;
 use crate::Result;
 use hsi::HyperCube;
+use std::sync::Arc;
 
 /// A reusable fusion engine: one of the interchangeable implementations of
 /// the eight-step pipeline, usable many times over many cubes.
@@ -22,8 +23,17 @@ pub trait FusionBackend: Send + Sync {
     /// A short human-readable name for reports and routing tables.
     fn label(&self) -> &'static str;
 
-    /// Runs the full pipeline on `cube` and returns the fused output.
+    /// Runs the full pipeline on a borrowed `cube` and returns the fused
+    /// output.  Implementations that partition copy the cube once into
+    /// shared storage at this boundary; [`FusionBackend::fuse_shared`]
+    /// avoids even that.
     fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput>;
+
+    /// Runs the full pipeline over shared storage: task payloads are
+    /// zero-copy [`hsi::CubeView`] windows of `cube`.
+    fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.fuse(cube)
+    }
 }
 
 impl FusionBackend for SequentialPct {
@@ -33,6 +43,10 @@ impl FusionBackend for SequentialPct {
 
     fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
         self.run(cube)
+    }
+
+    fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.run_shared(cube)
     }
 }
 
@@ -44,6 +58,10 @@ impl FusionBackend for SharedMemoryPct {
     fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
         self.run(cube)
     }
+
+    fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.run_shared(cube)
+    }
 }
 
 impl FusionBackend for DistributedPct {
@@ -54,6 +72,10 @@ impl FusionBackend for DistributedPct {
     fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
         self.run(cube)
     }
+
+    fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.run_shared(cube)
+    }
 }
 
 impl FusionBackend for ResilientPct {
@@ -63,6 +85,10 @@ impl FusionBackend for ResilientPct {
 
     fn fuse(&self, cube: &HyperCube) -> Result<FusionOutput> {
         self.run(cube)
+    }
+
+    fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.run_shared(cube)
     }
 }
 
@@ -96,6 +122,26 @@ mod tests {
             labels,
             vec!["sequential", "shared-memory", "distributed", "resilient"]
         );
+    }
+
+    #[test]
+    fn fuse_shared_agrees_with_fuse() {
+        let cube = Arc::new(
+            SceneGenerator::new(SceneConfig::small(22))
+                .unwrap()
+                .generate(),
+        );
+        let backends: Vec<Box<dyn FusionBackend>> = vec![
+            Box::new(SequentialPct::new(PctConfig::paper())),
+            Box::new(SharedMemoryPct::new(PctConfig::paper())),
+            Box::new(DistributedPct::new(PctConfig::paper(), 2)),
+            Box::new(ResilientPct::new(PctConfig::paper(), 2, 1)),
+        ];
+        for backend in &backends {
+            let borrowed = backend.fuse(&cube).unwrap();
+            let shared = backend.fuse_shared(&cube).unwrap();
+            assert_eq!(shared.image, borrowed.image, "{}", backend.label());
+        }
     }
 
     #[test]

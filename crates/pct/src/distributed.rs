@@ -16,11 +16,12 @@ use crate::pipeline::{derive_transform, finalize_transform, TransformSpec};
 use crate::screening::{merge_unique_sets, screen_pixels, screen_pixels_seeded};
 use crate::{PctError, Result};
 use hsi::partition::{GranularityPolicy, SubCubeSpec};
-use hsi::{HyperCube, RgbImage, SubCube};
+use hsi::{CubeView, HyperCube, RgbImage};
 use linalg::covariance::{mean_vector, CovarianceAccumulator};
 use linalg::{Matrix, SymMatrix, Vector};
 use scp::{CommGraph, Runtime, RuntimeConfig, ThreadContext};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Name used by the manager thread.
 pub const MANAGER: &str = "manager";
@@ -60,8 +61,16 @@ impl DistributedPct {
         self.workers
     }
 
-    /// Runs the full pipeline on real threads and returns the fused output.
+    /// Runs the full pipeline on a borrowed cube.  The cube is copied once
+    /// into shared storage at this ingestion boundary; callers that already
+    /// hold an `Arc` use [`DistributedPct::run_shared`] and copy nothing.
     pub fn run(&self, cube: &HyperCube) -> Result<FusionOutput> {
+        self.run_shared(&Arc::new(cube.clone()))
+    }
+
+    /// Runs the full pipeline on real threads over shared storage: every
+    /// task payload is a zero-copy [`CubeView`] window of `cube`.
+    pub fn run_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
         self.config.validate()?;
         let worker_names: Vec<String> = (0..self.workers).map(worker_name).collect();
         let graph = CommGraph::manager_worker(MANAGER, &worker_names);
@@ -107,10 +116,10 @@ pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
     match msg {
         PctMessage::ScreenTask {
             task,
-            sub,
+            view,
             threshold_rad,
         } => {
-            let unique = screen_pixels(&sub.data.pixel_vectors(), threshold_rad);
+            let unique = screen_pixels(&view.pixel_vectors(), threshold_rad);
             Some(PctMessage::UniqueSet { task, unique })
         }
         PctMessage::CovarianceTask { task, mean, pixels } => {
@@ -126,18 +135,18 @@ pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
         }
         PctMessage::TransformTask {
             task,
-            sub,
+            view,
             mean,
             transform,
             scales,
-        } => Some(transform_and_map(task, &sub, &mean, &transform, &scales)),
+        } => Some(transform_and_map(task, &view, &mean, &transform, &scales)),
         PctMessage::ScreenSeededTask {
             task,
-            sub,
+            view,
             seed,
             threshold_rad,
         } => {
-            let accepted = screen_pixels_seeded(&seed, &sub.data.pixel_vectors(), threshold_rad);
+            let accepted = screen_pixels_seeded(&seed, &view.pixel_vectors(), threshold_rad);
             Some(PctMessage::SeededUnique { task, accepted })
         }
         PctMessage::DeriveTask {
@@ -161,10 +170,11 @@ pub fn handle_task(msg: PctMessage) -> Option<PctMessage> {
     }
 }
 
-/// Steps 7–8 for one sub-cube, producing a colour strip.
+/// Steps 7–8 for one sub-cube view, producing a colour strip.  The pixels
+/// are read straight out of the shared storage; nothing is copied.
 fn transform_and_map(
     task: TaskId,
-    sub: &SubCube,
+    view: &CubeView,
     mean: &Vector,
     transform: &Matrix,
     scales: &[(f64, f64)],
@@ -178,10 +188,10 @@ fn transform_and_map(
         .iter()
         .map(|&(min, max)| ComponentScale { min, max })
         .collect();
-    let width = sub.data.width();
-    let rows = sub.data.height();
+    let width = view.width();
+    let rows = view.height();
     let mut rgb = Vec::with_capacity(width * rows * 3);
-    for pixel in sub.data.iter_pixels() {
+    for pixel in view.iter_pixels() {
         let projected = crate::pipeline::transform_pixel(&spec, pixel);
         let mut components = [128.0_f64; 3];
         for (c, slot) in components.iter_mut().enumerate() {
@@ -193,7 +203,7 @@ fn transform_and_map(
     }
     PctMessage::RgbStrip {
         task,
-        row_start: sub.spec.row_start,
+        row_start: view.row_start(),
         rows,
         width,
         rgb,
@@ -281,7 +291,7 @@ where
 fn run_manager(
     ctx: &mut ThreadContext<PctMessage>,
     worker_names: &[String],
-    cube: &HyperCube,
+    cube: &Arc<HyperCube>,
     config: &PctConfig,
     granularity: GranularityPolicy,
 ) -> Result<FusionOutput> {
@@ -294,7 +304,7 @@ fn run_manager(
         .map(|spec| {
             Ok(PctMessage::ScreenTask {
                 task: spec.id,
-                sub: spec.extract(cube)?,
+                view: spec.view(cube)?,
                 threshold_rad: config.screening_angle_rad,
             })
         })
@@ -374,7 +384,7 @@ fn run_manager(
         .map(|sub_spec| {
             Ok(PctMessage::TransformTask {
                 task: sub_spec.id,
-                sub: sub_spec.extract(cube)?,
+                view: sub_spec.view(cube)?,
                 mean: spec.mean.clone(),
                 transform: spec.transform.clone(),
                 scales: scales.clone(),
@@ -483,12 +493,12 @@ mod tests {
 
     #[test]
     fn handle_task_screen_returns_unique_set() {
-        let cube = small_scene();
+        let cube = Arc::new(small_scene());
         let spec = partition_rows(cube.dims(), 4).unwrap()[0];
-        let sub = spec.extract(&cube).unwrap();
+        let view = spec.view(&cube).unwrap();
         let reply = handle_task(PctMessage::ScreenTask {
             task: 9,
-            sub,
+            view,
             threshold_rad: PctConfig::paper().screening_angle_rad,
         })
         .unwrap();
@@ -504,12 +514,12 @@ mod tests {
 
     #[test]
     fn handle_task_seeded_screening_continues_the_chain() {
-        let cube = small_scene();
+        let cube = Arc::new(small_scene());
         let threshold = PctConfig::paper().screening_angle_rad;
         let specs = partition_rows(cube.dims(), 2).unwrap();
         let first = handle_task(PctMessage::ScreenSeededTask {
             task: 0,
-            sub: specs[0].extract(&cube).unwrap(),
+            view: specs[0].view(&cube).unwrap(),
             seed: vec![],
             threshold_rad: threshold,
         })
@@ -519,7 +529,7 @@ mod tests {
         };
         let second = handle_task(PctMessage::ScreenSeededTask {
             task: 1,
-            sub: specs[1].extract(&cube).unwrap(),
+            view: specs[1].view(&cube).unwrap(),
             seed: seed.clone(),
             threshold_rad: threshold,
         })
@@ -531,6 +541,26 @@ mod tests {
         let mut chained = seed;
         chained.extend(accepted);
         assert_eq!(chained, screen_pixels(&cube.pixel_vectors(), threshold));
+    }
+
+    #[test]
+    fn task_construction_and_cloning_copy_no_payload_bytes() {
+        let cube = Arc::new(small_scene());
+        let specs = partition_rows(cube.dims(), 4).unwrap();
+        let ledger = hsi::CloneLedger::snapshot();
+        let tasks: Vec<PctMessage> = specs
+            .iter()
+            .map(|spec| PctMessage::ScreenTask {
+                task: spec.id,
+                view: spec.view(&cube).unwrap(),
+                threshold_rad: 0.1,
+            })
+            .collect();
+        // Cloning (what a replica-group fan-out does per member) shares the
+        // storage: the clone ledger stays untouched.
+        let clones = tasks.clone();
+        assert_eq!(ledger.delta(), 0);
+        assert!(clones.iter().all(|t| t.payload_bytes() > 0));
     }
 
     #[test]

@@ -4,11 +4,23 @@
 //! The message set follows the eight-step decomposition directly: the manager
 //! hands out screening, covariance and transform tasks; workers return unique
 //! sets, partial covariance sums and colour-mapped image strips.  Heartbeats
-//! and shutdown are the only control messages.  All payloads are plain data
-//! so the same enum could be serialised over a real network; in-process the
-//! `scp` router moves them by ownership transfer.
+//! and shutdown are the only control messages.
+//!
+//! Sub-cube payloads travel as [`CubeView`]s: `Arc`-backed windows over the
+//! shared full cube, so building a task, storing it for re-issue, and
+//! fanning it out to every member of a replica group are all reference-count
+//! bumps instead of pixel copies.  In-process the `scp` router moves
+//! messages by ownership transfer; at a true process boundary a transport
+//! would call [`CubeView::materialize`] during serialization (charged to the
+//! clone ledger), which is the only point pixels would be copied.
+//!
+//! The `Serialize`/`Deserialize` derives document that intent against the
+//! offline serde *shim* (whose traits are blanket markers).  Swapping in
+//! real serde now also requires a materializing serde impl for `CubeView`
+//! (encode the window as an owned sub-cube, decode into fresh storage) —
+//! recorded as part of the shim-swap item in ROADMAP.md.
 
-use hsi::SubCube;
+use hsi::CubeView;
 use linalg::{Matrix, Vector};
 use serde::{Deserialize, Serialize};
 
@@ -22,8 +34,8 @@ pub enum PctMessage {
     ScreenTask {
         /// Work item identifier.
         task: TaskId,
-        /// The sub-cube to screen.
-        sub: SubCube,
+        /// Zero-copy view of the sub-cube to screen.
+        view: CubeView,
         /// Screening threshold in radians.
         threshold_rad: f64,
     },
@@ -59,8 +71,8 @@ pub enum PctMessage {
     TransformTask {
         /// Work item identifier.
         task: TaskId,
-        /// The sub-cube to transform.
-        sub: SubCube,
+        /// Zero-copy view of the sub-cube to transform.
+        view: CubeView,
         /// Mean vector of the unique set.
         mean: Vector,
         /// Rows are the leading eigenvectors (the transformation matrix A).
@@ -89,8 +101,8 @@ pub enum PctMessage {
     ScreenSeededTask {
         /// Work item identifier.
         task: TaskId,
-        /// The sub-cube to screen.
-        sub: SubCube,
+        /// Zero-copy view of the sub-cube to screen.
+        view: CubeView,
         /// Unique vectors already accepted by earlier links of the chain.
         seed: Vec<Vector>,
         /// Screening threshold in radians.
@@ -158,6 +170,19 @@ impl PctMessage {
         }
     }
 
+    /// Sub-cube payload bytes this message references (the volume the
+    /// pre-view message plane deep-copied per task — and per replica-group
+    /// member — and that views now share by reference).  Zero for messages
+    /// without a pixel payload.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            PctMessage::ScreenTask { view, .. }
+            | PctMessage::TransformTask { view, .. }
+            | PctMessage::ScreenSeededTask { view, .. } => view.payload_bytes() as u64,
+            _ => 0,
+        }
+    }
+
     /// The task id carried by the message, if any.
     pub fn task(&self) -> Option<TaskId> {
         match self {
@@ -209,5 +234,26 @@ mod tests {
         };
         let copy = msg.clone();
         assert_eq!(msg, copy);
+    }
+
+    #[test]
+    fn payload_bytes_counts_only_pixel_payloads() {
+        use hsi::{CubeDims, HyperCube};
+        use std::sync::Arc;
+        let cube = Arc::new(HyperCube::zeros(CubeDims::new(4, 3, 2)));
+        let view = CubeView::full(Arc::clone(&cube));
+        let msg = PctMessage::ScreenTask {
+            task: 0,
+            view: view.clone(),
+            threshold_rad: 0.1,
+        };
+        assert_eq!(msg.payload_bytes(), (4 * 3 * 2 * 8) as u64);
+        assert_eq!(PctMessage::Heartbeat.payload_bytes(), 0);
+        // Cloning the message shares the storage instead of copying it: the
+        // clone ledger does not move.
+        let before = hsi::CloneLedger::snapshot();
+        let copy = msg.clone();
+        assert_eq!(before.delta(), 0);
+        assert_eq!(copy.payload_bytes(), msg.payload_bytes());
     }
 }

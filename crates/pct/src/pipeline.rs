@@ -9,7 +9,7 @@
 
 use crate::config::PctConfig;
 use crate::{PctError, Result};
-use hsi::{CubeDims, HyperCube};
+use hsi::{CubeDims, CubeView, HyperCube};
 use linalg::{
     covariance::{mean_vector, CovarianceAccumulator},
     eigen::{sorted_eigenpairs, JacobiOptions},
@@ -103,6 +103,26 @@ pub fn transform_cube(spec: &TransformSpec, cube: &HyperCube) -> Result<HyperCub
     let dims = CubeDims::new(cube.width(), cube.height(), spec.components());
     let mut samples = Vec::with_capacity(dims.samples());
     for pixel in cube.iter_pixels() {
+        samples.extend_from_slice(&transform_pixel(spec, pixel));
+    }
+    Ok(HyperCube::from_samples(dims, samples)?)
+}
+
+/// Step 7 for a zero-copy sub-cube view: identical arithmetic to
+/// [`transform_cube`], reading pixels straight out of the shared storage.
+/// The produced component cube is new data (it has different values, not a
+/// copy), so this is not a clone in the message-plane sense.
+pub fn transform_view(spec: &TransformSpec, view: &CubeView) -> Result<HyperCube> {
+    if view.bands() != spec.bands() {
+        return Err(PctError::InvalidConfig(format!(
+            "view has {} bands but the transform expects {}",
+            view.bands(),
+            spec.bands()
+        )));
+    }
+    let dims = CubeDims::new(view.width(), view.height(), spec.components());
+    let mut samples = Vec::with_capacity(dims.samples());
+    for pixel in view.iter_pixels() {
         samples.extend_from_slice(&transform_pixel(spec, pixel));
     }
     Ok(HyperCube::from_samples(dims, samples)?)
@@ -214,6 +234,22 @@ mod tests {
         assert_eq!(out.pixels(), 12);
         let direct = transform_pixel(&spec, cube.pixel(2, 1).unwrap());
         assert_eq!(out.pixel(2, 1).unwrap(), direct.as_slice());
+    }
+
+    #[test]
+    fn transform_view_matches_transform_cube() {
+        use std::sync::Arc;
+        let pixels = correlated_pixels(12);
+        let spec = derive_transform(&pixels, &PctConfig::paper()).unwrap();
+        let dims = CubeDims::new(4, 3, 4);
+        let samples: Vec<f64> = pixels.iter().flat_map(|p| p.as_slice().to_vec()).collect();
+        let cube = Arc::new(HyperCube::from_samples(dims, samples).unwrap());
+        let whole = transform_cube(&spec, &cube).unwrap();
+        let view = CubeView::window(Arc::clone(&cube), 0, 1, 4, 2).unwrap();
+        let part = transform_view(&spec, &view).unwrap();
+        assert_eq!(part, whole.window(0, 1, 4, 2).unwrap());
+        let mismatched = CubeView::full(cube).with_band_window(0, 2).unwrap();
+        assert!(transform_view(&spec, &mismatched).is_err());
     }
 
     #[test]

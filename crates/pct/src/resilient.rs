@@ -37,17 +37,26 @@ use resilience::{
 };
 use scp::{Runtime, RuntimeConfig, ScpError, ThreadContext, ThreadHandle};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A staged attack against the running computation: after the manager has
 /// received `after_results` task results, the listed member routing names are
 /// killed.  This emulates an adversary taking out processes mid-run.
+///
+/// `drop_sends` additionally emulates *lost messages*: the next `count`
+/// group-send deliveries to each listed member are silently discarded in
+/// transit (the send "succeeds" but nothing arrives).  Dropping the sends to
+/// every member of a group loses the task entirely without killing anyone —
+/// the task-loss window that retransmit-on-timeout closes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AttackPlan {
     /// Number of results to wait for before the attack fires.
     pub after_results: usize,
     /// Member routing names (e.g. `worker0#0`) to kill.
     pub victims: Vec<String>,
+    /// `(member routing name, deliveries to drop)` send-fault injections.
+    pub drop_sends: Vec<(String, usize)>,
 }
 
 impl AttackPlan {
@@ -61,6 +70,17 @@ impl AttackPlan {
         Self {
             after_results: 1,
             victims: vec!["worker0#0".to_string()],
+            drop_sends: Vec::new(),
+        }
+    }
+
+    /// Drops the next delivery to each listed member without killing anyone:
+    /// a group send made "mid-group" reaches nobody on the first attempt.
+    pub fn drop_next_send_to(members: &[&str]) -> Self {
+        Self {
+            after_results: 0,
+            victims: Vec::new(),
+            drop_sends: members.iter().map(|m| (m.to_string(), 1)).collect(),
         }
     }
 }
@@ -78,6 +98,13 @@ pub struct ResilientRunReport {
     pub regenerations: Vec<resilience::RegenerationEvent>,
     /// Tasks that had to be re-issued after a regeneration.
     pub tasks_reissued: u64,
+    /// Whole-group retransmissions of tasks that timed out without a result
+    /// (covers sends lost in transit to members that never acked).
+    pub retransmits: u64,
+    /// Sub-cube payload bytes deep-copied while building and routing task
+    /// messages (clone-ledger delta over the run): 0 on the view-based
+    /// message plane.
+    pub bytes_cloned: u64,
 }
 
 /// The folded manager-side state of the resilient protocol (the former 13
@@ -102,9 +129,71 @@ pub struct ResilientManagerState {
     pub handles: Vec<ThreadHandle<()>>,
     /// Run accounting (heartbeats, duplicates, re-issues).
     pub report: ResilientRunReport,
+    /// How long an outstanding task may go unanswered before it is re-sent
+    /// to every current member of its group.  Retransmits are idempotent
+    /// (workers recompute, the manager dedups by task id), so a conservative
+    /// default only costs latency on genuinely lost sends.
+    pub retransmit_after: Duration,
+    /// Remaining send-fault injections: deliveries to drop per routing name.
+    send_drops: HashMap<String, usize>,
     attack: AttackPlan,
     attack_fired: bool,
     results_seen: usize,
+}
+
+/// A dispatched, not-yet-answered task: which group owes it, the (cheaply
+/// clonable) task message for re-issue, when it was last sent, and how many
+/// times it has been retransmitted.
+#[derive(Debug, Clone)]
+pub struct OutstandingTask {
+    /// Logical group name the task was sent to.
+    pub group: String,
+    /// The task message (view payloads make cloning an `Arc` bump).
+    pub message: PctMessage,
+    /// When the task was last (re)transmitted.
+    pub sent_at: Instant,
+    /// Retransmissions performed so far (drives the backoff).
+    pub attempts: u32,
+}
+
+impl OutstandingTask {
+    /// Records a task just sent to `group`.
+    pub fn new(group: String, message: PctMessage) -> Self {
+        Self {
+            group,
+            message,
+            sent_at: Instant::now(),
+            attempts: 0,
+        }
+    }
+
+    /// The single retransmit-backoff policy, shared by the resilient
+    /// pipeline and the service scheduler: the wait doubles with every
+    /// attempt (capped at 32×) so a genuinely long task on a healthy group
+    /// costs at most a handful of idempotent duplicates instead of a
+    /// re-send storm, while a genuinely lost send is still recovered after
+    /// one base timeout.
+    pub fn backoff(base: Duration, attempts: u32) -> Duration {
+        base * (1u32 << attempts.min(5))
+    }
+
+    /// Whether the task has gone unanswered past its current backoff.
+    pub fn is_overdue(&self, base: Duration) -> bool {
+        self.sent_at.elapsed() > Self::backoff(base, self.attempts)
+    }
+
+    /// Records a retransmission: the timer restarts and the backoff grows.
+    pub fn mark_retransmitted(&mut self) {
+        self.sent_at = Instant::now();
+        self.attempts = self.attempts.saturating_add(1);
+    }
+
+    /// Records a fresh delivery (e.g. a re-issue to a regenerated member):
+    /// the timer restarts so the retransmit sweep does not immediately
+    /// re-send what was just sent.
+    pub fn mark_delivered(&mut self) {
+        self.sent_at = Instant::now();
+    }
 }
 
 impl ResilientManagerState {
@@ -144,6 +233,7 @@ impl ResilientManagerState {
             PlacementPolicy::SpreadAcrossNodes,
             nodes,
         );
+        let send_drops = attack.drop_sends.iter().cloned().collect();
         Ok(Self {
             membership,
             injector,
@@ -151,6 +241,8 @@ impl ResilientManagerState {
             regenerator,
             handles,
             report: ResilientRunReport::default(),
+            retransmit_after: Duration::from_millis(500),
+            send_drops,
             attack,
             attack_fired: false,
             results_seen: 0,
@@ -187,8 +279,14 @@ impl ResilientManagerState {
     /// whose mailboxes turned out to be gone — a killed thread's queue
     /// disappears when it exits, so a failed send is an immediate failure
     /// report that complements the heartbeat detector.
+    ///
+    /// Message clones here are `Arc` bumps on view payloads, so replicating
+    /// a task across a group costs reference counts, not pixel copies.  A
+    /// pending send-fault injection ([`AttackPlan::drop_sends`]) consumes
+    /// one delivery: the message is discarded in transit while the send
+    /// appears to succeed.
     pub fn group_send(
-        &self,
+        &mut self,
         ctx: &mut ThreadContext<PctMessage>,
         group: &str,
         msg: &PctMessage,
@@ -196,7 +294,14 @@ impl ResilientManagerState {
         let snapshot = self.membership.get(group)?;
         let mut dead = Vec::new();
         for member in &snapshot.members {
-            if let Err(ScpError::Disconnected(_)) = ctx.send(&member.routing_name(), msg.clone()) {
+            let name = member.routing_name();
+            if let Some(remaining) = self.send_drops.get_mut(&name) {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    continue;
+                }
+            }
+            if let Err(ScpError::Disconnected(_)) = ctx.send(&name, msg.clone()) {
                 dead.push(member.clone());
             }
         }
@@ -227,12 +332,13 @@ impl ResilientManagerState {
     /// Handles one member failure (reported by the detector or by a failed
     /// send): regenerate the member on another node, start watching the
     /// replacement, and re-issue every task its group still owes
-    /// (`outstanding` maps task id to the owning group and the task message).
+    /// (`outstanding` maps task id to the owing group, message and send
+    /// time).
     pub fn handle_member_failure(
         &mut self,
         ctx: &mut ThreadContext<PctMessage>,
         runtime: &Runtime<PctMessage>,
-        outstanding: &HashMap<TaskId, (String, PctMessage)>,
+        outstanding: &mut HashMap<TaskId, OutstandingTask>,
         now_ms: u64,
         failed: &MemberId,
     ) -> Result<()> {
@@ -253,14 +359,48 @@ impl ResilientManagerState {
         })?;
         if let Some(event) = event {
             detector.watch(event.replacement.clone(), now_ms);
-            for (group, msg) in outstanding.values() {
-                if *group == event.replacement.group {
-                    let _ = ctx.send(&event.replacement.routing_name(), msg.clone());
+            for task in outstanding.values_mut() {
+                if task.group == event.replacement.group {
+                    let _ = ctx.send(&event.replacement.routing_name(), task.message.clone());
+                    // The re-issue restarts the task's retransmit timer so
+                    // the next sweep does not immediately re-send it.
+                    task.mark_delivered();
                     report.tasks_reissued += 1;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Retransmits every outstanding task that has gone unanswered past its
+    /// backoff ([`OutstandingTask::is_overdue`], base
+    /// [`ResilientManagerState::retransmit_after`]) to all current members
+    /// of its group — including survivors that never acked the original
+    /// send (the task-loss window a regeneration-only re-issue leaves
+    /// open).  Returns members whose mailboxes were found dead.
+    pub fn retransmit_overdue(
+        &mut self,
+        ctx: &mut ThreadContext<PctMessage>,
+        outstanding: &mut HashMap<TaskId, OutstandingTask>,
+    ) -> Result<Vec<MemberId>> {
+        let mut dead = Vec::new();
+        let overdue: Vec<TaskId> = outstanding
+            .iter()
+            .filter(|(_, task)| task.is_overdue(self.retransmit_after))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            let (group, message) = {
+                let task = outstanding.get(&id).expect("listed above");
+                (task.group.clone(), task.message.clone())
+            };
+            dead.extend(self.group_send(ctx, &group, &message)?);
+            if let Some(task) = outstanding.get_mut(&id) {
+                task.mark_retransmitted();
+            }
+            self.report.retransmits += 1;
+        }
+        Ok(dead)
     }
 
     /// Shuts down every member that ever existed — not just current group
@@ -310,9 +450,17 @@ impl ResilientPct {
         self
     }
 
-    /// Runs the pipeline with no attack.
+    /// Runs the pipeline with no attack.  The borrowed cube is copied once
+    /// into shared storage at this ingestion boundary; `Arc` holders use
+    /// [`ResilientPct::run_shared`] and copy nothing.
     pub fn run(&self, cube: &HyperCube) -> Result<FusionOutput> {
         self.run_with_attack(cube, AttackPlan::none())
+            .map(|(out, _)| out)
+    }
+
+    /// Runs the pipeline over shared storage with no attack.
+    pub fn run_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.run_with_attack_shared(cube, AttackPlan::none())
             .map(|(out, _)| out)
     }
 
@@ -320,6 +468,18 @@ impl ResilientPct {
     pub fn run_with_attack(
         &self,
         cube: &HyperCube,
+        attack: AttackPlan,
+    ) -> Result<(FusionOutput, ResilientRunReport)> {
+        self.run_with_attack_shared(&Arc::new(cube.clone()), attack)
+    }
+
+    /// Runs the pipeline over shared storage while an [`AttackPlan`] kills
+    /// members (and drops sends) mid-run.  Task payloads are zero-copy
+    /// [`hsi::CubeView`]s; the report's `bytes_cloned` measures (via the
+    /// clone ledger) that no sub-cube payload was deep-copied.
+    pub fn run_with_attack_shared(
+        &self,
+        cube: &Arc<HyperCube>,
         attack: AttackPlan,
     ) -> Result<(FusionOutput, ResilientRunReport)> {
         self.config.validate()?;
@@ -340,6 +500,7 @@ impl ResilientPct {
             attack,
         )?;
 
+        let ledger = hsi::CloneLedger::snapshot();
         let result = run_resilient_manager(
             &mut manager_ctx,
             &runtime,
@@ -348,6 +509,7 @@ impl ResilientPct {
             self.granularity,
             &mut state,
         );
+        state.report.bytes_cloned = ledger.delta();
 
         let report = state.shutdown(&mut manager_ctx);
         result.map(|out| (out, report))
@@ -402,7 +564,8 @@ fn member_loop(mut ctx: ThreadContext<PctMessage>, kill: KillSwitch) {
 }
 
 /// Work-queue distribution of a set of tasks over the replica groups, with
-/// deduplication, failure detection and regeneration driven by `state`.
+/// deduplication, failure detection, retransmission and regeneration driven
+/// by `state`.
 fn distribute_to_groups<T>(
     ctx: &mut ThreadContext<PctMessage>,
     runtime: &Runtime<PctMessage>,
@@ -414,7 +577,7 @@ fn distribute_to_groups<T>(
 ) -> Result<Vec<T>> {
     let total = tasks.len();
     let mut pending: VecDeque<(TaskId, PctMessage)> = tasks.into();
-    let mut outstanding: HashMap<TaskId, (String, PctMessage)> = HashMap::new();
+    let mut outstanding: HashMap<TaskId, OutstandingTask> = HashMap::new();
     let mut completed: HashSet<TaskId> = HashSet::new();
     let mut results: Vec<(TaskId, T)> = Vec::with_capacity(total);
     let deadline = start + Duration::from_secs(300);
@@ -424,7 +587,7 @@ fn distribute_to_groups<T>(
     for group in groups {
         if let Some((task, msg)) = pending.pop_front() {
             dead_members.extend(state.group_send(ctx, group, &msg)?);
-            outstanding.insert(task, (group.clone(), msg));
+            outstanding.insert(task, OutstandingTask::new(group.clone(), msg));
         }
     }
 
@@ -458,13 +621,13 @@ fn distribute_to_groups<T>(
                         // finished this one.
                         let finished_group = outstanding
                             .remove(&task)
-                            .map(|(g, _)| g)
+                            .map(|t| t.group)
                             .or_else(|| MemberId::parse(&from).map(|m| m.group));
                         if let (Some(group), Some((next_task, next_msg))) =
                             (finished_group, pending.pop_front())
                         {
                             dead_members.extend(state.group_send(ctx, &group, &next_msg)?);
-                            outstanding.insert(next_task, (group, next_msg));
+                            outstanding.insert(next_task, OutstandingTask::new(group, next_msg));
                         }
                     }
                 }
@@ -476,6 +639,12 @@ fn distribute_to_groups<T>(
         // Fire the staged attack once enough results have been seen.
         state.fire_attack_if_due();
 
+        // Retransmit tasks that have gone unanswered too long: a send lost
+        // in transit (or a member that died holding the only copy) leaves
+        // survivors that never received the task, which regeneration-only
+        // re-issue would never repair.
+        dead_members.extend(state.retransmit_overdue(ctx, &mut outstanding)?);
+
         // Attack assessment: anything whose heartbeat stopped (and whose
         // mailbox probe confirms the silence), or whose mailbox vanished
         // under a send, is regenerated immediately.
@@ -483,7 +652,7 @@ fn distribute_to_groups<T>(
         let mut failures = state.sweep_and_probe(ctx, now_ms);
         failures.append(&mut dead_members);
         for failed in failures {
-            state.handle_member_failure(ctx, runtime, &outstanding, now_ms, &failed)?;
+            state.handle_member_failure(ctx, runtime, &mut outstanding, now_ms, &failed)?;
         }
     }
     // Sort back into task order so the merge and covariance steps are
@@ -498,7 +667,7 @@ fn distribute_to_groups<T>(
 fn run_resilient_manager(
     ctx: &mut ThreadContext<PctMessage>,
     runtime: &Runtime<PctMessage>,
-    cube: &HyperCube,
+    cube: &Arc<HyperCube>,
     config: &PctConfig,
     granularity: GranularityPolicy,
     state: &mut ResilientManagerState,
@@ -515,7 +684,7 @@ fn run_resilient_manager(
                 spec.id,
                 PctMessage::ScreenTask {
                     task: spec.id,
-                    sub: spec.extract(cube)?,
+                    view: spec.view(cube)?,
                     threshold_rad: config.screening_angle_rad,
                 },
             ))
@@ -603,7 +772,7 @@ fn run_resilient_manager(
                 sub_spec.id,
                 PctMessage::TransformTask {
                     task: sub_spec.id,
-                    sub: sub_spec.extract(cube)?,
+                    view: sub_spec.view(cube)?,
                     mean: spec.mean.clone(),
                     transform: spec.transform.clone(),
                     scales: scales.clone(),
@@ -688,6 +857,38 @@ mod tests {
             "no duplicates observed: {report:?}"
         );
         assert!(report.regenerations.is_empty());
+        // The view-based message plane never deep-copies a sub-cube payload.
+        assert_eq!(report.bytes_cloned, 0, "payload bytes were cloned");
+    }
+
+    #[test]
+    fn lost_group_send_is_retransmitted_to_surviving_members() {
+        // Drop the first delivery to BOTH members of worker0's group: the
+        // primed screening task is lost in transit while every member stays
+        // alive and heartbeating.  No failure is ever detected, so the old
+        // regeneration-only re-issue path would stall until the run
+        // deadline; retransmit-on-timeout re-sends the task to the
+        // survivors that never acked it.
+        let cube = small_scene();
+        let reference = reference(&cube);
+        let (out, report) = ResilientPct::new(PctConfig::paper(), 2, 2)
+            .run_with_attack(
+                &cube,
+                AttackPlan::drop_next_send_to(&["worker0#0", "worker0#1"]),
+            )
+            .unwrap();
+        assert!(
+            report.retransmits >= 1,
+            "the dropped task was never retransmitted: {report:?}"
+        );
+        assert!(
+            report.regenerations.is_empty(),
+            "nobody died, nothing should regenerate: {report:?}"
+        );
+        // Retransmission is transparent: the fused image stays bit-for-bit
+        // identical to the undisturbed distributed run with the same
+        // decomposition.
+        assert_eq!(out.image, reference.image, "post-loss output diverges");
     }
 
     #[test]
@@ -774,9 +975,9 @@ mod tests {
             .group_send(&mut ctx, "g0", &PctMessage::Heartbeat)
             .unwrap();
         assert_eq!(dead.len(), 1);
-        let outstanding = HashMap::new();
+        let mut outstanding = HashMap::new();
         state
-            .handle_member_failure(&mut ctx, &runtime, &outstanding, 0, &dead[0])
+            .handle_member_failure(&mut ctx, &runtime, &mut outstanding, 0, &dead[0])
             .unwrap();
         assert_eq!(state.regenerator.history().len(), 1);
         assert_eq!(state.membership.get("g0").unwrap().members.len(), 2);

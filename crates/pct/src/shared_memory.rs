@@ -11,13 +11,14 @@
 
 use crate::colormap::{map_cube, ComponentScale};
 use crate::config::{FusionOutput, PctConfig};
-use crate::pipeline::{finalize_transform, transform_cube};
+use crate::pipeline::{finalize_transform, transform_view};
 use crate::screening::{merge_unique_sets, screen_pixels};
 use crate::Result;
-use hsi::partition::partition_rows;
-use hsi::HyperCube;
+use hsi::partition::partition_views;
+use hsi::{CubeView, HyperCube};
 use linalg::covariance::{mean_vector, CovarianceAccumulator};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// The shared-memory fusion pipeline.
 #[derive(Debug, Clone)]
@@ -49,18 +50,26 @@ impl SharedMemoryPct {
         &self.config
     }
 
-    /// Runs the full pipeline.
+    /// Runs the full pipeline on a borrowed cube.  The cube is copied once
+    /// into shared storage at this ingestion boundary; `Arc` holders use
+    /// [`SharedMemoryPct::run_shared`] and copy nothing.
     pub fn run(&self, cube: &HyperCube) -> Result<FusionOutput> {
-        self.config.validate()?;
-        let specs = partition_rows(cube.dims(), self.blocks)?;
+        self.run_shared(&Arc::new(cube.clone()))
+    }
 
-        // Step 1 in parallel: each block screens its own pixels.
-        let per_block_unique: Vec<Vec<linalg::Vector>> = specs
+    /// Runs the full pipeline over shared storage: the data-parallel steps
+    /// read zero-copy row-band [`CubeView`]s instead of extracting owned
+    /// sub-cubes per block (the pre-view implementation copied every block
+    /// twice — once for screening, once for the transform).
+    pub fn run_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
+        self.config.validate()?;
+        let views: Vec<CubeView> = partition_views(cube, self.blocks)?;
+
+        // Step 1 in parallel: each block screens its own pixels through its
+        // view of the shared cube.
+        let per_block_unique: Vec<Vec<linalg::Vector>> = views
             .par_iter()
-            .map(|spec| {
-                let sub = spec.extract(cube).expect("partition specs are in bounds");
-                screen_pixels(&sub.data.pixel_vectors(), self.config.screening_angle_rad)
-            })
+            .map(|view| screen_pixels(&view.pixel_vectors(), self.config.screening_angle_rad))
             .collect();
 
         // Step 2 sequentially at the "manager" (the calling thread).
@@ -86,14 +95,13 @@ impl SharedMemoryPct {
         let covariance = total.finalize()?;
         let spec = finalize_transform(mean, &covariance, &self.config)?;
 
-        // Step 7 in parallel over row blocks, reassembled into one cube.
-        let transformed_blocks: Vec<(usize, HyperCube)> = specs
+        // Step 7 in parallel over row-band views, reassembled into one cube.
+        let transformed_blocks: Vec<(usize, HyperCube)> = views
             .par_iter()
-            .map(|s| {
-                let sub = s.extract(cube).expect("in bounds");
+            .map(|view| {
                 (
-                    s.row_start,
-                    transform_cube(&spec, &sub.data).expect("band counts match"),
+                    view.row_start(),
+                    transform_view(&spec, view).expect("band counts match"),
                 )
             })
             .collect();
@@ -187,6 +195,17 @@ mod tests {
             .run(&cube)
             .unwrap();
         assert_eq!(out.unique_count, cube.pixels());
+    }
+
+    #[test]
+    fn run_shared_copies_no_payload_and_matches_run() {
+        let cube = Arc::new(small_scene());
+        let ledger = hsi::CloneLedger::snapshot();
+        let shared = SharedMemoryPct::default().run_shared(&cube).unwrap();
+        assert_eq!(ledger.delta(), 0, "run_shared deep-copied payload bytes");
+        let borrowed = SharedMemoryPct::default().run(&cube).unwrap();
+        assert_eq!(shared.image, borrowed.image);
+        assert_eq!(shared.unique_count, borrowed.unique_count);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Deterministic chaos injection for the resilient lane.
+//!
+//! Attack drills via [`crate::FusionService::inject_attack`] kill a member
+//! "whenever the call happens to land", which is fine for demos but useless
+//! for a reproducible kill matrix.  A [`ChaosPlan`] instead ties each kill
+//! to a *scheduler event*: the dispatch of the first task of a given job's
+//! given phase.  The scheduler fires the kill switch immediately before
+//! sending that task, so a seeded workload plus a plan replays the exact
+//! same failure at the exact same protocol point every run — the substrate
+//! of the chaos test matrix (member index × phase).
+
+use crate::job::JobId;
+use pct::messages::PctMessage;
+
+/// The job phase a [`PhaseKill`] is anchored to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosPhase {
+    /// The seeded-screening chain (steps 1–2).
+    Screen,
+    /// The single derive task (steps 3–6).
+    Derive,
+    /// The transform/colour fan-out (steps 7–8).
+    Transform,
+}
+
+impl ChaosPhase {
+    /// The phase a dispatched task message belongs to, if it is a task.
+    pub fn of_message(msg: &PctMessage) -> Option<ChaosPhase> {
+        match msg {
+            PctMessage::ScreenTask { .. } | PctMessage::ScreenSeededTask { .. } => {
+                Some(ChaosPhase::Screen)
+            }
+            PctMessage::DeriveTask { .. } => Some(ChaosPhase::Derive),
+            PctMessage::TransformTask { .. } => Some(ChaosPhase::Transform),
+            _ => None,
+        }
+    }
+
+    /// A short label for reports and assertions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosPhase::Screen => "screen",
+            ChaosPhase::Derive => "derive",
+            ChaosPhase::Transform => "transform",
+        }
+    }
+}
+
+/// One scheduled kill: when the scheduler dispatches the first task of
+/// `phase` for job `job`, the member `member` is killed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseKill {
+    /// The job whose phase anchors the kill (ids are assigned in submission
+    /// order starting at 1).
+    pub job: JobId,
+    /// The phase whose first dispatched task triggers the kill.
+    pub phase: ChaosPhase,
+    /// Routing name of the member to kill (e.g. `rg0#1`).
+    pub member: String,
+}
+
+/// A deterministic schedule of member kills, anchored to scheduler events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The kills to perform; each fires at most once.
+    pub kills: Vec<PhaseKill>,
+}
+
+impl ChaosPlan {
+    /// No chaos.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with a single phase-anchored kill.
+    pub fn kill_at(job: JobId, phase: ChaosPhase, member: impl Into<String>) -> Self {
+        Self {
+            kills: vec![PhaseKill {
+                job,
+                phase,
+                member: member.into(),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi::{CubeDims, CubeView, HyperCube};
+    use std::sync::Arc;
+
+    #[test]
+    fn message_phases_are_classified() {
+        let cube = Arc::new(HyperCube::zeros(CubeDims::new(2, 2, 2)));
+        let view = CubeView::full(Arc::clone(&cube));
+        let screen = PctMessage::ScreenSeededTask {
+            task: 1,
+            view: view.clone(),
+            seed: vec![],
+            threshold_rad: 0.1,
+        };
+        assert_eq!(ChaosPhase::of_message(&screen), Some(ChaosPhase::Screen));
+        let derive = PctMessage::DeriveTask {
+            task: 2,
+            unique: vec![],
+            config: pct::PctConfig::paper(),
+        };
+        assert_eq!(ChaosPhase::of_message(&derive), Some(ChaosPhase::Derive));
+        assert_eq!(ChaosPhase::of_message(&PctMessage::Heartbeat), None);
+        assert_eq!(ChaosPhase::Transform.label(), "transform");
+    }
+
+    #[test]
+    fn kill_at_builds_a_single_entry_plan() {
+        let plan = ChaosPlan::kill_at(3, ChaosPhase::Derive, "rg0#1");
+        assert_eq!(plan.kills.len(), 1);
+        assert_eq!(plan.kills[0].job, 3);
+        assert_eq!(plan.kills[0].member, "rg0#1");
+        assert!(ChaosPlan::none().kills.is_empty());
+    }
+}

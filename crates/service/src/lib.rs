@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod job;
 pub mod report;
 pub mod service;
@@ -50,6 +51,7 @@ mod queue;
 mod scheduler;
 mod status;
 
+pub use chaos::{ChaosPhase, ChaosPlan, PhaseKill};
 pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobStatus, Priority};
 pub use report::{LatencyStats, ServiceReport};
 pub use service::{FusionService, PoolConfig, ServiceConfig};

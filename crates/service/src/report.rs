@@ -56,8 +56,23 @@ pub struct ServiceReport {
     pub results_received: u64,
     /// Duplicate replica results discarded.
     pub duplicates_ignored: u64,
+    /// Group-lane tasks re-sent to every current member after going
+    /// unanswered past the retransmit timeout (covers lost sends to
+    /// members that never acked).
+    pub tasks_retransmitted: u64,
     /// Heartbeats consumed from resilient-lane members.
     pub heartbeats: u64,
+    /// Sub-cube payload bytes deep-copied while building screening-phase
+    /// task messages (clone-ledger delta): 0 on the view-based message
+    /// plane.
+    pub bytes_cloned_screen: u64,
+    /// Sub-cube payload bytes deep-copied while building transform-phase
+    /// task messages: 0 on the view-based message plane.
+    pub bytes_cloned_transform: u64,
+    /// Sub-cube payload bytes *referenced* by dispatched task messages —
+    /// the volume the pre-view message plane deep-copied per task, kept as
+    /// the denominator that makes `bytes_cloned_*` meaningful.
+    pub payload_bytes_shipped: u64,
     /// Deepest the admission queue ever got.
     pub queue_high_water: usize,
     /// Member regenerations performed by the resilient lane.
@@ -71,6 +86,12 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Total sub-cube payload bytes deep-copied for task messages across
+    /// both accounted phases.
+    pub fn bytes_cloned(&self) -> u64 {
+        self.bytes_cloned_screen + self.bytes_cloned_transform
+    }
+
     /// Completed jobs per wall-clock second.
     pub fn throughput_jobs_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -100,8 +121,19 @@ impl ServiceReport {
             self.jobs_rejected,
         ));
         out.push_str(&format!(
-            "  tasks:  {} dispatched, {} results ({} replica duplicates ignored), {} heartbeats\n",
-            self.tasks_dispatched, self.results_received, self.duplicates_ignored, self.heartbeats,
+            "  tasks:  {} dispatched, {} results ({} replica duplicates ignored, {} retransmits), {} heartbeats\n",
+            self.tasks_dispatched,
+            self.results_received,
+            self.duplicates_ignored,
+            self.tasks_retransmitted,
+            self.heartbeats,
+        ));
+        out.push_str(&format!(
+            "  copies: {} payload bytes cloned ({} screen, {} transform) of {} shipped by view\n",
+            self.bytes_cloned(),
+            self.bytes_cloned_screen,
+            self.bytes_cloned_transform,
+            self.payload_bytes_shipped,
         ));
         out.push_str(&format!(
             "  queue:  high-water mark {} jobs\n",
@@ -162,11 +194,16 @@ mod tests {
             elapsed: Duration::from_secs(2),
             ..ServiceReport::default()
         };
+        report.bytes_cloned_screen = 7;
+        report.payload_bytes_shipped = 99;
         report.record_latency(Priority::High, Duration::from_millis(12));
+        assert_eq!(report.bytes_cloned(), 7);
         let text = report.render();
         assert!(text.contains("4 completed"));
         assert!(text.contains("1 rejected"));
         assert!(text.contains("high-water mark 3"));
+        assert!(text.contains("7 payload bytes cloned"));
+        assert!(text.contains("99 shipped by view"));
         assert!(text.contains("latency   high"));
         assert!((report.throughput_jobs_per_sec() - 2.0).abs() < 1e-9);
     }

@@ -20,17 +20,19 @@
 //! replica results are discarded by task id — all without disturbing job
 //! outputs.
 
+use crate::chaos::{ChaosPhase, ChaosPlan};
 use crate::job::{BackendKind, JobId, JobStatus, Priority};
 use crate::pool::WorkerPool;
 use crate::queue::AdmissionQueue;
 use crate::report::ServiceReport;
 use crate::status::StatusTable;
 use hsi::partition::{partition_rows, SubCubeSpec};
-use hsi::HyperCube;
+use hsi::{CloneLedger, HyperCube};
 use linalg::{Matrix, Vector};
 use pct::colormap::ComponentScale;
 use pct::distributed::assemble_image;
 use pct::messages::{PctMessage, TaskId};
+use pct::resilient::OutstandingTask;
 use pct::{FusionOutput, PctConfig};
 use resilience::MemberId;
 use scp::{Envelope, ScpError, ThreadContext};
@@ -50,8 +52,13 @@ enum Assignee {
 struct InFlight {
     job: JobId,
     assignee: Assignee,
-    /// Kept for re-issue when a replica-group member is regenerated.
+    /// Kept for re-issue when a replica-group member is regenerated; view
+    /// payloads make holding and cloning this an `Arc` bump.
     message: PctMessage,
+    /// When the task was last (re)transmitted.
+    sent_at: Instant,
+    /// Retransmissions so far (drives [`OutstandingTask::backoff`]).
+    attempts: u32,
 }
 
 /// Job execution phases (see module docs).
@@ -93,11 +100,11 @@ impl JobRun {
                 if self.screen_outstanding || self.screen_next >= self.shards.len() {
                     return None;
                 }
-                let sub = self.shards[self.screen_next].extract(&self.cube).ok()?;
+                let view = self.shards[self.screen_next].view(&self.cube).ok()?;
                 self.screen_outstanding = true;
                 Some(PctMessage::ScreenSeededTask {
                     task,
-                    sub,
+                    view,
                     seed: self.unique.clone(),
                     threshold_rad: self.config.screening_angle_rad,
                 })
@@ -118,11 +125,11 @@ impl JobRun {
                 if self.transform_next >= self.shards.len() {
                     return None;
                 }
-                let sub = self.shards[self.transform_next].extract(&self.cube).ok()?;
+                let view = self.shards[self.transform_next].view(&self.cube).ok()?;
                 self.transform_next += 1;
                 Some(PctMessage::TransformTask {
                     task,
-                    sub,
+                    view,
                     mean: self.mean.clone()?,
                     transform: self.transform.clone()?,
                     scales: self.scales.clone(),
@@ -166,9 +173,12 @@ pub(crate) struct Scheduler {
     next_task: TaskId,
     started: Instant,
     report: ServiceReport,
+    chaos: ChaosPlan,
+    chaos_fired: Vec<bool>,
 }
 
 impl Scheduler {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         pool: WorkerPool,
         ctx: ThreadContext<PctMessage>,
@@ -177,9 +187,11 @@ impl Scheduler {
         cancels: Arc<Mutex<Vec<JobId>>>,
         shutdown: Arc<AtomicBool>,
         max_in_flight: usize,
+        chaos: ChaosPlan,
     ) -> Self {
         let free_workers = pool.standard.iter().cloned().collect();
         let free_groups = pool.groups.iter().cloned().collect();
+        let chaos_fired = vec![false; chaos.kills.len()];
         Self {
             pool,
             ctx,
@@ -198,6 +210,8 @@ impl Scheduler {
             next_task: 1,
             started: Instant::now(),
             report: ServiceReport::default(),
+            chaos,
+            chaos_fired,
         }
     }
 
@@ -334,10 +348,25 @@ impl Scheduler {
                 return;
             }
             let task = self.next_task;
+            // Measure (via the clone ledger) any sub-cube payload bytes the
+            // task construction deep-copies: 0 on the view-based plane, and
+            // attributed per phase so the bench can prove it per phase.
+            let ledger = CloneLedger::snapshot();
             let Some(message) = job.next_task_message(task) else {
                 return;
             };
+            let cloned = ledger.delta();
+            match ChaosPhase::of_message(&message) {
+                Some(ChaosPhase::Screen) => self.report.bytes_cloned_screen += cloned,
+                Some(ChaosPhase::Transform) => self.report.bytes_cloned_transform += cloned,
+                _ => {}
+            }
+            self.report.payload_bytes_shipped += message.payload_bytes();
+            self.fire_chaos_kills(id, &message);
             self.next_task += 1;
+            let Some(job) = self.running.get_mut(&id) else {
+                return;
+            };
             let backend = job.backend;
             match backend {
                 BackendKind::Standard => {
@@ -348,6 +377,8 @@ impl Scheduler {
                             job: id,
                             assignee: Assignee::Worker(worker.clone()),
                             message: message.clone(),
+                            sent_at: Instant::now(),
+                            attempts: 0,
                         },
                     );
                     if self.ctx.send(&worker, message).is_err() {
@@ -373,6 +404,8 @@ impl Scheduler {
                             job: id,
                             assignee: Assignee::Group(group.clone()),
                             message: message.clone(),
+                            sent_at: Instant::now(),
+                            attempts: 0,
                         },
                     );
                     let dead = match self
@@ -525,7 +558,24 @@ impl Scheduler {
         self.status.transition(id, status, None, error);
     }
 
-    /// Periodic resilient-lane upkeep: sweep, probe, regenerate.
+    /// Fires every not-yet-fired chaos kill anchored to this dispatch event
+    /// (the first task of `job`'s phase, identified by the message kind).
+    fn fire_chaos_kills(&mut self, job: JobId, message: &PctMessage) {
+        if self.chaos.kills.is_empty() {
+            return;
+        }
+        let Some(phase) = ChaosPhase::of_message(message) else {
+            return;
+        };
+        for (kill, fired) in self.chaos.kills.iter().zip(self.chaos_fired.iter_mut()) {
+            if !*fired && kill.job == job && kill.phase == phase {
+                self.pool.resilient.injector.attack(&kill.member);
+                *fired = true;
+            }
+        }
+    }
+
+    /// Periodic resilient-lane upkeep: sweep, probe, retransmit, regenerate.
     fn maintain_resilient(&mut self) {
         if self.pool.groups.is_empty() {
             return;
@@ -534,6 +584,49 @@ impl Scheduler {
         let failures = self.pool.resilient.sweep_and_probe(&mut self.ctx, now_ms);
         for failed in failures {
             self.recover_member(failed, now_ms);
+        }
+        self.retransmit_overdue_group_tasks();
+    }
+
+    /// Re-sends group-lane tasks that have gone unanswered past their
+    /// backoff (the shared [`OutstandingTask::backoff`] policy) to every
+    /// *current* member of their group — covering survivors that never
+    /// received the original send, the same task-loss window `pct`'s
+    /// resilient manager closes.  Retransmits are idempotent: workers
+    /// recompute and the result plane dedups by task id.
+    fn retransmit_overdue_group_tasks(&mut self) {
+        let retransmit_after = self.pool.resilient.retransmit_after;
+        let overdue: Vec<(TaskId, String, PctMessage)> = self
+            .tasks
+            .iter()
+            .filter_map(|(task, inflight)| match &inflight.assignee {
+                Assignee::Group(group)
+                    if inflight.sent_at.elapsed()
+                        > OutstandingTask::backoff(retransmit_after, inflight.attempts) =>
+                {
+                    Some((*task, group.clone(), inflight.message.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let now_ms = self.now_ms();
+        for (task, group, message) in overdue {
+            let dead = match self
+                .pool
+                .resilient
+                .group_send(&mut self.ctx, &group, &message)
+            {
+                Ok(dead) => dead,
+                Err(_) => continue,
+            };
+            if let Some(inflight) = self.tasks.get_mut(&task) {
+                inflight.sent_at = Instant::now();
+                inflight.attempts = inflight.attempts.saturating_add(1);
+            }
+            self.report.tasks_retransmitted += 1;
+            for failed in dead {
+                self.recover_member(failed, now_ms);
+            }
         }
     }
 
@@ -551,14 +644,16 @@ impl Scheduler {
     }
 
     /// Tasks currently in flight on one replica group, keyed for re-issue.
-    /// Only that group's tasks are cloned — re-issue never touches others.
-    fn group_outstanding(&self, group: &str) -> HashMap<TaskId, (String, PctMessage)> {
+    /// Only that group's tasks are referenced — re-issue never touches
+    /// others, and with view payloads the message clones are `Arc` bumps.
+    fn group_outstanding(&self, group: &str) -> HashMap<TaskId, OutstandingTask> {
         self.tasks
             .iter()
             .filter_map(|(task, inflight)| match &inflight.assignee {
-                Assignee::Group(g) if g == group => {
-                    Some((*task, (g.clone(), inflight.message.clone())))
-                }
+                Assignee::Group(g) if g == group => Some((
+                    *task,
+                    OutstandingTask::new(g.clone(), inflight.message.clone()),
+                )),
                 _ => None,
             })
             .collect()
@@ -567,14 +662,23 @@ impl Scheduler {
     /// Regenerates a failed member; if regeneration is impossible, fails the
     /// jobs whose tasks were riding on that group.
     fn recover_member(&mut self, failed: MemberId, now_ms: u64) {
-        let outstanding = self.group_outstanding(&failed.group);
+        let mut outstanding = self.group_outstanding(&failed.group);
         let result = self.pool.resilient.handle_member_failure(
             &mut self.ctx,
             &self.pool.runtime,
-            &outstanding,
+            &mut outstanding,
             now_ms,
             &failed,
         );
+        if result.is_ok() {
+            // The re-issue just delivered these tasks afresh; restart their
+            // retransmit timers so the next sweep does not re-send them.
+            for inflight in self.tasks.values_mut() {
+                if matches!(&inflight.assignee, Assignee::Group(g) if *g == failed.group) {
+                    inflight.sent_at = Instant::now();
+                }
+            }
+        }
         if let Err(e) = result {
             let affected: Vec<(TaskId, JobId)> = self
                 .tasks

@@ -42,7 +42,7 @@ impl Default for PoolConfig {
 }
 
 /// Service-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Pool sizing.
     pub pool: PoolConfig,
@@ -50,6 +50,9 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Maximum number of jobs admitted (running) concurrently.
     pub max_in_flight: usize,
+    /// Deterministic chaos schedule: member kills anchored to scheduler
+    /// dispatch events (empty by default).
+    pub chaos: crate::chaos::ChaosPlan,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +61,7 @@ impl Default for ServiceConfig {
             pool: PoolConfig::default(),
             queue_capacity: 64,
             max_in_flight: 16,
+            chaos: crate::chaos::ChaosPlan::none(),
         }
     }
 }
@@ -102,6 +106,7 @@ impl FusionService {
             Arc::clone(&cancels),
             Arc::clone(&shutdown_flag),
             config.max_in_flight,
+            config.chaos.clone(),
         );
         let handle = std::thread::Builder::new()
             .name("fusiond-scheduler".to_string())
@@ -257,6 +262,7 @@ mod tests {
             },
             queue_capacity: 16,
             max_in_flight: 4,
+            ..ServiceConfig::default()
         }
     }
 

@@ -32,6 +32,7 @@ fn main() {
         },
         queue_capacity: JOBS as usize,
         max_in_flight: 12,
+        ..ServiceConfig::default()
     })
     .expect("service starts");
 

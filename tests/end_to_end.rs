@@ -7,8 +7,8 @@ use pct::distributed_sim::{simulate_fusion, SimParams};
 use pct::resilient::{AttackPlan, ResilientPct};
 use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
 use service::{
-    BackendKind, CubeSource, FusionService, JobSpec, JobStatus, PoolConfig, Priority,
-    ServiceConfig, ServiceError,
+    BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobSpec, JobStatus, PoolConfig,
+    Priority, ServiceConfig, ServiceError,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -163,6 +163,7 @@ fn test_service(queue_capacity: usize, max_in_flight: usize) -> FusionService {
         },
         queue_capacity,
         max_in_flight,
+        ..ServiceConfig::default()
     })
     .expect("service starts")
 }
@@ -319,6 +320,81 @@ fn service_resilient_jobs_survive_member_kill() {
         report.regenerations >= 1,
         "killed member was never regenerated: {report:?}"
     );
+}
+
+/// The seeded chaos matrix: every (member index × job phase) combination is
+/// replayed as a deterministic kill over the resilient lane.  The kill is
+/// anchored to a scheduler event (dispatch of the first task of that phase
+/// of job 1), the workload is seeded scenes, and every surviving output
+/// must stay **byte-identical** to the sequential reference — while the
+/// zero-copy message plane reports 0 cloned payload bytes per phase.
+#[test]
+fn chaos_kill_matrix_every_surviving_output_is_byte_identical_to_sequential() {
+    for member_index in 0..2usize {
+        for phase in [
+            ChaosPhase::Screen,
+            ChaosPhase::Derive,
+            ChaosPhase::Transform,
+        ] {
+            let victim = format!("rg0#{member_index}");
+            let label = format!("kill {victim} at {}", phase.label());
+            let service = FusionService::start(ServiceConfig {
+                pool: PoolConfig {
+                    standard_workers: 1,
+                    replica_groups: 1,
+                    replication_level: 2,
+                    ..PoolConfig::default()
+                },
+                queue_capacity: 8,
+                max_in_flight: 4,
+                chaos: ChaosPlan::kill_at(1, phase, victim.clone()),
+            })
+            .expect("service starts");
+
+            let mut jobs = Vec::new();
+            for i in 0..3u64 {
+                let cube = Arc::new(
+                    SceneGenerator::new(small_job_scene(90 + i))
+                        .unwrap()
+                        .generate(),
+                );
+                let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
+                    .with_backend(BackendKind::Resilient)
+                    .with_shards(3);
+                jobs.push((service.submit(spec).unwrap(), cube));
+            }
+            for (id, cube) in jobs {
+                let output = service.wait(id).unwrap();
+                let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+                assert_eq!(output, reference, "{label}: job {id} diverged");
+            }
+
+            let report = service.shutdown();
+            assert_eq!(report.jobs_completed, 3, "{label}: jobs lost");
+            assert_eq!(
+                report.members_attacked,
+                vec![victim.clone()],
+                "{label}: kill never fired"
+            );
+            assert!(
+                report.regenerations >= 1,
+                "{label}: killed member was never regenerated: {report:?}"
+            );
+            // The zero-copy acceptance criterion, measured per phase.
+            assert_eq!(
+                report.bytes_cloned_screen, 0,
+                "{label}: screening cloned payload bytes"
+            );
+            assert_eq!(
+                report.bytes_cloned_transform, 0,
+                "{label}: transform cloned payload bytes"
+            );
+            assert!(
+                report.payload_bytes_shipped > 0,
+                "{label}: no payload accounted"
+            );
+        }
+    }
 }
 
 #[test]
