@@ -10,6 +10,10 @@
 #     processors with 2 sub-cubes per worker (also deterministic).
 #   * service_* — the fusiond throughput benchmark: job/task/unique counters
 #     are deterministic; jobs_per_sec is wall-clock and trend-only.
+#     service_route_{standard,resilient,shared_memory}_{jobs,auto} record
+#     the per-route job mix (pinned resilient, Route::Auto resolved by the
+#     default size-threshold policy to the shared-memory lane, pinned
+#     standard) so routing-mix drift stays bisectable.
 #     service_bytes_cloned_{screen,transform} measure (via the hsi clone
 #     ledger) the sub-cube payload bytes deep-copied into task messages —
 #     0 on the Arc-backed view message plane — and

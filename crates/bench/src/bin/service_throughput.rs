@@ -1,15 +1,19 @@
 //! Service-layer throughput benchmark: drives a fixed mixed workload of 32
 //! fusion jobs through `fusiond` and reports the run.
 //!
-//! The deterministic counters (jobs, tasks, unique-set sizes) are stable
-//! across runs and machines; the throughput figure is wall-clock and
+//! The deterministic counters (jobs, tasks, unique-set sizes, route mix) are
+//! stable across runs and machines; the throughput figure is wall-clock and
 //! recorded for trend-watching only.  Lines starting with `CSV` are parsed
 //! by `bench/record.sh` into `bench/BENCH_history.csv`.
+//!
+//! Routing mix: every fourth job is pinned to the resilient lane, every
+//! fourth is `Route::Auto` (which the default size-threshold policy resolves
+//! to the shared-memory lane for these 28×28×14 cubes — deterministically),
+//! and the rest are pinned standard.  The per-route job counts in the CSV
+//! make routing-mix drift bisectable.
 
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
-use service::{
-    BackendKind, CubeSource, FusionService, JobSpec, PoolConfig, Priority, ServiceConfig,
-};
+use service::{BackendKind, CubeSource, FusionService, JobSpec, Route, ServiceConfig};
 use std::sync::Arc;
 
 const JOBS: u64 = 32;
@@ -21,42 +25,46 @@ fn scene(i: u64) -> SceneConfig {
 }
 
 fn main() {
-    let service = FusionService::start(ServiceConfig {
-        pool: PoolConfig {
-            standard_workers: 4,
-            replica_groups: 2,
-            replication_level: 2,
-            ..PoolConfig::default()
-        },
-        queue_capacity: JOBS as usize,
-        max_in_flight: 12,
-        ..ServiceConfig::default()
-    })
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(4)
+            .replica_groups(2)
+            .replication_level(2)
+            .shared_memory_executors(2)
+            .queue_capacity(JOBS as usize)
+            .max_in_flight(12)
+            .build()
+            .expect("config validates"),
+    )
     .expect("service starts");
 
-    let mut jobs = Vec::new();
+    let mut handles = Vec::new();
     for i in 0..JOBS {
         let cube = Arc::new(
             SceneGenerator::new(scene(i))
                 .expect("valid scene")
                 .generate(),
         );
-        let spec = JobSpec::new(CubeSource::InMemory(cube))
-            .with_priority(Priority::ALL[i as usize % 3])
-            .with_backend(if i % 4 == 0 {
-                BackendKind::Resilient
-            } else {
-                BackendKind::Standard
-            })
-            .with_shards(4);
-        jobs.push(service.submit(spec).expect("submission accepted"));
+        let route = match i % 4 {
+            0 => Route::Pinned(BackendKind::Resilient),
+            1 => Route::Auto,
+            _ => Route::Pinned(BackendKind::Standard),
+        };
+        let spec = JobSpec::builder(CubeSource::InMemory(cube))
+            .priority(service::Priority::ALL[i as usize % 3])
+            .route(route)
+            .shards(4)
+            .build()
+            .expect("valid spec");
+        handles.push(service.submit(spec).expect("submission accepted"));
     }
 
     let mut unique_sum: usize = 0;
-    for id in jobs {
-        let output = service.wait(id).expect("job completes");
-        unique_sum += output.unique_count;
+    for handle in &mut handles {
+        let outcome = handle.wait().expect("job completes");
+        unique_sum += outcome.output().expect("completed").unique_count;
     }
+    drop(handles);
     let report = service.shutdown();
 
     println!("service throughput benchmark — {JOBS} mixed jobs, 28x28x14 cubes");
@@ -67,10 +75,18 @@ fn main() {
     println!("CSV service_jobs_completed {}", report.jobs_completed);
     println!("CSV service_tasks_dispatched {}", report.tasks_dispatched);
     println!("CSV service_unique_sum {unique_sum}");
+    // The routing mix, per lane: pinned resilient (8), auto -> shared-memory
+    // under the default size-threshold policy (8), pinned standard (16).
+    for kind in BackendKind::ALL {
+        let stats = report.route(kind);
+        let label = kind.label().replace('-', "_");
+        println!("CSV service_route_{label}_jobs {}", stats.jobs_routed);
+        println!("CSV service_route_{label}_auto {}", stats.auto_routed);
+    }
     // The zero-copy message plane, measured per phase via the clone ledger:
     // `bytes_cloned` must be 0 for the screening and transform phases, and
     // `payload_bytes_shipped` is the volume the pre-view plane deep-copied
-    // per task (the "before" this PR removes).
+    // per task (the "before" the view redesign removed).
     println!(
         "CSV service_bytes_cloned_screen {}",
         report.bytes_cloned_screen

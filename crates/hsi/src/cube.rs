@@ -42,6 +42,13 @@ impl CubeDims {
         self.pixels() * self.bands
     }
 
+    /// In-memory payload size of a cube with these dimensions
+    /// (`samples * size_of::<f64>()`) — the one place this arithmetic
+    /// lives; routing and transfer-cost models consult it.
+    pub fn byte_size(&self) -> usize {
+        self.samples() * std::mem::size_of::<f64>()
+    }
+
     /// The cube size used throughout the paper's evaluation: 320×320×105
     /// ("the initial cube size was 320x320x105").
     pub fn paper_eval() -> Self {
@@ -275,7 +282,7 @@ impl HyperCube {
     /// Approximate in-memory size in bytes (used by the communication cost
     /// model when estimating sub-problem transfer times).
     pub fn byte_size(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f64>()
+        self.dims.byte_size()
     }
 }
 

@@ -14,8 +14,15 @@ use crate::resilient::ResilientPct;
 use crate::sequential::SequentialPct;
 use crate::shared_memory::SharedMemoryPct;
 use crate::Result;
-use hsi::HyperCube;
+use hsi::{CubeDims, HyperCube};
 use std::sync::Arc;
+
+/// Cost-model unit: one sample (pixel × band) processed sequentially.
+/// Message-plane implementations add this much estimated overhead per task
+/// they would dispatch — the knob that makes [`FusionBackend::cost_hint`]
+/// prefer in-process execution for small cubes and parallel execution for
+/// large ones.
+const TASK_OVERHEAD_SAMPLES: f64 = 4096.0;
 
 /// A reusable fusion engine: one of the interchangeable implementations of
 /// the eight-step pipeline, usable many times over many cubes.
@@ -33,6 +40,15 @@ pub trait FusionBackend: Send + Sync {
     /// zero-copy [`hsi::CubeView`] windows of `cube`.
     fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
         self.fuse(cube)
+    }
+
+    /// Estimated relative cost of fusing a cube of the given dimensions, in
+    /// sequential sample units.  Only the *ordering* between backends
+    /// matters: a routing policy compares hints to pick the cheapest lane
+    /// for a job (see the service crate's `CostHintPolicy`).  The default is
+    /// the sequential model — every sample once, no overhead.
+    fn cost_hint(&self, dims: &CubeDims) -> f64 {
+        dims.samples() as f64
     }
 }
 
@@ -62,6 +78,14 @@ impl FusionBackend for SharedMemoryPct {
     fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
         self.run_shared(cube)
     }
+
+    /// Data-parallel fork/join: near-linear speed-up over the pool, plus a
+    /// small per-block coordination cost (no messages are exchanged).
+    fn cost_hint(&self, dims: &CubeDims) -> f64 {
+        let threads = rayon::current_num_threads().max(1) as f64;
+        let blocks = self.blocks() as f64;
+        dims.samples() as f64 / threads + TASK_OVERHEAD_SAMPLES / 8.0 * blocks
+    }
 }
 
 impl FusionBackend for DistributedPct {
@@ -76,6 +100,15 @@ impl FusionBackend for DistributedPct {
     fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
         self.run_shared(cube)
     }
+
+    /// Parallel compute over the workers, plus per-task messaging overhead
+    /// for the screening and transform fan-outs (two tasks per worker each
+    /// under the default granularity).
+    fn cost_hint(&self, dims: &CubeDims) -> f64 {
+        let workers = self.workers() as f64;
+        let tasks = 2.0 * 2.0 * workers;
+        dims.samples() as f64 / workers + TASK_OVERHEAD_SAMPLES * tasks
+    }
 }
 
 impl FusionBackend for ResilientPct {
@@ -89,6 +122,16 @@ impl FusionBackend for ResilientPct {
 
     fn fuse_shared(&self, cube: &Arc<HyperCube>) -> Result<FusionOutput> {
         self.run_shared(cube)
+    }
+
+    /// The distributed model with every send, task and heartbeat multiplied
+    /// by the replication level — the paper's "resiliency costs roughly the
+    /// replication factor" claim as a cost model.
+    fn cost_hint(&self, dims: &CubeDims) -> f64 {
+        let workers = self.workers() as f64;
+        let tasks = 2.0 * 2.0 * workers;
+        let level = self.level() as f64;
+        (dims.samples() as f64 / workers + TASK_OVERHEAD_SAMPLES * tasks) * level
     }
 }
 
@@ -142,6 +185,28 @@ mod tests {
             let shared = backend.fuse_shared(&cube).unwrap();
             assert_eq!(shared.image, borrowed.image, "{}", backend.label());
         }
+    }
+
+    #[test]
+    fn cost_hints_order_backends_sensibly() {
+        let sequential = SequentialPct::new(PctConfig::paper());
+        let distributed = DistributedPct::new(PctConfig::paper(), 4);
+        let resilient = ResilientPct::new(PctConfig::paper(), 4, 2);
+
+        // Tiny cube: fixed per-task messaging overhead dominates, so the
+        // in-process sequential path is the cheapest.
+        let tiny = CubeDims::new(8, 8, 4);
+        assert!(sequential.cost_hint(&tiny) < distributed.cost_hint(&tiny));
+        assert!(distributed.cost_hint(&tiny) < resilient.cost_hint(&tiny));
+
+        // Paper-scale cube: parallel speed-up wins over one thread.
+        let big = CubeDims::paper_eval();
+        assert!(distributed.cost_hint(&big) < sequential.cost_hint(&big));
+        // Resiliency costs roughly the replication factor over distributed.
+        let ratio = resilient.cost_hint(&big) / distributed.cost_hint(&big);
+        assert!((1.5..=2.5).contains(&ratio), "resiliency ratio {ratio}");
+        // The default trait model is the sequential one.
+        assert_eq!(sequential.cost_hint(&big), big.samples() as f64);
     }
 
     #[test]

@@ -450,6 +450,16 @@ impl ResilientPct {
         self
     }
 
+    /// Number of logical workers (replica groups).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Members per replica group.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
     /// Runs the pipeline with no attack.  The borrowed cube is copied once
     /// into shared storage at this ingestion boundary; `Arc` holders use
     /// [`ResilientPct::run_shared`] and copy nothing.

@@ -1,6 +1,6 @@
 //! Explicit communication-structure descriptors.
 //!
-//! SCPlib threads carry "a machine independent description of [their]
+//! SCPlib threads carry "a machine independent description of \[their\]
 //! communication structure".  The descriptor serves two purposes here:
 //!
 //! 1. *Validation* — the runtime can reject sends over undeclared channels,

@@ -1,0 +1,316 @@
+//! Service configuration: typed errors and validating builders.
+//!
+//! Struct-literal configuration let invalid shapes (zero in-flight jobs, a
+//! pool with no lanes) surface only at `FusionService::start`, as stringly
+//! errors.  [`ServiceConfig::builder`] and [`crate::JobSpec::builder`]
+//! validate at build time and return a typed [`ConfigError`], which converts
+//! into [`ServiceError`] so `?` composes across the crate boundary.
+//!
+//! ```
+//! use service::ServiceConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ServiceConfig::builder()
+//!     .standard_workers(4)
+//!     .replica_groups(2)
+//!     .replication_level(2)
+//!     .shared_memory_executors(2)
+//!     .queue_capacity(32)
+//!     .max_in_flight(8)
+//!     .build()?;
+//! assert_eq!(config.queue_capacity, 32);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::chaos::ChaosPlan;
+use crate::routing::{default_policy, RoutingPolicy, SharedRoutingPolicy};
+use crate::ServiceError;
+use resilience::DetectorConfig;
+use std::sync::Arc;
+
+/// A typed configuration defect, produced by the validating builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_in_flight` was zero: the scheduler could never admit a job.
+    ZeroMaxInFlight,
+    /// `queue_capacity` was zero: no submission could ever be accepted.
+    ZeroQueueCapacity,
+    /// The pool has no execution lane at all (no standard workers, no
+    /// replica groups, no shared-memory executors).
+    NoLanes,
+    /// `replica_groups` is non-zero but `replication_level` is zero.
+    ZeroReplicationLevel,
+    /// A job spec asked for zero shards.
+    ZeroShards,
+    /// The embedded pipeline configuration is invalid; the payload is the
+    /// pipeline's own message.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMaxInFlight => write!(f, "max_in_flight must be at least 1"),
+            ConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be at least 1"),
+            ConfigError::NoLanes => write!(
+                f,
+                "the pool needs at least one lane (standard workers, replica groups or shared-memory executors)"
+            ),
+            ConfigError::ZeroReplicationLevel => {
+                write!(f, "replica groups need a replication level of at least 1")
+            }
+            ConfigError::ZeroShards => write!(f, "a job needs at least one shard"),
+            ConfigError::Pipeline(msg) => write!(f, "pipeline configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::InvalidConfig(e.to_string())
+    }
+}
+
+/// Sizing of the shared worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Plain worker threads of the standard lane (0 disables the lane).
+    pub standard_workers: usize,
+    /// Replica groups of the resilient lane (0 disables the lane).
+    pub replica_groups: usize,
+    /// Members per replica group (the paper evaluates level 2).
+    pub replication_level: usize,
+    /// In-process shared-memory executors (0 disables the lane).  Each runs
+    /// whole small jobs start-to-finish with zero protocol messages.
+    pub shared_memory_executors: usize,
+    /// Failure-detector tuning for the resilient lane.
+    pub detector: DetectorConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            standard_workers: 4,
+            replica_groups: 2,
+            replication_level: 2,
+            shared_memory_executors: 2,
+            detector: DetectorConfig {
+                heartbeat_period_ms: 50,
+                miss_threshold: 8,
+            },
+        }
+    }
+}
+
+/// Service-level configuration.  Build one with [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pool sizing.
+    pub pool: PoolConfig,
+    /// Bound of the admission queue (the backpressure point).
+    pub queue_capacity: usize,
+    /// Maximum number of jobs admitted (running) concurrently.
+    pub max_in_flight: usize,
+    /// The policy resolving [`crate::Route::Auto`] jobs to a lane.
+    pub routing: SharedRoutingPolicy,
+    /// Deterministic chaos schedule: member kills anchored to scheduler
+    /// dispatch events (empty by default).
+    pub chaos: ChaosPlan,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            pool: PoolConfig::default(),
+            queue_capacity: 64,
+            max_in_flight: 16,
+            routing: default_policy(),
+            chaos: ChaosPlan::none(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+
+    /// Validates a configuration however it was produced (the builder calls
+    /// this; `FusionService::start` calls it again so struct-literal
+    /// configurations get the same checks).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_in_flight == 0 {
+            return Err(ConfigError::ZeroMaxInFlight);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        let pool = &self.pool;
+        if pool.standard_workers == 0
+            && pool.replica_groups == 0
+            && pool.shared_memory_executors == 0
+        {
+            return Err(ConfigError::NoLanes);
+        }
+        if pool.replica_groups > 0 && pool.replication_level == 0 {
+            return Err(ConfigError::ZeroReplicationLevel);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`ServiceConfig`] — see [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Replaces the whole pool sizing block.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.config.pool = pool;
+        self
+    }
+
+    /// Number of standard-lane worker threads (0 disables the lane).
+    pub fn standard_workers(mut self, workers: usize) -> Self {
+        self.config.pool.standard_workers = workers;
+        self
+    }
+
+    /// Number of resilient-lane replica groups (0 disables the lane).
+    pub fn replica_groups(mut self, groups: usize) -> Self {
+        self.config.pool.replica_groups = groups;
+        self
+    }
+
+    /// Members per replica group.
+    pub fn replication_level(mut self, level: usize) -> Self {
+        self.config.pool.replication_level = level;
+        self
+    }
+
+    /// Number of in-process shared-memory executors (0 disables the lane).
+    pub fn shared_memory_executors(mut self, executors: usize) -> Self {
+        self.config.pool.shared_memory_executors = executors;
+        self
+    }
+
+    /// Failure-detector tuning for the resilient lane.
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.config.pool.detector = detector;
+        self
+    }
+
+    /// Bound of the admission queue.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Maximum number of concurrently running jobs.
+    pub fn max_in_flight(mut self, max: usize) -> Self {
+        self.config.max_in_flight = max;
+        self
+    }
+
+    /// The routing policy resolving [`crate::Route::Auto`] jobs.
+    pub fn routing_policy(mut self, policy: impl RoutingPolicy + 'static) -> Self {
+        self.config.routing = Arc::new(policy);
+        self
+    }
+
+    /// A pre-shared routing policy handle.
+    pub fn routing(mut self, policy: SharedRoutingPolicy) -> Self {
+        self.config.routing = policy;
+        self
+    }
+
+    /// Deterministic chaos schedule.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.config.chaos = plan;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoundRobinPolicy;
+
+    #[test]
+    fn builder_produces_validated_defaults() {
+        let config = ServiceConfig::builder().build().unwrap();
+        assert_eq!(config.queue_capacity, 64);
+        assert_eq!(config.max_in_flight, 16);
+        assert_eq!(config.pool.shared_memory_executors, 2);
+        assert_eq!(config.routing.name(), "size-threshold");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_shapes() {
+        assert_eq!(
+            ServiceConfig::builder()
+                .max_in_flight(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMaxInFlight
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .queue_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQueueCapacity
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .standard_workers(0)
+                .replica_groups(0)
+                .shared_memory_executors(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::NoLanes
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .replica_groups(1)
+                .replication_level(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroReplicationLevel
+        );
+    }
+
+    #[test]
+    fn builder_swaps_the_routing_policy() {
+        let config = ServiceConfig::builder()
+            .routing_policy(RoundRobinPolicy::default())
+            .build()
+            .unwrap();
+        assert_eq!(config.routing.name(), "round-robin");
+    }
+
+    #[test]
+    fn config_errors_render_and_convert() {
+        let err = ConfigError::NoLanes;
+        assert!(err.to_string().contains("at least one lane"));
+        let service_err: ServiceError = ConfigError::ZeroShards.into();
+        assert!(matches!(service_err, ServiceError::InvalidConfig(_)));
+        // The std::error::Error impl composes with `?` behind a Box.
+        let boxed: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroMaxInFlight);
+        assert!(boxed.to_string().contains("max_in_flight"));
+    }
+}

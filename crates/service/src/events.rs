@@ -1,0 +1,239 @@
+//! The subscribable [`ServiceEvent`] stream: observing the service without
+//! polling.
+//!
+//! Examples, the chaos harness and operators used to learn what the service
+//! was doing by polling `status()` in a loop.  The scheduler now publishes a
+//! typed event at every interesting lifecycle point — admission (with the
+//! resolved route), task dispatch, retransmission, member kill, member
+//! regeneration, and every terminal transition — to every live subscriber.
+//!
+//! Subscriptions are independent unbounded channels: a slow subscriber
+//! buffers, it never blocks the scheduler, and dropping the
+//! [`EventSubscriber`] unsubscribes (the bus prunes disconnected channels on
+//! the next publish).
+//!
+//! ```no_run
+//! use service::{ServiceConfig, ServiceEvent};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = service::FusionService::start(ServiceConfig::builder().build()?)?;
+//! let events = service.subscribe();
+//! // ... submit jobs ...
+//! while let Some(event) = events.try_next() {
+//!     if let ServiceEvent::MemberRegenerated { failed, replacement } = event {
+//!         eprintln!("{failed} came back as {replacement}");
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::job::{BackendKind, JobId, JobStatus};
+use pct::messages::TaskId;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One observable lifecycle event of the running service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// A job left the admission queue and entered execution; `route` is the
+    /// lane it was resolved to, `auto` whether the routing policy (rather
+    /// than the caller) chose it.
+    Admitted {
+        /// The job.
+        job: JobId,
+        /// The resolved execution lane.
+        route: BackendKind,
+        /// Whether the lane came from the routing policy ([`crate::Route::Auto`]).
+        auto: bool,
+    },
+    /// A task (or, on the shared-memory lane, the whole job) was handed to
+    /// an execution slot.
+    Dispatched {
+        /// The job the task belongs to.
+        job: JobId,
+        /// The lane it ran on.
+        route: BackendKind,
+        /// The task identifier.
+        task: TaskId,
+        /// The message kind (`screen-seeded-task`, `derive-task`, ...).
+        kind: &'static str,
+    },
+    /// An unanswered group-lane task was re-sent to every current member of
+    /// its replica group.
+    Retransmitted {
+        /// The job the task belongs to.
+        job: JobId,
+        /// The task identifier.
+        task: TaskId,
+        /// The replica group that owes the result.
+        group: String,
+    },
+    /// A resilient-lane member was killed (chaos plan or attack drill).
+    MemberKilled {
+        /// Routing name of the victim (e.g. `rg0#1`).
+        member: String,
+    },
+    /// The regeneration protocol replaced a failed member.
+    MemberRegenerated {
+        /// Routing name of the failed member.
+        failed: String,
+        /// Routing name of its replacement.
+        replacement: String,
+    },
+    /// A job reached a terminal status.
+    Terminal {
+        /// The job.
+        job: JobId,
+        /// The terminal status (`Completed`, `Failed`, `Cancelled` or
+        /// `TimedOut`).
+        status: JobStatus,
+    },
+}
+
+/// The scheduler-side publisher: fans every event out to all subscribers.
+#[derive(Default)]
+pub(crate) struct EventBus {
+    subscribers: Mutex<Vec<Sender<ServiceEvent>>>,
+}
+
+impl EventBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new independent subscription.
+    pub fn subscribe(&self) -> EventSubscriber {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.subscribers.lock().expect("event bus lock").push(tx);
+        EventSubscriber { receiver: rx }
+    }
+
+    /// Publishes one event to every live subscriber, pruning dead ones.
+    /// Publishing with no subscribers is free apart from the lock.
+    pub fn publish(&self, event: ServiceEvent) {
+        let mut subscribers = self.subscribers.lock().expect("event bus lock");
+        subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscriptions (dead ones are only pruned on publish).
+    #[cfg(test)]
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().expect("event bus lock").len()
+    }
+}
+
+/// A client-side subscription to the service's event stream.  Dropping it
+/// unsubscribes.
+pub struct EventSubscriber {
+    receiver: Receiver<ServiceEvent>,
+}
+
+impl EventSubscriber {
+    /// Returns the next buffered event without blocking, or `None` when the
+    /// buffer is empty (or the service is gone and fully drained).
+    pub fn try_next(&self) -> Option<ServiceEvent> {
+        match self.receiver.try_recv() {
+            Ok(event) => Some(event),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks up to `timeout` for the next event.  `None` means no event
+    /// arrived in time (or the service shut down with nothing buffered).
+    pub fn next_timeout(&self, timeout: Duration) -> Option<ServiceEvent> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(event) => Some(event),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks up to `timeout` for the next event matching `predicate`,
+    /// discarding everything else.  The workhorse of event-driven tests:
+    /// "wait for the regeneration, whatever else happens first".
+    pub fn wait_for(
+        &self,
+        timeout: Duration,
+        mut predicate: impl FnMut(&ServiceEvent) -> bool,
+    ) -> Option<ServiceEvent> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.next_timeout(remaining) {
+                Some(event) if predicate(&event) => return Some(event),
+                Some(_) => continue,
+                None => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fan_out_to_every_subscriber() {
+        let bus = EventBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        bus.publish(ServiceEvent::MemberKilled {
+            member: "rg0#0".into(),
+        });
+        for sub in [&a, &b] {
+            assert_eq!(
+                sub.try_next(),
+                Some(ServiceEvent::MemberKilled {
+                    member: "rg0#0".into()
+                })
+            );
+            assert_eq!(sub.try_next(), None);
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_publish() {
+        let bus = EventBus::new();
+        let keep = bus.subscribe();
+        let dropped = bus.subscribe();
+        drop(dropped);
+        assert_eq!(bus.subscriber_count(), 2);
+        bus.publish(ServiceEvent::Terminal {
+            job: 1,
+            status: JobStatus::Completed,
+        });
+        assert_eq!(bus.subscriber_count(), 1);
+        assert!(keep.try_next().is_some());
+    }
+
+    #[test]
+    fn wait_for_skips_non_matching_events() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe();
+        bus.publish(ServiceEvent::Admitted {
+            job: 1,
+            route: BackendKind::Standard,
+            auto: true,
+        });
+        bus.publish(ServiceEvent::Terminal {
+            job: 1,
+            status: JobStatus::Completed,
+        });
+        let hit = sub.wait_for(Duration::from_millis(100), |e| {
+            matches!(e, ServiceEvent::Terminal { .. })
+        });
+        assert_eq!(
+            hit,
+            Some(ServiceEvent::Terminal {
+                job: 1,
+                status: JobStatus::Completed
+            })
+        );
+        // The stream is now drained and the timeout path returns None.
+        assert_eq!(sub.wait_for(Duration::from_millis(10), |_| true), None);
+    }
+}

@@ -1,6 +1,8 @@
 //! Job specifications, identifiers, priorities and lifecycle states.
 
-use crate::{Result, ServiceError};
+use crate::config::ConfigError;
+use crate::routing::Route;
+use crate::Result;
 use hsi::{HyperCube, SceneConfig, SceneGenerator};
 use pct::PctConfig;
 use std::sync::Arc;
@@ -44,21 +46,33 @@ impl Priority {
 }
 
 /// Which pool lane executes the job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BackendKind {
     /// Plain long-lived worker threads (no replication).
     Standard,
     /// Replica groups with failure detection and regeneration: the job
     /// survives worker kills with byte-identical output.
     Resilient,
+    /// In-process execution on a dedicated shared-memory executor thread:
+    /// the whole job runs start-to-finish against the shared cube with zero
+    /// protocol messages — the cheapest path for small cubes.
+    SharedMemory,
 }
 
 impl BackendKind {
+    /// Every lane, in the scheduler's preference order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Standard,
+        BackendKind::Resilient,
+        BackendKind::SharedMemory,
+    ];
+
     /// A short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
             BackendKind::Standard => "standard",
             BackendKind::Resilient => "resilient",
+            BackendKind::SharedMemory => "shared-memory",
         }
     }
 }
@@ -88,14 +102,32 @@ impl CubeSource {
 }
 
 /// Everything the service needs to run one fusion job.
+///
+/// Build one with [`JobSpec::builder`], which validates as it goes:
+///
+/// ```
+/// use hsi::SceneConfig;
+/// use service::{CubeSource, JobSpec, Priority, Route};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(1)))
+///     .route(Route::Auto)
+///     .priority(Priority::High)
+///     .shards(3)
+///     .build()?;
+/// assert_eq!(spec.route, Route::Auto);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// The cube to fuse.
     pub source: CubeSource,
     /// Pipeline configuration (screening angle, output components).
     pub config: PctConfig,
-    /// Which pool lane executes the job.
-    pub backend: BackendKind,
+    /// Which pool lane executes the job: pinned, or resolved by the
+    /// service's routing policy at admission.
+    pub route: Route,
     /// Scheduling priority.
     pub priority: Priority,
     /// Number of sub-cubes the job is sharded into (clamped to the cube's
@@ -107,17 +139,74 @@ pub struct JobSpec {
     pub timeout: Option<Duration>,
 }
 
+/// Validating builder for [`JobSpec`] — see [`JobSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct JobSpecBuilder {
+    spec: JobSpec,
+}
+
+impl JobSpecBuilder {
+    /// Overrides the pipeline configuration.
+    pub fn config(mut self, config: PctConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// Sets the route (pinned lane or [`Route::Auto`]).
+    pub fn route(mut self, route: impl Into<Route>) -> Self {
+        self.spec.route = route.into();
+        self
+    }
+
+    /// Pins the job to a concrete lane (shorthand for
+    /// `.route(Route::Pinned(kind))`).
+    pub fn pinned(self, kind: BackendKind) -> Self {
+        self.route(Route::Pinned(kind))
+    }
+
+    /// Overrides the priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.spec.priority = priority;
+        self
+    }
+
+    /// Overrides the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = shards;
+        self
+    }
+
+    /// Sets a deadline relative to admission.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.spec.timeout = Some(timeout);
+        self
+    }
+
+    /// Validates and produces the spec.
+    pub fn build(self) -> std::result::Result<JobSpec, ConfigError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
 impl JobSpec {
-    /// Creates a spec with the paper configuration, the standard backend,
+    /// Creates a spec with the paper configuration, automatic routing,
     /// normal priority and four shards.
     pub fn new(source: CubeSource) -> Self {
         Self {
             source,
             config: PctConfig::paper(),
-            backend: BackendKind::Standard,
+            route: Route::Auto,
             priority: Priority::Normal,
             shards: 4,
             timeout: None,
+        }
+    }
+
+    /// Starts a validating builder from the defaults of [`JobSpec::new`].
+    pub fn builder(source: CubeSource) -> JobSpecBuilder {
+        JobSpecBuilder {
+            spec: JobSpec::new(source),
         }
     }
 
@@ -128,8 +217,15 @@ impl JobSpec {
     }
 
     /// Overrides the backend lane.
+    #[deprecated(since = "0.1.0", note = "use JobSpec::builder(..).route(..) instead")]
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
+        self.route = Route::Pinned(backend);
+        self
+    }
+
+    /// Sets the route (pinned lane or [`Route::Auto`]).
+    pub fn with_route(mut self, route: impl Into<Route>) -> Self {
+        self.route = route.into();
         self
     }
 
@@ -160,16 +256,16 @@ impl JobSpec {
         Ok(self)
     }
 
-    /// Validates the spec against the service configuration.
-    pub fn validate(&self) -> Result<()> {
+    /// Validates the spec, returning the typed configuration error.  This
+    /// is the single validation path: [`JobSpecBuilder::build`] calls it,
+    /// and the submission front end re-checks hand-built specs through it.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         self.config
             .validate()
-            .map_err(|e| ServiceError::InvalidConfig(e.to_string()))?;
-        if self.shards == 0 {
-            return Err(ServiceError::InvalidConfig(
-                "a job needs at least one shard".to_string(),
-            ));
-        }
+            .map_err(|e| ConfigError::Pipeline(e.to_string()))?;
         Ok(())
     }
 }
@@ -204,30 +300,65 @@ impl JobStatus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ServiceError;
     use hsi::CubeDims;
 
     #[test]
     fn spec_builders_compose() {
-        let spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)))
-            .with_backend(BackendKind::Resilient)
-            .with_priority(Priority::High)
-            .with_shards(0)
-            .with_timeout(Duration::from_secs(5));
-        assert_eq!(spec.backend, BackendKind::Resilient);
+        let spec = JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(1)))
+            .pinned(BackendKind::Resilient)
+            .priority(Priority::High)
+            .shards(2)
+            .timeout(Duration::from_secs(5))
+            .build()
+            .unwrap();
+        assert_eq!(spec.route, Route::Pinned(BackendKind::Resilient));
         assert_eq!(spec.priority, Priority::High);
-        assert_eq!(spec.shards, 1, "shards clamp to at least 1");
+        assert_eq!(spec.shards, 2);
         assert!(spec.timeout.is_some());
         assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_specs_with_typed_errors() {
+        let err = JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(1)))
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroShards);
+
+        let mut config = PctConfig::paper();
+        config.output_components = 0;
+        let err = JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(1)))
+            .config(config)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Pipeline(_)));
+        // Typed config errors convert into the service error for `?` use.
+        assert!(matches!(
+            ServiceError::from(err),
+            ServiceError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn deprecated_backend_shim_still_pins_the_route() {
+        #[allow(deprecated)]
+        let spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)))
+            .with_backend(BackendKind::SharedMemory);
+        assert_eq!(spec.route, Route::Pinned(BackendKind::SharedMemory));
+        assert_eq!(
+            JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1))).route,
+            Route::Auto,
+            "the default route is Auto"
+        );
     }
 
     #[test]
     fn invalid_pipeline_config_is_rejected() {
         let mut spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)));
         spec.config.output_components = 0;
-        assert!(matches!(
-            spec.validate(),
-            Err(ServiceError::InvalidConfig(_))
-        ));
+        assert!(matches!(spec.validate(), Err(ConfigError::Pipeline(_))));
     }
 
     #[test]
@@ -258,6 +389,8 @@ mod tests {
         assert_eq!(Priority::ALL.len(), 3);
         assert_eq!(Priority::High.label(), "high");
         assert_eq!(BackendKind::Resilient.label(), "resilient");
+        assert_eq!(BackendKind::SharedMemory.label(), "shared-memory");
+        assert_eq!(BackendKind::ALL.len(), 3);
     }
 
     #[test]

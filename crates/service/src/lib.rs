@@ -6,18 +6,30 @@
 //! requests over one long-lived, sharded worker pool:
 //!
 //! * **Ingestion front end** — a [`JobSpec`] (cube source, [`pct::PctConfig`],
-//!   backend choice, priority, shard count, optional deadline) is submitted
-//!   through a bounded admission queue with backpressure ([`FusionService::submit`]
-//!   blocks when full, [`FusionService::try_submit`] rejects) and tracked by
-//!   [`JobId`]/[`JobStatus`].
+//!   [`Route`], priority, shard count, optional deadline; built with the
+//!   validating [`JobSpec::builder`]) is submitted through a bounded
+//!   admission queue with backpressure ([`FusionService::submit`] blocks
+//!   when full, [`FusionService::try_submit`] rejects).  Submission returns
+//!   an owned [`JobHandle`]: `wait`/`wait_timeout`/`try_wait` resolve to a
+//!   typed [`JobOutcome`], `cancel` and `status` are handle methods, and a
+//!   dropped handle cancels its job unless [`JobHandle::detach`]ed.
+//! * **Policy-driven routing** — a job's [`Route`] is either pinned to a
+//!   lane or [`Route::Auto`], resolved at admission by the service's
+//!   pluggable [`RoutingPolicy`] (by cube size, lane load, round-robin, or
+//!   [`pct::FusionBackend::cost_hint`]) over three real lanes: *standard*
+//!   workers, *resilient* replica groups, and in-process *shared-memory*
+//!   executors for small cubes.
 //! * **Batch scheduler** — admitted jobs are sharded via `hsi::partition`,
 //!   and their tasks are batch-dispatched in priority order onto a shared
 //!   pool of long-lived `scp` workers: a *standard* lane of plain worker
 //!   threads and a *resilient* lane of `resilience` replica groups owned by
 //!   one [`pct::ResilientManagerState`] — no per-request pipeline spawning.
-//! * **Results plane** — per-job [`pct::FusionOutput`] collection
-//!   ([`FusionService::wait`]), cancellation, per-job timeouts, and a
-//!   [`ServiceReport`] with queue-depth/latency/throughput counters.
+//!   Shared-memory jobs bypass the message plane entirely.
+//! * **Results plane** — typed per-job outcomes through the handle,
+//!   cancellation, per-job timeouts, a subscribable [`ServiceEvent`] stream
+//!   ([`FusionService::subscribe`]) covering admission/dispatch/retransmit/
+//!   kill/regeneration/terminal transitions, and a [`ServiceReport`] with
+//!   queue-depth/latency/throughput and per-route counters.
 //!
 //! ## Determinism
 //!
@@ -42,8 +54,12 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod config;
+pub mod events;
+pub mod handle;
 pub mod job;
 pub mod report;
+pub mod routing;
 pub mod service;
 
 mod pool;
@@ -52,9 +68,16 @@ mod scheduler;
 mod status;
 
 pub use chaos::{ChaosPhase, ChaosPlan, PhaseKill};
-pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobStatus, Priority};
-pub use report::{LatencyStats, ServiceReport};
-pub use service::{FusionService, PoolConfig, ServiceConfig};
+pub use config::{ConfigError, PoolConfig, ServiceConfig, ServiceConfigBuilder};
+pub use events::{EventSubscriber, ServiceEvent};
+pub use handle::{JobHandle, JobOutcome};
+pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobSpecBuilder, JobStatus, Priority};
+pub use report::{LatencyStats, RouteStats, ServiceReport};
+pub use routing::{
+    CostHintPolicy, LaneLoad, LaneSnapshot, LeastLoadedPolicy, RoundRobinPolicy, Route,
+    RoutingPolicy, RoutingRequest, SharedRoutingPolicy, SizeThresholdPolicy,
+};
+pub use service::FusionService;
 
 /// Errors produced by the fusion service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +94,8 @@ pub enum ServiceError {
     Cancelled,
     /// The job exceeded its deadline and was abandoned.
     TimedOut,
+    /// The handle's typed outcome was already taken by an earlier `wait`.
+    OutcomeTaken(JobId),
     /// A job or service configuration value is invalid.
     InvalidConfig(String),
     /// An internal substrate error (message passing, resiliency, pipeline).
@@ -86,6 +111,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Failed(cause) => write!(f, "job failed: {cause}"),
             ServiceError::Cancelled => write!(f, "job was cancelled"),
             ServiceError::TimedOut => write!(f, "job timed out"),
+            ServiceError::OutcomeTaken(id) => {
+                write!(
+                    f,
+                    "outcome of job {id} was already taken by an earlier wait"
+                )
+            }
             ServiceError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ServiceError::Internal(msg) => write!(f, "internal service error: {msg}"),
         }

@@ -1,24 +1,154 @@
 //! The long-lived worker pool shared by every job.
 //!
-//! Two lanes over one `scp` runtime:
+//! Three lanes:
 //!
 //! * **standard** — plain worker threads running the distributed
-//!   implementation's reactive `worker_loop`;
+//!   implementation's reactive `worker_loop` over one `scp` runtime;
 //! * **resilient** — replica groups owned by a [`pct::ResilientManagerState`]
 //!   (kill switches, heartbeat detector, regenerator), the same machinery the
-//!   resilient pipeline uses per run, here owned for the pool's lifetime.
+//!   resilient pipeline uses per run, here owned for the pool's lifetime;
+//! * **shared-memory** — in-process executor threads that run whole jobs
+//!   start-to-finish against the shared `Arc` cube with **zero protocol
+//!   messages**: work arrives over a plain channel and the pipeline is the
+//!   sequential reference (`SequentialPct::run_shared`), which *is* the
+//!   service's byte-identity contract.  The cheapest path for small cubes.
 //!
-//! The scheduler addresses the pool through the manager [`ThreadContext`];
-//! pool threads are spawned once at service start and live until shutdown —
+//! The scheduler addresses the message-plane lanes through the manager
+//! [`ThreadContext`] and the shared-memory lane through [`InlineLane`];
+//! all threads are spawned once at service start and live until shutdown —
 //! no per-request pipeline spawning.
 
-use crate::service::PoolConfig;
+use crate::config::PoolConfig;
+use crate::job::JobId;
 use crate::Result;
+use hsi::HyperCube;
 use pct::distributed::{worker_loop, MANAGER};
 use pct::messages::PctMessage;
 use pct::resilient::{AttackPlan, ResilientManagerState, ResilientRunReport};
+use pct::{FusionOutput, PctConfig, SequentialPct};
 use resilience::attack::AttackInjector;
 use scp::{Runtime, RuntimeConfig, ThreadContext, ThreadHandle};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// One whole job handed to a shared-memory executor.
+pub(crate) struct InlineJob {
+    pub job: JobId,
+    pub cube: Arc<HyperCube>,
+    pub config: PctConfig,
+}
+
+/// What a shared-memory executor sends back.
+pub(crate) struct InlineResult {
+    pub executor: String,
+    pub job: JobId,
+    pub result: std::result::Result<FusionOutput, String>,
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// The in-process shared-memory executor lane.
+pub(crate) struct InlineLane {
+    /// Names of the executors (`shm0`, `shm1`, ...).
+    pub executors: Vec<String>,
+    senders: HashMap<String, Sender<InlineJob>>,
+    /// Results from every executor, drained by the scheduler.
+    pub results: Receiver<InlineResult>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl InlineLane {
+    fn start(runtime: &Runtime<PctMessage>, count: usize) -> Result<InlineLane> {
+        let (result_tx, results) = std::sync::mpsc::channel::<InlineResult>();
+        let mut executors = Vec::new();
+        let mut senders = HashMap::new();
+        let mut handles = Vec::new();
+        for i in 0..count {
+            let name = format!("shm{i}");
+            let (tx, rx) = std::sync::mpsc::channel::<InlineJob>();
+            let result_tx = result_tx.clone();
+            let thread_name = name.clone();
+            // The executor also holds an scp context: results travel over
+            // the plain channel (they carry the full output), but a
+            // zero-payload doorbell through the message plane wakes the
+            // scheduler out of its recv timeout immediately, so inline
+            // completions are not quantized to the scheduler tick.
+            let mut doorbell = runtime.context(name.clone())?;
+            let handle = std::thread::Builder::new()
+                .name(format!("fusiond-{name}"))
+                .spawn(move || {
+                    // The executor loop: one whole job per message, computed
+                    // by the sequential reference over the shared cube, which
+                    // is byte-identical to every other lane by the service's
+                    // determinism contract.  A panic inside the pipeline is
+                    // caught and reported as a job failure — otherwise the
+                    // job would stay Running forever (hanging every waiter
+                    // and shutdown) and the slot would be lost.
+                    while let Ok(work) = rx.recv() {
+                        let result =
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                SequentialPct::new(work.config).run_shared(&work.cube)
+                            })) {
+                                Ok(run) => run.map_err(|e| e.to_string()),
+                                Err(panic) => Err(format!(
+                                    "shared-memory executor panicked: {}",
+                                    panic_message(panic.as_ref())
+                                )),
+                            };
+                        if result_tx
+                            .send(InlineResult {
+                                executor: thread_name.clone(),
+                                job: work.job,
+                                result,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let _ = doorbell.send(MANAGER, PctMessage::Heartbeat);
+                    }
+                })
+                .expect("failed to spawn shared-memory executor");
+            executors.push(name.clone());
+            senders.insert(name, tx);
+            handles.push(handle);
+        }
+        Ok(InlineLane {
+            executors,
+            senders,
+            results,
+            handles,
+        })
+    }
+
+    /// Hands one whole job to a named executor.  Returns whether the
+    /// executor accepted it (false only if its thread died).
+    pub fn dispatch(&self, executor: &str, work: InlineJob) -> bool {
+        match self.senders.get(executor) {
+            Some(tx) => tx.send(work).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the work channels and joins the executors.  Results already
+    /// sent stay readable until the lane is dropped.
+    fn shutdown(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
 
 pub(crate) struct WorkerPool {
     pub runtime: Runtime<PctMessage>,
@@ -30,6 +160,8 @@ pub(crate) struct WorkerPool {
     /// The folded resilient-lane state (membership, detector, regenerator,
     /// member handles).
     pub resilient: ResilientManagerState,
+    /// The in-process shared-memory executor lane.
+    pub inline: InlineLane,
 }
 
 impl WorkerPool {
@@ -42,7 +174,7 @@ impl WorkerPool {
         let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
         let ctx = runtime.context(MANAGER)?;
 
-        let standard: Vec<String> = (0..config.standard_workers.max(1))
+        let standard: Vec<String> = (0..config.standard_workers)
             .map(|i| format!("svc{i}"))
             .collect();
         let standard_handles = standard
@@ -61,6 +193,8 @@ impl WorkerPool {
             AttackPlan::none(),
         )?;
 
+        let inline = InlineLane::start(&runtime, config.shared_memory_executors)?;
+
         Ok((
             WorkerPool {
                 runtime,
@@ -68,6 +202,7 @@ impl WorkerPool {
                 groups,
                 standard_handles,
                 resilient,
+                inline,
             },
             ctx,
         ))
@@ -78,7 +213,8 @@ impl WorkerPool {
         self.resilient.injector.clone()
     }
 
-    /// Shuts both lanes down and returns the resilient lane's run report.
+    /// Shuts all three lanes down and returns the resilient lane's run
+    /// report.
     pub fn shutdown(mut self, ctx: &mut ThreadContext<PctMessage>) -> ResilientRunReport {
         for name in &self.standard {
             let _ = ctx.send(name, PctMessage::Shutdown);
@@ -86,6 +222,7 @@ impl WorkerPool {
         for handle in self.standard_handles.drain(..) {
             handle.join();
         }
+        self.inline.shutdown();
         self.resilient.shutdown(ctx)
     }
 }
@@ -93,6 +230,7 @@ impl WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hsi::{SceneConfig, SceneGenerator};
 
     #[test]
     fn pool_starts_and_shuts_down_idle() {
@@ -100,11 +238,13 @@ mod tests {
             standard_workers: 2,
             replica_groups: 2,
             replication_level: 2,
+            shared_memory_executors: 2,
             ..PoolConfig::default()
         };
         let (pool, mut ctx) = WorkerPool::start(&config).unwrap();
         assert_eq!(pool.standard, vec!["svc0", "svc1"]);
         assert_eq!(pool.groups, vec!["rg0", "rg1"]);
+        assert_eq!(pool.inline.executors, vec!["shm0", "shm1"]);
         assert_eq!(pool.resilient.membership.all_members().len(), 4);
         let mut targets = pool.injector().targets();
         targets.sort();
@@ -118,12 +258,52 @@ mod tests {
         let config = PoolConfig {
             standard_workers: 1,
             replica_groups: 0,
+            shared_memory_executors: 0,
             ..PoolConfig::default()
         };
         let (pool, mut ctx) = WorkerPool::start(&config).unwrap();
         assert!(pool.groups.is_empty());
+        assert!(pool.inline.executors.is_empty());
         assert!(pool.resilient.membership.all_members().is_empty());
         let report = pool.shutdown(&mut ctx);
         assert!(report.members_attacked.is_empty());
+    }
+
+    #[test]
+    fn inline_lane_computes_the_sequential_reference() {
+        let (pool, mut ctx) = WorkerPool::start(&PoolConfig {
+            standard_workers: 1,
+            replica_groups: 0,
+            shared_memory_executors: 1,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let cube = Arc::new(
+            SceneGenerator::new(SceneConfig::small(11))
+                .unwrap()
+                .generate(),
+        );
+        assert!(pool.inline.dispatch(
+            "shm0",
+            InlineJob {
+                job: 42,
+                cube: Arc::clone(&cube),
+                config: PctConfig::paper(),
+            }
+        ));
+        assert!(!pool.inline.dispatch(
+            "shm9",
+            InlineJob {
+                job: 1,
+                cube: Arc::clone(&cube),
+                config: PctConfig::paper(),
+            }
+        ));
+        let result = pool.inline.results.recv().unwrap();
+        assert_eq!(result.job, 42);
+        assert_eq!(result.executor, "shm0");
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(result.result.unwrap(), reference);
+        pool.shutdown(&mut ctx);
     }
 }

@@ -1,9 +1,24 @@
 //! The [`ServiceReport`]: counters and latency statistics describing one
 //! service lifetime.
 
-use crate::job::Priority;
+use crate::job::{BackendKind, Priority};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Per-route accounting: how many jobs ran on one execution lane and how
+/// they got there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Jobs admitted onto this lane (pinned or auto-routed).
+    pub jobs_routed: u64,
+    /// Of those, jobs the routing policy chose ([`crate::Route::Auto`]).
+    pub auto_routed: u64,
+    /// Jobs that completed successfully on this lane.
+    pub jobs_completed: u64,
+    /// Tasks dispatched onto this lane (a shared-memory whole-job dispatch
+    /// counts once).
+    pub tasks_dispatched: u64,
+}
 
 /// Latency statistics for one priority class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -83,6 +98,9 @@ pub struct ServiceReport {
     pub elapsed: Duration,
     /// Submit-to-completion latency per priority class.
     pub latency: BTreeMap<Priority, LatencyStats>,
+    /// Per-route accounting: jobs and tasks per execution lane, and how many
+    /// lane choices came from the routing policy.
+    pub routes: BTreeMap<BackendKind, RouteStats>,
 }
 
 impl ServiceReport {
@@ -105,6 +123,30 @@ impl ServiceReport {
     /// Records one completed job's latency under its priority class.
     pub fn record_latency(&mut self, priority: Priority, latency: Duration) {
         self.latency.entry(priority).or_default().record(latency);
+    }
+
+    /// Records one job's admission onto a lane.
+    pub fn route_admitted(&mut self, route: BackendKind, auto: bool) {
+        let stats = self.routes.entry(route).or_default();
+        stats.jobs_routed += 1;
+        if auto {
+            stats.auto_routed += 1;
+        }
+    }
+
+    /// Records one task dispatch onto a lane.
+    pub fn route_task(&mut self, route: BackendKind) {
+        self.routes.entry(route).or_default().tasks_dispatched += 1;
+    }
+
+    /// Records one successful completion on a lane.
+    pub fn route_completed(&mut self, route: BackendKind) {
+        self.routes.entry(route).or_default().jobs_completed += 1;
+    }
+
+    /// The stats of one lane (all-zero if nothing ever ran there).
+    pub fn route(&self, route: BackendKind) -> RouteStats {
+        self.routes.get(&route).copied().unwrap_or_default()
     }
 
     /// A human-readable multi-line rendering for examples and logs.
@@ -135,6 +177,18 @@ impl ServiceReport {
             self.bytes_cloned_transform,
             self.payload_bytes_shipped,
         ));
+        for kind in BackendKind::ALL {
+            if let Some(stats) = self.routes.get(&kind) {
+                out.push_str(&format!(
+                    "  route {:>13}: {} jobs ({} auto-routed), {} completed, {} tasks\n",
+                    kind.label(),
+                    stats.jobs_routed,
+                    stats.auto_routed,
+                    stats.jobs_completed,
+                    stats.tasks_dispatched,
+                ));
+            }
+        }
         out.push_str(&format!(
             "  queue:  high-water mark {} jobs\n",
             self.queue_high_water
@@ -197,6 +251,9 @@ mod tests {
         report.bytes_cloned_screen = 7;
         report.payload_bytes_shipped = 99;
         report.record_latency(Priority::High, Duration::from_millis(12));
+        report.route_admitted(BackendKind::SharedMemory, true);
+        report.route_task(BackendKind::SharedMemory);
+        report.route_completed(BackendKind::SharedMemory);
         assert_eq!(report.bytes_cloned(), 7);
         let text = report.render();
         assert!(text.contains("4 completed"));
@@ -205,6 +262,23 @@ mod tests {
         assert!(text.contains("7 payload bytes cloned"));
         assert!(text.contains("99 shipped by view"));
         assert!(text.contains("latency   high"));
+        assert!(text.contains("route shared-memory: 1 jobs (1 auto-routed), 1 completed, 1 tasks"));
         assert!((report.throughput_jobs_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_stats_accumulate_per_lane() {
+        let mut report = ServiceReport::default();
+        report.route_admitted(BackendKind::Standard, false);
+        report.route_admitted(BackendKind::Standard, true);
+        report.route_task(BackendKind::Standard);
+        report.route_completed(BackendKind::Standard);
+        let stats = report.route(BackendKind::Standard);
+        assert_eq!(stats.jobs_routed, 2);
+        assert_eq!(stats.auto_routed, 1);
+        assert_eq!(stats.jobs_completed, 1);
+        assert_eq!(stats.tasks_dispatched, 1);
+        // Lanes nothing ran on read as all-zero.
+        assert_eq!(report.route(BackendKind::Resilient), RouteStats::default());
     }
 }

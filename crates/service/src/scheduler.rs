@@ -1,10 +1,11 @@
-//! The batch scheduler: admits jobs from the queue, shards them, and
-//! multiplexes their tasks over the shared pool.
+//! The batch scheduler: admits jobs from the queue, resolves their routes,
+//! shards them, and multiplexes their tasks over the shared pool.
 //!
 //! Each scheduler tick forms a dispatch batch: every runnable task of every
 //! admitted job, ordered by priority then submission, is matched against the
-//! free execution slots of its lane (standard workers or replica groups, one
-//! outstanding task per slot).  Jobs advance through three phases:
+//! free execution slots of its lane (standard workers, replica groups, or
+//! shared-memory executors).  Message-plane jobs advance through three
+//! phases:
 //!
 //! 1. **Screen** — a chain of seeded screening tasks, one shard at a time,
 //!    so the accumulated unique set is bit-for-bit the whole-image greedy
@@ -14,6 +15,15 @@
 //! 3. **Transform** — per-shard transform/colour tasks fanned out freely
 //!    (per-pixel pure), reassembled into the fused image.
 //!
+//! Shared-memory jobs skip the message plane entirely: the whole job is
+//! handed to an in-process executor that runs the sequential reference over
+//! the shared cube — byte-identical by construction.
+//!
+//! A job's lane comes from its [`Route`]: pinned by the caller, or resolved
+//! at admission by the service's [`crate::RoutingPolicy`] from the job shape
+//! and the live lane loads.  Every resolution is counted per route in the
+//! [`ServiceReport`] and published on the [`ServiceEvent`] stream.
+//!
 //! The resilient lane reuses [`pct::ResilientManagerState`]: heartbeats are
 //! consumed here, silence-flagged members are probed, dead members are
 //! regenerated and their groups' outstanding tasks re-issued, and duplicate
@@ -21,10 +31,12 @@
 //! outputs.
 
 use crate::chaos::{ChaosPhase, ChaosPlan};
+use crate::events::{EventBus, ServiceEvent};
 use crate::job::{BackendKind, JobId, JobStatus, Priority};
-use crate::pool::WorkerPool;
+use crate::pool::{InlineJob, InlineResult, WorkerPool};
 use crate::queue::AdmissionQueue;
 use crate::report::ServiceReport;
+use crate::routing::{LaneLoad, LaneSnapshot, Route, RoutingRequest, SharedRoutingPolicy};
 use crate::status::StatusTable;
 use hsi::partition::{partition_rows, SubCubeSpec};
 use hsi::{CloneLedger, HyperCube};
@@ -35,11 +47,12 @@ use pct::messages::{PctMessage, TaskId};
 use pct::resilient::OutstandingTask;
 use pct::{FusionOutput, PctConfig};
 use resilience::MemberId;
-use scp::{Envelope, ScpError, ThreadContext};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use scp::{Envelope, ScpError, ThreadContext};
 
 /// Which pool slot a task occupies.
 #[derive(Debug, Clone)]
@@ -71,6 +84,7 @@ enum Phase {
 /// Scheduler-side state of one admitted job.
 struct JobRun {
     priority: Priority,
+    /// The resolved execution lane.
     backend: BackendKind,
     config: PctConfig,
     cube: Arc<HyperCube>,
@@ -83,6 +97,8 @@ struct JobRun {
     screen_next: usize,
     screen_outstanding: bool,
     derive_outstanding: bool,
+    /// Shared-memory lane: whether the whole job is already on an executor.
+    inline_dispatched: bool,
     transform_next: usize,
     strips: Vec<(usize, usize, usize, Vec<u8>)>,
     eigenvalues: Vec<f64>,
@@ -163,6 +179,8 @@ pub(crate) struct Scheduler {
     cancels: Arc<Mutex<Vec<JobId>>>,
     shutdown: Arc<AtomicBool>,
     max_in_flight: usize,
+    routing: SharedRoutingPolicy,
+    events: Arc<EventBus>,
     running: BTreeMap<JobId, JobRun>,
     tasks: HashMap<TaskId, InFlight>,
     completed_group_tasks: HashSet<TaskId>,
@@ -170,11 +188,17 @@ pub(crate) struct Scheduler {
     cancelled_queued: HashSet<JobId>,
     free_workers: VecDeque<String>,
     free_groups: VecDeque<String>,
+    free_inline: VecDeque<String>,
+    /// Routing names of the shared-memory executors, to tell their wake-up
+    /// doorbells apart from real member heartbeats whatever the executors
+    /// happen to be called.
+    inline_names: HashSet<String>,
     next_task: TaskId,
     started: Instant,
     report: ServiceReport,
     chaos: ChaosPlan,
     chaos_fired: Vec<bool>,
+    regenerations_seen: usize,
 }
 
 impl Scheduler {
@@ -187,10 +211,14 @@ impl Scheduler {
         cancels: Arc<Mutex<Vec<JobId>>>,
         shutdown: Arc<AtomicBool>,
         max_in_flight: usize,
+        routing: SharedRoutingPolicy,
+        events: Arc<EventBus>,
         chaos: ChaosPlan,
     ) -> Self {
         let free_workers = pool.standard.iter().cloned().collect();
         let free_groups = pool.groups.iter().cloned().collect();
+        let free_inline: VecDeque<String> = pool.inline.executors.iter().cloned().collect();
+        let inline_names: HashSet<String> = pool.inline.executors.iter().cloned().collect();
         let chaos_fired = vec![false; chaos.kills.len()];
         Self {
             pool,
@@ -200,6 +228,8 @@ impl Scheduler {
             cancels,
             shutdown,
             max_in_flight: max_in_flight.max(1),
+            routing,
+            events,
             running: BTreeMap::new(),
             tasks: HashMap::new(),
             completed_group_tasks: HashSet::new(),
@@ -207,16 +237,58 @@ impl Scheduler {
             cancelled_queued: HashSet::new(),
             free_workers,
             free_groups,
+            free_inline,
+            inline_names,
             next_task: 1,
             started: Instant::now(),
             report: ServiceReport::default(),
             chaos,
             chaos_fired,
+            regenerations_seen: 0,
         }
     }
 
     fn now_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
+    }
+
+    /// The live occupancy of every lane, handed to the routing policy.
+    fn lane_snapshot(&self) -> LaneSnapshot {
+        LaneSnapshot {
+            standard: LaneLoad {
+                total: self.pool.standard.len(),
+                free: self.free_workers.len(),
+            },
+            resilient: LaneLoad {
+                total: self.pool.groups.len(),
+                free: self.free_groups.len(),
+            },
+            shared_memory: LaneLoad {
+                total: self.pool.inline.executors.len(),
+                free: self.free_inline.len(),
+            },
+        }
+    }
+
+    /// Resolves a job's route to a concrete, enabled lane.  Pinned routes
+    /// were validated at submission; auto routes go through the policy, and
+    /// anything pointing at a disabled lane is clamped to the first enabled
+    /// lane in preference order (a misbehaving policy cannot strand a job).
+    fn resolve_route(&self, route: Route, request: &RoutingRequest) -> (BackendKind, bool) {
+        let lanes = self.lane_snapshot();
+        let (kind, auto) = match route {
+            Route::Pinned(kind) => (kind, false),
+            Route::Auto => (self.routing.route(request, &lanes), true),
+        };
+        if lanes.lane(kind).enabled() {
+            return (kind, auto);
+        }
+        let fallback = lanes
+            .enabled_lanes()
+            .first()
+            .copied()
+            .unwrap_or(BackendKind::Standard);
+        (fallback, auto)
     }
 
     /// The scheduler main loop; returns the final report at shutdown.
@@ -234,6 +306,9 @@ impl Scheduler {
                 }
                 Err(ScpError::Timeout) => {}
                 Err(_) => break,
+            }
+            while let Ok(result) = self.pool.inline.results.try_recv() {
+                self.on_inline_result(result);
             }
             self.maintain_resilient();
             self.enforce_deadlines();
@@ -262,7 +337,21 @@ impl Scheduler {
         }
     }
 
-    /// Admits queued jobs while in-flight capacity remains.
+    /// Marks a job terminal in the results plane and publishes the event.
+    fn terminal_transition(
+        &mut self,
+        id: JobId,
+        status: JobStatus,
+        output: Option<FusionOutput>,
+        error: Option<String>,
+    ) {
+        self.status.transition(id, status, output, error);
+        self.events
+            .publish(ServiceEvent::Terminal { job: id, status });
+    }
+
+    /// Admits queued jobs while in-flight capacity remains, resolving each
+    /// job's route against the live lane snapshot.
     fn admit(&mut self) {
         while self.running.len() < self.max_in_flight {
             let Some(queued) = self.queue.pop() else {
@@ -271,16 +360,19 @@ impl Scheduler {
             self.report.jobs_submitted += 1;
             if self.cancelled_queued.remove(&queued.id) {
                 self.report.jobs_cancelled += 1;
-                self.status
-                    .transition(queued.id, JobStatus::Cancelled, None, None);
+                self.terminal_transition(queued.id, JobStatus::Cancelled, None, None);
                 continue;
             }
             let cube = match queued.spec.source.realize() {
                 Ok(cube) => cube,
                 Err(e) => {
                     self.report.jobs_failed += 1;
-                    self.status
-                        .transition(queued.id, JobStatus::Failed, None, Some(e.to_string()));
+                    self.terminal_transition(
+                        queued.id,
+                        JobStatus::Failed,
+                        None,
+                        Some(e.to_string()),
+                    );
                     continue;
                 }
             };
@@ -288,14 +380,21 @@ impl Scheduler {
                 Ok(shards) => shards,
                 Err(e) => {
                     self.report.jobs_failed += 1;
-                    self.status
-                        .transition(queued.id, JobStatus::Failed, None, Some(e.to_string()));
+                    self.terminal_transition(
+                        queued.id,
+                        JobStatus::Failed,
+                        None,
+                        Some(e.to_string()),
+                    );
                     continue;
                 }
             };
+            let request = RoutingRequest::for_dims(cube.dims(), shards.len());
+            let (backend, auto_routed) = self.resolve_route(queued.spec.route, &request);
+            self.report.route_admitted(backend, auto_routed);
             let run = JobRun {
                 priority: queued.spec.priority,
-                backend: queued.spec.backend,
+                backend,
                 config: queued.spec.config,
                 cube,
                 shards,
@@ -307,6 +406,7 @@ impl Scheduler {
                 screen_next: 0,
                 screen_outstanding: false,
                 derive_outstanding: false,
+                inline_dispatched: false,
                 transform_next: 0,
                 strips: Vec::new(),
                 eigenvalues: Vec::new(),
@@ -316,6 +416,11 @@ impl Scheduler {
             };
             self.status
                 .transition(queued.id, JobStatus::Running, None, None);
+            self.events.publish(ServiceEvent::Admitted {
+                job: queued.id,
+                route: backend,
+                auto: auto_routed,
+            });
             self.running.insert(queued.id, run);
         }
     }
@@ -334,8 +439,57 @@ impl Scheduler {
         }
     }
 
+    /// Hands one whole shared-memory job to a free in-process executor.
+    fn dispatch_inline(&mut self, id: JobId) {
+        let Some(job) = self.running.get_mut(&id) else {
+            return;
+        };
+        if job.inline_dispatched {
+            return;
+        }
+        let Some(executor) = self.free_inline.pop_front() else {
+            return;
+        };
+        job.inline_dispatched = true;
+        let task = self.next_task;
+        self.next_task += 1;
+        let work = InlineJob {
+            job: id,
+            cube: Arc::clone(&job.cube),
+            config: job.config,
+        };
+        // No payload accounting here: the inline lane ships an `Arc`, not a
+        // message, so it neither clones nor "ships" sub-cube bytes — keeping
+        // `payload_bytes_shipped` the message-plane denominator it has
+        // always been in BENCH_history.csv.
+        if self.pool.inline.dispatch(&executor, work) {
+            self.report.tasks_dispatched += 1;
+            self.report.route_task(BackendKind::SharedMemory);
+            self.events.publish(ServiceEvent::Dispatched {
+                job: id,
+                route: BackendKind::SharedMemory,
+                task,
+                kind: "inline-job",
+            });
+        } else {
+            // The executor thread is gone; its slot is not returned.
+            self.fail_job(
+                id,
+                JobStatus::Failed,
+                format!("shared-memory executor '{executor}' lost"),
+            );
+        }
+    }
+
     /// Dispatches as many of one job's ready tasks as its lane has slots.
     fn dispatch_job(&mut self, id: JobId) {
+        if matches!(
+            self.running.get(&id).map(|job| job.backend),
+            Some(BackendKind::SharedMemory)
+        ) {
+            self.dispatch_inline(id);
+            return;
+        }
         loop {
             let Some(job) = self.running.get_mut(&id) else {
                 return;
@@ -343,6 +497,7 @@ impl Scheduler {
             let lane_free = match job.backend {
                 BackendKind::Standard => !self.free_workers.is_empty(),
                 BackendKind::Resilient => !self.free_groups.is_empty(),
+                BackendKind::SharedMemory => unreachable!("handled by dispatch_inline"),
             };
             if !lane_free {
                 return;
@@ -368,6 +523,7 @@ impl Scheduler {
                 return;
             };
             let backend = job.backend;
+            let kind = message.kind();
             match backend {
                 BackendKind::Standard => {
                     let worker = self.free_workers.pop_front().expect("lane checked");
@@ -393,6 +549,13 @@ impl Scheduler {
                         return;
                     }
                     self.report.tasks_dispatched += 1;
+                    self.report.route_task(BackendKind::Standard);
+                    self.events.publish(ServiceEvent::Dispatched {
+                        job: id,
+                        route: BackendKind::Standard,
+                        task,
+                        kind,
+                    });
                 }
                 BackendKind::Resilient => {
                     let group = self.free_groups.pop_front().expect("lane checked");
@@ -421,12 +584,43 @@ impl Scheduler {
                         }
                     };
                     self.report.tasks_dispatched += 1;
+                    self.report.route_task(BackendKind::Resilient);
+                    self.events.publish(ServiceEvent::Dispatched {
+                        job: id,
+                        route: BackendKind::Resilient,
+                        task,
+                        kind,
+                    });
                     let now_ms = self.now_ms();
                     for failed in dead {
                         self.recover_member(failed, now_ms);
                     }
                 }
+                BackendKind::SharedMemory => unreachable!("handled by dispatch_inline"),
             }
+        }
+    }
+
+    /// Consumes one finished whole-job result from the shared-memory lane.
+    fn on_inline_result(&mut self, result: InlineResult) {
+        self.free_inline.push_back(result.executor);
+        self.report.results_received += 1;
+        let id = result.job;
+        let Some(job) = self.running.get(&id) else {
+            // Job already cancelled, timed out or failed; slot reclaimed.
+            return;
+        };
+        debug_assert!(matches!(job.backend, BackendKind::SharedMemory));
+        match result.result {
+            Ok(output) => {
+                let job = self.running.remove(&id).expect("present: checked above");
+                self.report.jobs_completed += 1;
+                self.report.route_completed(BackendKind::SharedMemory);
+                self.report
+                    .record_latency(job.priority, job.submitted.elapsed());
+                self.terminal_transition(id, JobStatus::Completed, Some(output), None);
+            }
+            Err(error) => self.fail_job(id, JobStatus::Failed, error),
         }
     }
 
@@ -436,8 +630,13 @@ impl Scheduler {
         let from = envelope.from;
         match envelope.payload {
             PctMessage::Heartbeat => {
-                self.report.heartbeats += 1;
-                self.pool.resilient.heartbeat_from(&from, now_ms);
+                // Shared-memory executors ring a zero-payload doorbell after
+                // each completion purely to cut the recv timeout short; the
+                // results themselves are drained right after this match.
+                if !self.inline_names.contains(&from) {
+                    self.report.heartbeats += 1;
+                    self.pool.resilient.heartbeat_from(&from, now_ms);
+                }
             }
             msg => {
                 // Any traffic from a member is proof of life.
@@ -515,7 +714,7 @@ impl Scheduler {
         }
     }
 
-    /// Assembles and publishes a finished job.
+    /// Assembles and publishes a finished message-plane job.
     fn complete_job(&mut self, id: JobId) {
         let Some(job) = self.running.remove(&id) else {
             return;
@@ -529,15 +728,14 @@ impl Scheduler {
                     pixels: job.cube.pixels(),
                 };
                 self.report.jobs_completed += 1;
+                self.report.route_completed(job.backend);
                 self.report
                     .record_latency(job.priority, job.submitted.elapsed());
-                self.status
-                    .transition(id, JobStatus::Completed, Some(output), None);
+                self.terminal_transition(id, JobStatus::Completed, Some(output), None);
             }
             Err(e) => {
                 self.report.jobs_failed += 1;
-                self.status
-                    .transition(id, JobStatus::Failed, None, Some(e.to_string()));
+                self.terminal_transition(id, JobStatus::Failed, None, Some(e.to_string()));
             }
         }
     }
@@ -555,7 +753,7 @@ impl Scheduler {
             _ => {}
         }
         let error = if error.is_empty() { None } else { Some(error) };
-        self.status.transition(id, status, None, error);
+        self.terminal_transition(id, status, None, error);
     }
 
     /// Fires every not-yet-fired chaos kill anchored to this dispatch event
@@ -567,11 +765,16 @@ impl Scheduler {
         let Some(phase) = ChaosPhase::of_message(message) else {
             return;
         };
+        let mut killed = Vec::new();
         for (kill, fired) in self.chaos.kills.iter().zip(self.chaos_fired.iter_mut()) {
             if !*fired && kill.job == job && kill.phase == phase {
                 self.pool.resilient.injector.attack(&kill.member);
+                killed.push(kill.member.clone());
                 *fired = true;
             }
+        }
+        for member in killed {
+            self.events.publish(ServiceEvent::MemberKilled { member });
         }
     }
 
@@ -619,11 +822,20 @@ impl Scheduler {
                 Ok(dead) => dead,
                 Err(_) => continue,
             };
+            let mut job = None;
             if let Some(inflight) = self.tasks.get_mut(&task) {
                 inflight.sent_at = Instant::now();
                 inflight.attempts = inflight.attempts.saturating_add(1);
+                job = Some(inflight.job);
             }
             self.report.tasks_retransmitted += 1;
+            if let Some(job) = job {
+                self.events.publish(ServiceEvent::Retransmitted {
+                    job,
+                    task,
+                    group: group.clone(),
+                });
+            }
             for failed in dead {
                 self.recover_member(failed, now_ms);
             }
@@ -678,6 +890,17 @@ impl Scheduler {
                     inflight.sent_at = Instant::now();
                 }
             }
+            // Publish every regeneration the protocol performed since the
+            // last look (normally exactly one).  The regenerator's history
+            // is the live log; the run report only folds it in at shutdown.
+            let history = self.pool.resilient.regenerator.history();
+            for regen in &history[self.regenerations_seen..] {
+                self.events.publish(ServiceEvent::MemberRegenerated {
+                    failed: regen.failed.routing_name(),
+                    replacement: regen.replacement.routing_name(),
+                });
+            }
+            self.regenerations_seen = self.pool.resilient.regenerator.history().len();
         }
         if let Err(e) = result {
             let affected: Vec<(TaskId, JobId)> = self
@@ -727,7 +950,7 @@ impl Scheduler {
         while let Some(queued) = self.queue.pop() {
             self.report.jobs_submitted += 1;
             self.report.jobs_failed += 1;
-            self.status.transition(
+            self.terminal_transition(
                 queued.id,
                 JobStatus::Failed,
                 None,

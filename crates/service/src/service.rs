@@ -1,73 +1,45 @@
-//! The public face of `fusiond`: configuration, submission, status, results.
+//! The public face of `fusiond`: starting the service, submitting jobs,
+//! observing events, shutting down.
+//!
+//! Submission returns an owned [`JobHandle`] — waiting, polling,
+//! cancellation and cancel-on-drop live there.  The old id-keyed methods
+//! remain as thin `#[deprecated]` shims for one release.
 
+use crate::config::ServiceConfig;
+use crate::events::{EventBus, EventSubscriber, ServiceEvent};
+use crate::handle::{HandlePlane, JobHandle};
 use crate::job::{BackendKind, JobId, JobSpec, JobStatus};
 use crate::pool::WorkerPool;
 use crate::queue::{AdmissionQueue, QueuedJob};
 use crate::report::ServiceReport;
+use crate::routing::Route;
 use crate::scheduler::Scheduler;
 use crate::status::{JobRecord, StatusTable};
 use crate::{Result, ServiceError};
 use pct::FusionOutput;
-use resilience::DetectorConfig;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Sizing of the shared worker pool.
-#[derive(Debug, Clone, Copy)]
-pub struct PoolConfig {
-    /// Plain worker threads of the standard lane.
-    pub standard_workers: usize,
-    /// Replica groups of the resilient lane (0 disables the lane).
-    pub replica_groups: usize,
-    /// Members per replica group (the paper evaluates level 2).
-    pub replication_level: usize,
-    /// Failure-detector tuning for the resilient lane.
-    pub detector: DetectorConfig,
-}
-
-impl Default for PoolConfig {
-    fn default() -> Self {
-        Self {
-            standard_workers: 4,
-            replica_groups: 2,
-            replication_level: 2,
-            detector: DetectorConfig {
-                heartbeat_period_ms: 50,
-                miss_threshold: 8,
-            },
-        }
-    }
-}
-
-/// Service-level configuration.
-#[derive(Debug, Clone)]
-pub struct ServiceConfig {
-    /// Pool sizing.
-    pub pool: PoolConfig,
-    /// Bound of the admission queue (the backpressure point).
-    pub queue_capacity: usize,
-    /// Maximum number of jobs admitted (running) concurrently.
-    pub max_in_flight: usize,
-    /// Deterministic chaos schedule: member kills anchored to scheduler
-    /// dispatch events (empty by default).
-    pub chaos: crate::chaos::ChaosPlan,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        Self {
-            pool: PoolConfig::default(),
-            queue_capacity: 64,
-            max_in_flight: 16,
-            chaos: crate::chaos::ChaosPlan::none(),
-        }
-    }
-}
-
 /// A running fusion service: one scheduler thread driving one long-lived
-/// worker pool, fed through a bounded admission queue.
+/// three-lane worker pool, fed through a bounded admission queue.
+///
+/// ```no_run
+/// use hsi::SceneConfig;
+/// use service::{CubeSource, FusionService, JobSpec, ServiceConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = FusionService::start(ServiceConfig::builder().build()?)?;
+/// let mut handle = service.submit(
+///     JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(1))).build()?,
+/// )?;
+/// let outcome = handle.wait()?;
+/// println!("fused {} pixels", outcome.output().unwrap().pixels);
+/// service.shutdown();
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// Dropping the service without calling [`FusionService::shutdown`] tears the
 /// pool down but discards the report.
@@ -76,8 +48,9 @@ pub struct FusionService {
     status: Arc<StatusTable>,
     cancels: Arc<Mutex<Vec<JobId>>>,
     shutdown_flag: Arc<AtomicBool>,
+    events: Arc<EventBus>,
     injector: resilience::attack::AttackInjector,
-    resilient_lane: bool,
+    lane_totals: [usize; 3],
     next_job: AtomicU64,
     rejected: AtomicU64,
     scheduler: Option<JoinHandle<ServiceReport>>,
@@ -86,18 +59,19 @@ pub struct FusionService {
 impl FusionService {
     /// Starts the pool and the scheduler thread.
     pub fn start(config: ServiceConfig) -> Result<FusionService> {
-        if config.max_in_flight == 0 {
-            return Err(ServiceError::InvalidConfig(
-                "max_in_flight must be at least 1".to_string(),
-            ));
-        }
+        config.validate()?;
         let (pool, ctx) = WorkerPool::start(&config.pool)?;
         let injector = pool.injector();
-        let resilient_lane = !pool.groups.is_empty();
+        let lane_totals = [
+            pool.standard.len(),
+            pool.groups.len(),
+            pool.inline.executors.len(),
+        ];
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let status = Arc::new(StatusTable::new());
         let cancels = Arc::new(Mutex::new(Vec::new()));
         let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let events = Arc::new(EventBus::new());
         let scheduler = Scheduler::new(
             pool,
             ctx,
@@ -106,6 +80,8 @@ impl FusionService {
             Arc::clone(&cancels),
             Arc::clone(&shutdown_flag),
             config.max_in_flight,
+            Arc::clone(&config.routing),
+            Arc::clone(&events),
             config.chaos.clone(),
         );
         let handle = std::thread::Builder::new()
@@ -117,20 +93,34 @@ impl FusionService {
             status,
             cancels,
             shutdown_flag,
+            events,
             injector,
-            resilient_lane,
+            lane_totals,
             next_job: AtomicU64::new(1),
             rejected: AtomicU64::new(0),
             scheduler: Some(handle),
         })
     }
 
-    fn enqueue(&self, spec: JobSpec, blocking: bool) -> Result<JobId> {
+    /// Whether the pool has the lane a pinned route asks for.
+    fn lane_exists(&self, kind: BackendKind) -> bool {
+        let [standard, resilient, shared_memory] = self.lane_totals;
+        match kind {
+            BackendKind::Standard => standard > 0,
+            BackendKind::Resilient => resilient > 0,
+            BackendKind::SharedMemory => shared_memory > 0,
+        }
+    }
+
+    fn enqueue(&self, spec: JobSpec, blocking: bool) -> Result<JobHandle> {
         spec.validate()?;
-        if spec.backend == BackendKind::Resilient && !self.resilient_lane {
-            return Err(ServiceError::InvalidConfig(
-                "resilient backend requested but the pool has no replica groups".to_string(),
-            ));
+        if let Route::Pinned(kind) = spec.route {
+            if !self.lane_exists(kind) {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "job pinned to the {} lane, but the pool has none",
+                    kind.label()
+                )));
+            }
         }
         // Pay any cube-generation cost here, on the submitting thread — the
         // scheduler's control plane must never stall on ingestion.
@@ -148,7 +138,13 @@ impl FusionService {
             self.queue.try_push(queued)
         };
         match pushed {
-            Ok(()) => Ok(id),
+            Ok(()) => Ok(JobHandle::new(
+                id,
+                HandlePlane {
+                    status: Arc::clone(&self.status),
+                    cancels: Arc::clone(&self.cancels),
+                },
+            )),
             Err(e) => {
                 self.status.remove(id);
                 if e == ServiceError::Saturated {
@@ -159,27 +155,42 @@ impl FusionService {
         }
     }
 
-    /// Submits a job, blocking while the admission queue is full.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobId> {
+    /// Submits a job, blocking while the admission queue is full.  The
+    /// returned [`JobHandle`] owns the job: wait on it, cancel through it,
+    /// or [`JobHandle::detach`] it to let the job run unobserved.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle> {
         self.enqueue(spec, true)
     }
 
     /// Submits a job, rejecting immediately with [`ServiceError::Saturated`]
     /// when the admission queue is full (backpressure).
-    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId> {
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle> {
         self.enqueue(spec, false)
     }
 
+    /// Opens an independent subscription to the [`ServiceEvent`] stream
+    /// (admissions with their resolved route, dispatches, retransmits,
+    /// member kills and regenerations, terminal transitions).
+    pub fn subscribe(&self) -> EventSubscriber {
+        self.events.subscribe()
+    }
+
+    /// Submits a job and returns its bare id (cancel-on-drop disarmed).
+    #[deprecated(since = "0.1.0", note = "use submit() and the returned JobHandle")]
+    pub fn submit_detached(&self, spec: JobSpec) -> Result<JobId> {
+        self.submit(spec).map(JobHandle::detach)
+    }
+
     /// Current lifecycle status of a job, if known.
+    #[deprecated(since = "0.1.0", note = "use JobHandle::status")]
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
         self.status.status(id)
     }
 
     /// Blocks until the job reaches a terminal state and returns its output
     /// (or the terminal error).  The job's record is consumed: a later
-    /// `wait` or [`FusionService::status`] for the same id reports it as
-    /// unknown.  This keeps the results plane bounded over a long service
-    /// lifetime.
+    /// `wait` or `status` for the same id reports it as unknown.
+    #[deprecated(since = "0.1.0", note = "use JobHandle::wait and the typed JobOutcome")]
     pub fn wait(&self, id: JobId) -> Result<FusionOutput> {
         self.status.wait_terminal(id)
     }
@@ -187,15 +198,13 @@ impl FusionService {
     /// Requests cancellation of a job.  Returns whether the job was known
     /// and not yet terminal when the request was recorded; the scheduler
     /// applies it asynchronously.
+    #[deprecated(since = "0.1.0", note = "use JobHandle::cancel")]
     pub fn cancel(&self, id: JobId) -> bool {
-        let live = matches!(
-            self.status.status(id),
-            Some(status) if !status.is_terminal()
-        );
-        if live {
-            self.cancels.lock().expect("cancel lock").push(id);
+        HandlePlane {
+            status: Arc::clone(&self.status),
+            cancels: Arc::clone(&self.cancels),
         }
-        live
+        .request_cancel(id)
     }
 
     /// Number of jobs currently waiting in the admission queue.
@@ -216,11 +225,19 @@ impl FusionService {
     /// Kills a resilient-lane member by routing name (attack drill).
     /// Returns whether the member was a registered target.
     pub fn inject_attack(&self, member: &str) -> bool {
-        self.injector.attack(member)
+        let hit = self.injector.attack(member);
+        if hit {
+            self.events.publish(ServiceEvent::MemberKilled {
+                member: member.to_string(),
+            });
+        }
+        hit
     }
 
     /// Graceful shutdown: stops accepting jobs, drains the queue and every
     /// running job, tears the pool down and returns the final report.
+    /// Outstanding [`JobHandle`]s stay valid: they hold the results plane
+    /// and observe the final terminal states.
     pub fn shutdown(mut self) -> ServiceReport {
         self.shutdown_flag.store(true, Ordering::Release);
         self.queue.close();
@@ -246,6 +263,8 @@ impl Drop for FusionService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PoolConfig;
+    use crate::handle::JobOutcome;
     use crate::job::{CubeSource, Priority};
     use hsi::{CubeDims, SceneConfig, SceneGenerator};
     use pct::{PctConfig, SequentialPct};
@@ -253,17 +272,18 @@ mod tests {
     use std::time::Duration;
 
     fn tiny_pool() -> ServiceConfig {
-        ServiceConfig {
-            pool: PoolConfig {
+        ServiceConfig::builder()
+            .pool(PoolConfig {
                 standard_workers: 2,
                 replica_groups: 1,
                 replication_level: 2,
+                shared_memory_executors: 1,
                 ..PoolConfig::default()
-            },
-            queue_capacity: 16,
-            max_in_flight: 4,
-            ..ServiceConfig::default()
-        }
+            })
+            .queue_capacity(16)
+            .max_in_flight(4)
+            .build()
+            .unwrap()
     }
 
     fn scene(seed: u64, side: usize, bands: usize) -> SceneConfig {
@@ -273,64 +293,74 @@ mod tests {
     }
 
     #[test]
-    fn jobs_complete_byte_identical_to_sequential() {
+    fn jobs_complete_byte_identical_to_sequential_on_every_lane() {
         let service = FusionService::start(tiny_pool()).unwrap();
         let mut jobs = Vec::new();
-        for i in 0..4u64 {
-            let config = scene(40 + i, 16, 8);
+        for (i, kind) in BackendKind::ALL.iter().enumerate() {
+            let config = scene(40 + i as u64, 16, 8);
             let cube = Arc::new(SceneGenerator::new(config).unwrap().generate());
-            let backend = if i % 2 == 0 {
-                BackendKind::Standard
-            } else {
-                BackendKind::Resilient
-            };
-            let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
-                .with_backend(backend)
-                .with_shards(3);
-            let id = service.submit(spec).unwrap();
-            jobs.push((id, cube));
+            let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                .pinned(*kind)
+                .shards(3)
+                .build()
+                .unwrap();
+            let handle = service.submit(spec).unwrap();
+            jobs.push((handle, cube));
         }
-        for (id, cube) in jobs {
-            assert!(service.status(id).is_some());
-            let output = service.wait(id).unwrap();
+        for (mut handle, cube) in jobs {
+            assert!(handle.status().is_ok());
+            let outcome = handle.wait().unwrap();
             let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-            assert_eq!(output, reference, "job {id} diverged from sequential");
-            // wait() consumed the record.
-            assert_eq!(service.status(id), None);
+            assert_eq!(
+                outcome.output().expect("completed"),
+                &reference,
+                "job {} diverged from sequential",
+                handle.id()
+            );
+            // The record is consumed, but the handle still reports status.
+            assert_eq!(handle.status().unwrap(), JobStatus::Completed);
         }
         let report = service.shutdown();
-        assert_eq!(report.jobs_completed, 4);
+        assert_eq!(report.jobs_completed, 3);
         assert_eq!(report.jobs_failed, 0);
+        for kind in BackendKind::ALL {
+            assert_eq!(report.route(kind).jobs_completed, 1, "{}", kind.label());
+            assert_eq!(report.route(kind).auto_routed, 0);
+        }
     }
 
     #[test]
-    fn synthetic_sources_and_priorities_flow_through() {
+    fn auto_routing_sends_small_cubes_to_the_shared_memory_lane() {
         let service = FusionService::start(tiny_pool()).unwrap();
-        let id = service
-            .submit(
-                JobSpec::new(CubeSource::Synthetic(scene(7, 12, 6)))
-                    .with_priority(Priority::High)
-                    .with_shards(2),
-            )
+        let cube = Arc::new(SceneGenerator::new(scene(7, 12, 6)).unwrap().generate());
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .route(Route::Auto)
+            .priority(Priority::High)
+            .build()
             .unwrap();
-        let output = service.wait(id).unwrap();
-        let cube = SceneGenerator::new(scene(7, 12, 6)).unwrap().generate();
+        let mut handle = service.submit(spec).unwrap();
+        let outcome = handle.wait().unwrap();
         let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-        assert_eq!(output, reference);
+        assert_eq!(outcome, JobOutcome::Completed(reference));
         let report = service.shutdown();
-        assert_eq!(report.jobs_completed, 1);
+        let shm = report.route(BackendKind::SharedMemory);
+        assert_eq!(shm.jobs_routed, 1);
+        assert_eq!(shm.auto_routed, 1);
+        assert_eq!(shm.jobs_completed, 1);
         assert!(report.latency.contains_key(&Priority::High));
     }
 
     #[test]
-    fn resilient_submission_without_lane_is_rejected() {
+    fn pinned_submission_without_lane_is_rejected() {
         let mut config = tiny_pool();
         config.pool.replica_groups = 0;
         let service = FusionService::start(config).unwrap();
         let err = service
             .submit(
-                JobSpec::new(CubeSource::Synthetic(scene(1, 8, 4)))
-                    .with_backend(BackendKind::Resilient),
+                JobSpec::builder(CubeSource::Synthetic(scene(1, 8, 4)))
+                    .pinned(BackendKind::Resilient)
+                    .build()
+                    .unwrap(),
             )
             .unwrap_err();
         assert!(matches!(err, ServiceError::InvalidConfig(_)));
@@ -340,22 +370,61 @@ mod tests {
     #[test]
     fn zero_timeout_job_times_out() {
         let service = FusionService::start(tiny_pool()).unwrap();
-        let id = service
+        let mut handle = service
             .submit(
-                JobSpec::new(CubeSource::Synthetic(scene(3, 24, 12))).with_timeout(Duration::ZERO),
+                JobSpec::builder(CubeSource::Synthetic(scene(3, 24, 12)))
+                    .pinned(BackendKind::Standard)
+                    .timeout(Duration::ZERO)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
-        assert_eq!(service.wait(id).unwrap_err(), ServiceError::TimedOut);
+        assert_eq!(handle.wait().unwrap(), JobOutcome::TimedOut);
         let report = service.shutdown();
         assert_eq!(report.jobs_timed_out, 1);
     }
 
     #[test]
-    fn unknown_job_queries() {
+    fn deprecated_id_keyed_shims_still_work() {
+        #[allow(deprecated)]
+        {
+            let service = FusionService::start(tiny_pool()).unwrap();
+            let cube = Arc::new(SceneGenerator::new(scene(9, 12, 6)).unwrap().generate());
+            let id = service
+                .submit_detached(
+                    JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap();
+            assert!(service.status(id).is_some());
+            let output = service.wait(id).unwrap();
+            let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+            assert_eq!(output, reference);
+            // wait() consumed the record — the documented legacy footgun.
+            assert_eq!(service.status(id), None);
+            assert_eq!(service.wait(id).unwrap_err(), ServiceError::UnknownJob(id));
+            assert!(!service.cancel(99));
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn dropped_handles_cancel_their_jobs() {
         let service = FusionService::start(tiny_pool()).unwrap();
-        assert_eq!(service.status(99), None);
-        assert!(!service.cancel(99));
-        assert_eq!(service.wait(99).unwrap_err(), ServiceError::UnknownJob(99));
-        service.shutdown();
+        let spec = JobSpec::builder(CubeSource::Synthetic(scene(5, 48, 24)))
+            .pinned(BackendKind::Standard)
+            .shards(2)
+            .build()
+            .unwrap();
+        let handle = service.submit(spec).unwrap();
+        let id = handle.id();
+        drop(handle);
+        let report = service.shutdown();
+        assert_eq!(
+            report.jobs_cancelled + report.jobs_completed,
+            1,
+            "job {id} neither cancelled nor completed"
+        );
     }
 }

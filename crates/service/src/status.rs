@@ -1,11 +1,13 @@
 //! The shared job-status table: the results plane between the scheduler and
 //! waiting clients.
 
+use crate::handle::JobOutcome;
 use crate::job::{JobId, JobStatus};
 use crate::{Result, ServiceError};
 use pct::FusionOutput;
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Everything the service remembers about one job.
 #[derive(Debug, Clone)]
@@ -13,6 +15,10 @@ pub(crate) struct JobRecord {
     pub status: JobStatus,
     pub output: Option<FusionOutput>,
     pub error: Option<String>,
+    /// Set when the owning handle was dropped without taking the outcome:
+    /// nobody is left to consume the record, so the terminal transition
+    /// releases it instead of retaining the full image.
+    pub abandoned: bool,
 }
 
 impl JobRecord {
@@ -21,6 +27,25 @@ impl JobRecord {
             status: JobStatus::Queued,
             output: None,
             error: None,
+            abandoned: false,
+        }
+    }
+
+    /// Maps a terminal record to the typed outcome.
+    fn into_outcome(self) -> Result<JobOutcome> {
+        match self.status {
+            JobStatus::Completed => match self.output {
+                Some(output) => Ok(JobOutcome::Completed(output)),
+                None => Err(ServiceError::Internal("completed without output".into())),
+            },
+            JobStatus::Failed => Ok(JobOutcome::Failed(
+                self.error.unwrap_or_else(|| "unknown".into()),
+            )),
+            JobStatus::Cancelled => Ok(JobOutcome::Cancelled),
+            JobStatus::TimedOut => Ok(JobOutcome::TimedOut),
+            JobStatus::Queued | JobStatus::Running => {
+                Err(ServiceError::Internal("non-terminal outcome".into()))
+            }
         }
     }
 }
@@ -54,7 +79,8 @@ impl StatusTable {
     }
 
     /// Transitions a job to a (possibly terminal) status, recording output or
-    /// error, and wakes waiters.  Terminal states are never overwritten.
+    /// error, and wakes waiters.  Terminal states are never overwritten; a
+    /// terminal transition of an abandoned record releases it immediately.
     pub fn transition(
         &self,
         id: JobId,
@@ -70,17 +96,36 @@ impl StatusTable {
             record.status = status;
             record.output = output;
             record.error = error;
+            if record.abandoned && status.is_terminal() {
+                records.remove(&id);
+            }
         }
         drop(records);
         self.changed.notify_all();
     }
 
-    /// Blocks until the job reaches a terminal status, then *consumes* its
-    /// record and maps it to the client-facing result.  Consuming bounds the
-    /// table: a long-lived service would otherwise retain every completed
-    /// job's full image forever.  A second wait on the same id reports the
-    /// job as unknown.
-    pub fn wait_terminal(&self, id: JobId) -> Result<FusionOutput> {
+    /// Marks a record as having no waiter left: if it is already terminal it
+    /// is released now, otherwise the terminal transition releases it.
+    pub fn abandon(&self, id: JobId) {
+        let mut records = self.records.lock().expect("status lock");
+        if let Some(record) = records.get_mut(&id) {
+            if record.status.is_terminal() {
+                records.remove(&id);
+            } else {
+                record.abandoned = true;
+            }
+        }
+    }
+
+    /// Blocks until the job reaches a terminal status (or `deadline`
+    /// passes), then *consumes* its record and maps it to the typed
+    /// [`JobOutcome`].  Consuming bounds the table: a long-lived service
+    /// would otherwise retain every completed job's full image forever.
+    ///
+    /// `Ok(None)` means the deadline expired first; the record is untouched
+    /// and a later call can still take the outcome.  An unknown id is
+    /// [`ServiceError::UnknownJob`].
+    pub fn wait_outcome(&self, id: JobId, deadline: Option<Instant>) -> Result<Option<JobOutcome>> {
         let mut records = self.records.lock().expect("status lock");
         loop {
             let Some(record) = records.get(&id) else {
@@ -89,21 +134,32 @@ impl StatusTable {
             if record.status.is_terminal() {
                 break;
             }
-            records = self.changed.wait(records).expect("status lock");
+            match deadline {
+                None => records = self.changed.wait(records).expect("status lock"),
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Ok(None);
+                    }
+                    let (guard, _timeout) = self
+                        .changed
+                        .wait_timeout(records, remaining)
+                        .expect("status lock");
+                    records = guard;
+                }
+            }
         }
         let record = records.remove(&id).expect("present: checked above");
-        match record.status {
-            JobStatus::Completed => record
-                .output
-                .ok_or_else(|| ServiceError::Internal("completed without output".into())),
-            JobStatus::Failed => Err(ServiceError::Failed(
-                record.error.unwrap_or_else(|| "unknown".into()),
-            )),
-            JobStatus::Cancelled => Err(ServiceError::Cancelled),
-            JobStatus::TimedOut => Err(ServiceError::TimedOut),
-            JobStatus::Queued | JobStatus::Running => {
-                unreachable!("loop exits only on terminal status")
-            }
+        drop(records);
+        record.into_outcome().map(Some)
+    }
+
+    /// The deprecated id-keyed wait: blocks for the terminal state, consumes
+    /// the record, and collapses the outcome into the old result shape.
+    pub fn wait_terminal(&self, id: JobId) -> Result<FusionOutput> {
+        match self.wait_outcome(id, None)? {
+            Some(outcome) => outcome.into_result(),
+            None => unreachable!("deadline-free wait returns an outcome or errors"),
         }
     }
 }
@@ -112,6 +168,7 @@ impl StatusTable {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn transition_and_wait_round_trip() {
@@ -158,5 +215,35 @@ mod tests {
         table.insert(9, JobRecord::queued());
         table.remove(9);
         assert_eq!(table.status(9), None);
+    }
+
+    #[test]
+    fn wait_outcome_times_out_without_consuming() {
+        let table = StatusTable::new();
+        table.insert(3, JobRecord::queued());
+        let deadline = Some(Instant::now() + Duration::from_millis(15));
+        assert_eq!(table.wait_outcome(3, deadline).unwrap(), None);
+        assert_eq!(table.status(3), Some(JobStatus::Queued));
+        table.transition(3, JobStatus::TimedOut, None, None);
+        assert_eq!(
+            table.wait_outcome(3, None).unwrap(),
+            Some(JobOutcome::TimedOut)
+        );
+    }
+
+    #[test]
+    fn abandoned_records_are_released_at_the_terminal_transition() {
+        let table = StatusTable::new();
+        table.insert(4, JobRecord::queued());
+        table.abandon(4);
+        assert_eq!(table.status(4), Some(JobStatus::Queued), "still tracked");
+        table.transition(4, JobStatus::Cancelled, None, None);
+        assert_eq!(table.status(4), None, "released at terminal");
+
+        // Abandoning an already-terminal record releases it immediately.
+        table.insert(5, JobRecord::queued());
+        table.transition(5, JobStatus::Failed, None, None);
+        table.abandon(5);
+        assert_eq!(table.status(5), None);
     }
 }

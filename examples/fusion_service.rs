@@ -1,14 +1,15 @@
 //! `fusiond` under load: 64 concurrent fusion jobs — mixed priorities,
-//! mixed backends, one mid-run worker kill on the resilient lane — all
-//! multiplexed over one shared, sharded worker pool, with every output
-//! verified byte-identical to the sequential reference.
+//! mixed routes (pinned standard/resilient and policy-routed `Auto`), one
+//! mid-run worker kill on the resilient lane — all multiplexed over one
+//! shared, sharded worker pool, with every output verified byte-identical
+//! to the sequential reference.
 //!
 //! Run with: `cargo run --release --example fusion_service`
 
 use hsi::{CubeDims, HyperCube, SceneConfig, SceneGenerator};
 use pct::{PctConfig, SequentialPct};
 use service::{
-    BackendKind, CubeSource, FusionService, JobSpec, PoolConfig, Priority, ServiceConfig,
+    BackendKind, CubeSource, FusionService, JobHandle, JobSpec, Priority, Route, ServiceConfig,
 };
 use std::sync::Arc;
 
@@ -22,47 +23,43 @@ fn scene(i: u64) -> SceneConfig {
     config
 }
 
-fn main() {
-    let service = FusionService::start(ServiceConfig {
-        pool: PoolConfig {
-            standard_workers: 4,
-            replica_groups: 2,
-            replication_level: 2,
-            ..PoolConfig::default()
-        },
-        queue_capacity: JOBS as usize,
-        max_in_flight: 12,
-        ..ServiceConfig::default()
-    })
-    .expect("service starts");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(4)
+            .replica_groups(2)
+            .replication_level(2)
+            .shared_memory_executors(2)
+            .queue_capacity(JOBS as usize)
+            .max_in_flight(12)
+            .build()?,
+    )?;
 
     println!(
-        "fusiond up: 4 standard workers + 2 replica groups x level 2 ({:?})",
+        "fusiond up: 4 standard workers + 2 replica groups x level 2 + 2 shm executors ({:?})",
         service.attack_targets()
     );
 
-    // Submit 64 jobs: priorities cycle high/normal/low, every third job runs
-    // on the resilient lane, shard counts vary per job.
-    let mut jobs: Vec<(u64, Arc<HyperCube>, &'static str, &'static str)> = Vec::new();
+    // Submit 64 jobs: priorities cycle high/normal/low; every third job is
+    // pinned to the resilient lane, every third to standard, and the rest
+    // go through the routing policy (`Auto`); shard counts vary per job.
+    let mut jobs: Vec<(JobHandle, Arc<HyperCube>, &'static str, &'static str)> = Vec::new();
     let mut attacked = false;
     for i in 0..JOBS {
-        let cube = Arc::new(
-            SceneGenerator::new(scene(i))
-                .expect("valid scene")
-                .generate(),
-        );
+        let cube = Arc::new(SceneGenerator::new(scene(i))?.generate());
         let priority = Priority::ALL[i as usize % 3];
-        let backend = if i % 3 == 1 {
-            BackendKind::Resilient
-        } else {
-            BackendKind::Standard
+        let route = match i % 3 {
+            1 => Route::Pinned(BackendKind::Resilient),
+            2 => Route::Auto,
+            _ => Route::Pinned(BackendKind::Standard),
         };
-        let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
-            .with_priority(priority)
-            .with_backend(backend)
-            .with_shards(3 + i as usize % 3);
-        let id = service.submit(spec).expect("submission accepted");
-        jobs.push((id, cube, priority.label(), backend.label()));
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .priority(priority)
+            .route(route)
+            .shards(3 + i as usize % 3)
+            .build()?;
+        let handle = service.submit(spec)?;
+        jobs.push((handle, cube, priority.label(), route.label()));
 
         // Stage the attack once a batch of resilient work is in flight: kill
         // one member of replica group 0 while the service is busy.
@@ -78,18 +75,18 @@ fn main() {
         service.queue_depth()
     );
 
-    // Collect every output and verify it byte-for-byte against the
-    // sequential reference — concurrency, sharding, replication and the
-    // attack must all be invisible in the results.
+    // Collect every outcome through its handle and verify it byte-for-byte
+    // against the sequential reference — concurrency, sharding, routing,
+    // replication and the attack must all be invisible in the results.
     let mut verified = 0;
-    for (id, cube, priority, backend) in &jobs {
-        let output = service.wait(*id).expect("job completes");
-        let reference = SequentialPct::new(PctConfig::paper())
-            .run(cube)
-            .expect("reference run");
+    for (mut handle, cube, priority, route) in jobs {
+        let id = handle.id();
+        let outcome = handle.wait()?;
+        let output = outcome.output().expect("job completes");
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube)?;
         assert_eq!(
-            output, reference,
-            "job {id} ({priority}/{backend}) diverged from the sequential reference"
+            output, &reference,
+            "job {id} ({priority}/{route}) diverged from the sequential reference"
         );
         verified += 1;
     }
@@ -103,4 +100,5 @@ fn main() {
     );
     println!();
     print!("{}", report.render());
+    Ok(())
 }

@@ -1,0 +1,89 @@
+//! Observing `fusiond` without polling: subscribe to the [`ServiceEvent`]
+//! stream while a chaos plan kills a replica-group member mid-job, and
+//! narrate the kill → regeneration → completion sequence as it happens.
+//!
+//! Run with: `cargo run --release --example service_events`
+
+use hsi::{CubeDims, SceneConfig, SceneGenerator};
+use service::{
+    BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobSpec, ServiceConfig,
+    ServiceEvent,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deterministic chaos plan: when the scheduler dispatches the first
+    // screening task of job 1, member rg0#0 dies.
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(1)
+            .replica_groups(1)
+            .replication_level(2)
+            .shared_memory_executors(1)
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#0"))
+            .build()?,
+    )?;
+    let events = service.subscribe();
+
+    let mut config = SceneConfig::small(64);
+    config.dims = CubeDims::new(24, 24, 12);
+    let cube = Arc::new(SceneGenerator::new(config)?.generate());
+    let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+        .pinned(BackendKind::Resilient)
+        .shards(3)
+        .build()?;
+    let mut handle = service.submit(spec)?;
+
+    // Narrate the whole run from the event stream — no status polling.
+    let mut seen_kill = false;
+    let mut seen_regen = false;
+    while let Some(event) = events.next_timeout(Duration::from_secs(30)) {
+        match &event {
+            ServiceEvent::Admitted { job, route, auto } => {
+                println!(
+                    "job {job} admitted onto the {} lane (auto: {auto})",
+                    route.label()
+                );
+            }
+            ServiceEvent::Dispatched {
+                job, task, kind, ..
+            } => {
+                println!("job {job}: task {task} dispatched ({kind})");
+            }
+            ServiceEvent::Retransmitted { job, task, group } => {
+                println!("job {job}: task {task} retransmitted to {group}");
+            }
+            ServiceEvent::MemberKilled { member } => {
+                seen_kill = true;
+                println!("CHAOS: {member} killed");
+            }
+            ServiceEvent::MemberRegenerated {
+                failed,
+                replacement,
+            } => {
+                seen_regen = true;
+                println!("RECOVERY: {failed} regenerated as {replacement}");
+            }
+            ServiceEvent::Terminal { job, status } => {
+                println!("job {job} terminal: {status:?}");
+                break;
+            }
+        }
+    }
+    assert!(seen_kill, "the chaos kill must appear on the event stream");
+    assert!(
+        seen_regen,
+        "the regeneration must appear on the event stream"
+    );
+
+    // The output survived the kill byte-for-byte.
+    let outcome = handle.wait()?;
+    let reference = pct::SequentialPct::new(pct::PctConfig::paper()).run(&cube)?;
+    assert_eq!(outcome.output().expect("job completed"), &reference);
+    println!("output byte-identical to SequentialPct despite the kill");
+
+    let report = service.shutdown();
+    assert!(report.regenerations >= 1);
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The smallest useful `fusiond` client: start the service with the default
+//! builder, submit one job, wait on its handle, print the outcome.
+//!
+//! The `?` chains work because every error in the stack implements
+//! `std::error::Error` and converts into `ServiceError` (or boxes).
+//!
+//! Run with: `cargo run --release --example service_quickstart`
+
+use hsi::SceneConfig;
+use service::{CubeSource, FusionService, JobSpec, ServiceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A validated default configuration: 4 standard workers, 2 replica
+    // groups at level 2, 2 shared-memory executors, size-threshold routing.
+    let service = FusionService::start(ServiceConfig::builder().build()?)?;
+
+    // One auto-routed job over a synthetic scene.  A small cube like this
+    // resolves to the in-process shared-memory lane.
+    let spec = JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(42))).build()?;
+    let mut handle = service.submit(spec)?;
+    println!(
+        "submitted job {} — status {:?}",
+        handle.id(),
+        handle.status()?
+    );
+
+    // The handle owns the job: wait() resolves to a typed terminal outcome.
+    let outcome = handle.wait()?;
+    let output = outcome.output().expect("job completed");
+    println!(
+        "fused {} pixels; screening kept {} ({:.1}%); 3 components carry {:.1}% of variance",
+        output.pixels,
+        output.unique_count,
+        100.0 * output.unique_count as f64 / output.pixels as f64,
+        100.0 * output.variance_fraction(3),
+    );
+
+    let report = service.shutdown();
+    print!("{}", report.render());
+    Ok(())
+}

@@ -7,8 +7,9 @@ use pct::distributed_sim::{simulate_fusion, SimParams};
 use pct::resilient::{AttackPlan, ResilientPct};
 use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
 use service::{
-    BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobSpec, JobStatus, PoolConfig,
-    Priority, ServiceConfig, ServiceError,
+    BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobHandle, JobOutcome, JobSpec,
+    JobStatus, LeastLoadedPolicy, PoolConfig, Priority, RoundRobinPolicy, Route, ServiceConfig,
+    ServiceError, ServiceEvent, SharedRoutingPolicy, SizeThresholdPolicy,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -154,17 +155,20 @@ fn cube_files_round_trip_through_disk() {
 
 /// A service sized small enough that scheduling pressure is real in tests.
 fn test_service(queue_capacity: usize, max_in_flight: usize) -> FusionService {
-    FusionService::start(ServiceConfig {
-        pool: PoolConfig {
-            standard_workers: 2,
-            replica_groups: 2,
-            replication_level: 2,
-            ..PoolConfig::default()
-        },
-        queue_capacity,
-        max_in_flight,
-        ..ServiceConfig::default()
-    })
+    FusionService::start(
+        ServiceConfig::builder()
+            .pool(PoolConfig {
+                standard_workers: 2,
+                replica_groups: 2,
+                replication_level: 2,
+                shared_memory_executors: 1,
+                ..PoolConfig::default()
+            })
+            .queue_capacity(queue_capacity)
+            .max_in_flight(max_in_flight)
+            .build()
+            .expect("config validates"),
+    )
     .expect("service starts")
 }
 
@@ -182,10 +186,14 @@ fn slow_job_scene(seed: u64) -> SceneConfig {
     config
 }
 
-fn wait_for_running(service: &FusionService, id: u64) {
+fn wait_for_running(handle: &JobHandle) {
     let deadline = Instant::now() + Duration::from_secs(20);
-    while service.status(id) == Some(JobStatus::Queued) {
-        assert!(Instant::now() < deadline, "job {id} never started running");
+    while handle.status().unwrap() == JobStatus::Queued {
+        assert!(
+            Instant::now() < deadline,
+            "job {} never started running",
+            handle.id()
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
 }
@@ -203,25 +211,36 @@ fn service_concurrent_jobs_are_byte_identical_to_sequential() {
                 .unwrap()
                 .generate(),
         );
-        let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
-            .with_backend(if i % 3 == 0 {
-                BackendKind::Resilient
-            } else {
-                BackendKind::Standard
-            })
-            .with_priority(Priority::ALL[i as usize % 3])
-            .with_shards(2 + i as usize % 3);
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .pinned(BackendKind::ALL[i as usize % 3])
+            .priority(Priority::ALL[i as usize % 3])
+            .shards(2 + i as usize % 3)
+            .build()
+            .unwrap();
         jobs.push((service.submit(spec).unwrap(), cube));
     }
-    for (id, cube) in jobs {
-        let output = service.wait(id).unwrap();
+    for (mut handle, cube) in jobs {
+        let outcome = handle.wait().unwrap();
         let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-        assert_eq!(output, reference, "job {id} diverged");
+        assert_eq!(
+            outcome.output().expect("job completes"),
+            &reference,
+            "job {} diverged",
+            handle.id()
+        );
     }
     let report = service.shutdown();
     assert_eq!(report.jobs_completed, 12);
     assert_eq!(report.jobs_failed, 0);
     assert!(report.duplicates_ignored > 0, "replica lane never deduped");
+    for kind in BackendKind::ALL {
+        assert_eq!(
+            report.route(kind).jobs_completed,
+            4,
+            "{} lane lost jobs",
+            kind.label()
+        );
+    }
 }
 
 #[test]
@@ -229,9 +248,13 @@ fn service_admission_queue_applies_backpressure() {
     // One job in flight, a queue of two: once the queue is full, try_submit
     // must reject with Saturated until the scheduler drains something.
     let service = test_service(2, 1);
-    let slow = JobSpec::new(CubeSource::Synthetic(slow_job_scene(70))).with_shards(1);
-    let running = service.submit(slow.clone()).unwrap();
-    wait_for_running(&service, running);
+    let slow = JobSpec::builder(CubeSource::Synthetic(slow_job_scene(70)))
+        .pinned(BackendKind::Standard)
+        .shards(1)
+        .build()
+        .unwrap();
+    let mut running = service.submit(slow.clone()).unwrap();
+    wait_for_running(&running);
 
     // The scheduler is saturated (max_in_flight=1), so these two fill the
     // queue deterministically...
@@ -245,9 +268,11 @@ fn service_admission_queue_applies_backpressure() {
     );
 
     // Cancel the queued work so shutdown only waits for the running job.
-    assert!(service.cancel(queued_a));
-    assert!(service.cancel(queued_b));
-    assert!(service.wait(running).is_ok());
+    assert!(queued_a.cancel());
+    assert!(queued_b.cancel());
+    assert!(matches!(running.wait(), Ok(JobOutcome::Completed(_))));
+    drop(queued_a);
+    drop(queued_b);
     let report = service.shutdown();
     assert_eq!(report.jobs_rejected, 1);
     assert_eq!(report.jobs_cancelled, 2);
@@ -257,35 +282,122 @@ fn service_admission_queue_applies_backpressure() {
 #[test]
 fn service_cancellation_mid_flight_and_while_queued() {
     let service = test_service(8, 1);
-    let running = service
-        .submit(JobSpec::new(CubeSource::Synthetic(slow_job_scene(71))).with_shards(2))
+    let mut running = service
+        .submit(
+            JobSpec::builder(CubeSource::Synthetic(slow_job_scene(71)))
+                .pinned(BackendKind::Standard)
+                .shards(2)
+                .build()
+                .unwrap(),
+        )
         .unwrap();
-    let queued = service
-        .submit(JobSpec::new(CubeSource::Synthetic(small_job_scene(72))))
+    let mut queued = service
+        .submit(
+            JobSpec::builder(CubeSource::Synthetic(small_job_scene(72)))
+                .build()
+                .unwrap(),
+        )
         .unwrap();
-    wait_for_running(&service, running);
+    wait_for_running(&running);
 
     // Cancel the in-flight job mid-screening and the queued job behind it.
-    assert!(service.cancel(running));
-    assert!(service.cancel(queued));
-    assert_eq!(service.wait(running).unwrap_err(), ServiceError::Cancelled);
-    assert_eq!(service.wait(queued).unwrap_err(), ServiceError::Cancelled);
-    // wait() consumes the record, so the id is no longer known.
-    assert_eq!(service.status(running), None);
+    assert!(running.cancel());
+    assert!(queued.cancel());
+    assert_eq!(running.wait().unwrap(), JobOutcome::Cancelled);
+    assert_eq!(queued.wait().unwrap(), JobOutcome::Cancelled);
+    // The record is consumed, but the handle still answers — the old
+    // UnknownJob footgun is gone.
+    assert_eq!(running.status().unwrap(), JobStatus::Cancelled);
+    // A second wait is a typed error.
+    assert_eq!(
+        running.wait().unwrap_err(),
+        ServiceError::OutcomeTaken(running.id())
+    );
 
     // The pool survives cancellation: fresh work still completes correctly.
     let fresh_cube = Arc::new(SceneGenerator::new(small_job_scene(73)).unwrap().generate());
-    let fresh = service
-        .submit(JobSpec::new(CubeSource::InMemory(Arc::clone(&fresh_cube))))
+    let mut fresh = service
+        .submit(
+            JobSpec::builder(CubeSource::InMemory(Arc::clone(&fresh_cube)))
+                .build()
+                .unwrap(),
+        )
         .unwrap();
-    let output = service.wait(fresh).unwrap();
+    let outcome = fresh.wait().unwrap();
     let reference = SequentialPct::new(PctConfig::paper())
         .run(&fresh_cube)
         .unwrap();
-    assert_eq!(output, reference);
+    assert_eq!(outcome, JobOutcome::Completed(reference));
     let report = service.shutdown();
     assert_eq!(report.jobs_cancelled, 2);
     assert_eq!(report.jobs_completed, 1);
+}
+
+#[test]
+fn service_handle_lifecycle_timeout_drop_detach_and_shutdown() {
+    let service = test_service(8, 4);
+
+    // wait_timeout on a job that is still running returns Ok(None) and the
+    // outcome stays takeable.
+    let mut slow = service
+        .submit(
+            JobSpec::builder(CubeSource::Synthetic(slow_job_scene(75)))
+                .pinned(BackendKind::Standard)
+                .shards(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(slow.wait_timeout(Duration::ZERO).unwrap(), None);
+    assert!(matches!(slow.wait().unwrap(), JobOutcome::Completed(_)));
+
+    // Cancel-on-drop: a dropped handle cancels its job...
+    let dropped = service
+        .submit(
+            JobSpec::builder(CubeSource::Synthetic(slow_job_scene(76)))
+                .pinned(BackendKind::Standard)
+                .shards(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    drop(dropped);
+
+    // ...while detach() lets the job run and keeps the record claimable
+    // through the deprecated id-keyed API.
+    let cube = Arc::new(SceneGenerator::new(small_job_scene(77)).unwrap().generate());
+    let detached_id = service
+        .submit(
+            JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .detach();
+    #[allow(deprecated)]
+    let output = service.wait(detached_id).unwrap();
+    let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+    assert_eq!(output, reference);
+
+    // A handle outlives shutdown: it holds the results plane by Arc and
+    // observes the final terminal state.
+    let mut survivor = service
+        .submit(
+            JobSpec::builder(CubeSource::Synthetic(small_job_scene(78)))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let report = service.shutdown();
+    assert!(matches!(survivor.wait().unwrap(), JobOutcome::Completed(_)));
+    assert_eq!(survivor.status().unwrap(), JobStatus::Completed);
+    // The dropped job either cancelled or raced to completion; it must be
+    // accounted either way.
+    assert_eq!(
+        report.jobs_completed + report.jobs_cancelled,
+        4,
+        "dropped job unaccounted: {report:?}"
+    );
 }
 
 #[test]
@@ -300,18 +412,25 @@ fn service_resilient_jobs_survive_member_kill() {
                 .unwrap()
                 .generate(),
         );
-        let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
-            .with_backend(BackendKind::Resilient)
-            .with_shards(4);
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .pinned(BackendKind::Resilient)
+            .shards(4)
+            .build()
+            .unwrap();
         jobs.push((service.submit(spec).unwrap(), cube));
         if i == 0 {
             assert!(service.inject_attack("rg0#0"));
         }
     }
-    for (id, cube) in jobs {
-        let output = service.wait(id).unwrap();
+    for (mut handle, cube) in jobs {
+        let outcome = handle.wait().unwrap();
         let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-        assert_eq!(output, reference, "job {id} diverged after the attack");
+        assert_eq!(
+            outcome.output().expect("job completes"),
+            &reference,
+            "job {} diverged after the attack",
+            handle.id()
+        );
     }
     let report = service.shutdown();
     assert_eq!(report.jobs_completed, 6);
@@ -320,6 +439,187 @@ fn service_resilient_jobs_survive_member_kill() {
         report.regenerations >= 1,
         "killed member was never regenerated: {report:?}"
     );
+}
+
+/// The acceptance matrix of the routing redesign: every route — the three
+/// lanes pinned, plus `Auto` under each shipped routing policy — produces
+/// output **byte-identical** to `SequentialPct`, including one chaos kill
+/// on the pinned resilient route.
+#[test]
+fn route_matrix_every_route_is_byte_identical_to_sequential() {
+    let policies: Vec<(&str, Option<SharedRoutingPolicy>)> = vec![
+        ("pinned-standard", None),
+        ("pinned-resilient", None),
+        ("pinned-shared-memory", None),
+        (
+            "auto-size-threshold",
+            Some(Arc::new(SizeThresholdPolicy::default())),
+        ),
+        ("auto-least-loaded", Some(Arc::new(LeastLoadedPolicy))),
+        (
+            "auto-round-robin",
+            Some(Arc::new(RoundRobinPolicy::default())),
+        ),
+    ];
+    for (name, policy) in policies {
+        let route = match name {
+            "pinned-standard" => Route::Pinned(BackendKind::Standard),
+            "pinned-resilient" => Route::Pinned(BackendKind::Resilient),
+            "pinned-shared-memory" => Route::Pinned(BackendKind::SharedMemory),
+            _ => Route::Auto,
+        };
+        let mut builder = ServiceConfig::builder()
+            .standard_workers(2)
+            .replica_groups(1)
+            .replication_level(2)
+            .shared_memory_executors(1)
+            .queue_capacity(8)
+            .max_in_flight(4);
+        if let Some(policy) = policy {
+            builder = builder.routing(policy);
+        }
+        // The resilient route additionally takes a chaos kill mid-screen.
+        if route == Route::Pinned(BackendKind::Resilient) {
+            builder = builder.chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#0"));
+        }
+        let service = FusionService::start(builder.build().unwrap()).unwrap();
+
+        let mut jobs = Vec::new();
+        for i in 0..3u64 {
+            let cube = Arc::new(
+                SceneGenerator::new(small_job_scene(110 + i))
+                    .unwrap()
+                    .generate(),
+            );
+            let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                .route(route)
+                .shards(3)
+                .build()
+                .unwrap();
+            jobs.push((service.submit(spec).unwrap(), cube));
+        }
+        for (mut handle, cube) in jobs {
+            let outcome = handle.wait().unwrap();
+            let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+            assert_eq!(
+                outcome
+                    .output()
+                    .unwrap_or_else(|| panic!("{name}: job failed: {outcome:?}")),
+                &reference,
+                "{name}: job {} diverged from sequential",
+                handle.id()
+            );
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 3, "{name}: jobs lost");
+        let routed: u64 = BackendKind::ALL
+            .iter()
+            .map(|kind| report.route(*kind).jobs_routed)
+            .sum();
+        assert_eq!(routed, 3, "{name}: route accounting off: {report:?}");
+        if route == Route::Auto {
+            let auto: u64 = BackendKind::ALL
+                .iter()
+                .map(|kind| report.route(*kind).auto_routed)
+                .sum();
+            assert_eq!(auto, 3, "{name}: policy decisions uncounted");
+        }
+        if route == Route::Pinned(BackendKind::Resilient) {
+            assert_eq!(report.members_attacked, vec!["rg0#0".to_string()]);
+            assert!(report.regenerations >= 1, "{name}: no regeneration");
+        }
+    }
+}
+
+/// The event-stream acceptance criterion: a subscriber observes the chaos
+/// kill → regeneration → completion sequence during a chaos run without a
+/// single `status()` poll.
+#[test]
+fn event_stream_observes_kill_regeneration_and_completion_without_polling() {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(1)
+            .replica_groups(1)
+            .replication_level(2)
+            .shared_memory_executors(1)
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#1"))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let events = service.subscribe();
+
+    let cube = Arc::new(
+        SceneGenerator::new(small_job_scene(120))
+            .unwrap()
+            .generate(),
+    );
+    let handle = service
+        .submit(
+            JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                .pinned(BackendKind::Resilient)
+                .shards(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let id = handle.id();
+    let _detached = handle.detach();
+
+    let timeout = Duration::from_secs(30);
+    let admitted = events
+        .wait_for(
+            timeout,
+            |e| matches!(e, ServiceEvent::Admitted { job, .. } if *job == id),
+        )
+        .expect("admission event");
+    assert_eq!(
+        admitted,
+        ServiceEvent::Admitted {
+            job: id,
+            route: BackendKind::Resilient,
+            auto: false
+        }
+    );
+    let killed = events
+        .wait_for(timeout, |e| matches!(e, ServiceEvent::MemberKilled { .. }))
+        .expect("kill event");
+    assert_eq!(
+        killed,
+        ServiceEvent::MemberKilled {
+            member: "rg0#1".into()
+        }
+    );
+    let regenerated = events
+        .wait_for(timeout, |e| {
+            matches!(e, ServiceEvent::MemberRegenerated { .. })
+        })
+        .expect("regeneration event");
+    assert!(matches!(
+        regenerated,
+        ServiceEvent::MemberRegenerated { ref failed, .. } if failed == "rg0#1"
+    ));
+    let terminal = events
+        .wait_for(
+            timeout,
+            |e| matches!(e, ServiceEvent::Terminal { job, .. } if *job == id),
+        )
+        .expect("terminal event");
+    assert_eq!(
+        terminal,
+        ServiceEvent::Terminal {
+            job: id,
+            status: JobStatus::Completed
+        }
+    );
+
+    // Only now touch the results plane: the output survived the kill.
+    #[allow(deprecated)]
+    let output = service.wait(id).unwrap();
+    let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+    assert_eq!(output, reference);
+    let report = service.shutdown();
+    assert!(report.regenerations >= 1);
 }
 
 /// The seeded chaos matrix: every (member index × job phase) combination is
@@ -338,17 +638,18 @@ fn chaos_kill_matrix_every_surviving_output_is_byte_identical_to_sequential() {
         ] {
             let victim = format!("rg0#{member_index}");
             let label = format!("kill {victim} at {}", phase.label());
-            let service = FusionService::start(ServiceConfig {
-                pool: PoolConfig {
-                    standard_workers: 1,
-                    replica_groups: 1,
-                    replication_level: 2,
-                    ..PoolConfig::default()
-                },
-                queue_capacity: 8,
-                max_in_flight: 4,
-                chaos: ChaosPlan::kill_at(1, phase, victim.clone()),
-            })
+            let service = FusionService::start(
+                ServiceConfig::builder()
+                    .standard_workers(1)
+                    .replica_groups(1)
+                    .replication_level(2)
+                    .shared_memory_executors(1)
+                    .queue_capacity(8)
+                    .max_in_flight(4)
+                    .chaos(ChaosPlan::kill_at(1, phase, victim.clone()))
+                    .build()
+                    .expect("config validates"),
+            )
             .expect("service starts");
 
             let mut jobs = Vec::new();
@@ -358,15 +659,22 @@ fn chaos_kill_matrix_every_surviving_output_is_byte_identical_to_sequential() {
                         .unwrap()
                         .generate(),
                 );
-                let spec = JobSpec::new(CubeSource::InMemory(Arc::clone(&cube)))
-                    .with_backend(BackendKind::Resilient)
-                    .with_shards(3);
+                let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                    .pinned(BackendKind::Resilient)
+                    .shards(3)
+                    .build()
+                    .unwrap();
                 jobs.push((service.submit(spec).unwrap(), cube));
             }
-            for (id, cube) in jobs {
-                let output = service.wait(id).unwrap();
+            for (mut handle, cube) in jobs {
+                let outcome = handle.wait().unwrap();
                 let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-                assert_eq!(output, reference, "{label}: job {id} diverged");
+                assert_eq!(
+                    outcome.output().expect("job completes"),
+                    &reference,
+                    "{label}: job {} diverged",
+                    handle.id()
+                );
             }
 
             let report = service.shutdown();
