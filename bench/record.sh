@@ -19,6 +19,12 @@
 #     0 on the Arc-backed view message plane — and
 #     service_payload_bytes_shipped is the volume the pre-view plane used
 #     to deep-copy per task, recorded as the before/after denominator.
+#   * ingest_* — the streaming ingestion benchmark: a deterministic folder
+#     of BSQ/BIL/BIP cube files replayed through IngestPump -> CubeStore ->
+#     fusiond.  ingest_{cubes,chunks,shed,store_hits,store_misses,
+#     bytes_assembled} are deterministic by construction (fixed file set,
+#     sorted replay, blocker-pinned shedding); cubes_per_sec is wall-clock
+#     and trend-only.
 #
 # Usage: bash bench/record.sh   (from anywhere; non-gating in CI)
 set -euo pipefail
@@ -42,12 +48,14 @@ FIG5=$(cargo run --release -q -p bench --bin fig5_granularity 2>/dev/null)
 G16X2=$(echo "$FIG5" | awk '$1=="16" && $2!="sub-cubes:" {print $3; exit}')
 
 SVC=$(cargo run --release -q -p bench --bin service_throughput 2>/dev/null)
+ING=$(cargo run --release -q -p bench --bin ingest_throughput 2>/dev/null)
 
 {
     echo "$STAMP,$REV,fig4_p16_plain_secs,$PLAIN16"
     echo "$STAMP,$REV,fig4_p16_resilient_secs,$RESIL16"
     echo "$STAMP,$REV,fig5_p16_x2_secs,$G16X2"
     echo "$SVC" | awk -v s="$STAMP" -v r="$REV" '$1=="CSV" {print s "," r "," $2 "," $3}'
+    echo "$ING" | awk -v s="$STAMP" -v r="$REV" '$1=="CSV" {print s "," r "," $2 "," $3}'
 } >> "$CSV"
 
 echo "recorded $(grep -c "^$STAMP,$REV," "$CSV") metrics for $REV into $CSV:"

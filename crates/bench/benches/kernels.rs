@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
 use linalg::covariance::covariance_matrix;
 use linalg::eigen::{sorted_eigenpairs, JacobiOptions};
+use linalg::sym::SymMatrix;
 use pct::colormap::{map_cube, ComponentScale};
 use pct::pipeline::{derive_transform, transform_cube};
 use pct::screening::screen_pixels;
@@ -42,6 +43,36 @@ fn bench_covariance(c: &mut Criterion) {
             b.iter(|| covariance_matrix(px).unwrap())
         });
     }
+    group.finish();
+}
+
+/// The step-4 inner kernel on its own: the blocked (tiled) rank-one update
+/// against the naive triangular reference at the paper's 210 bands, over a
+/// batch of pixel vectors.  The two are bit-identical (asserted by the
+/// linalg comparison suite); this row tracks the speed difference.
+fn bench_rank_one_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step4_rank_one_update_210");
+    group.sample_size(10);
+    let cube = scene(16, 16, 210);
+    let pixels = cube.pixel_vectors();
+    group.bench_function("blocked", |b| {
+        b.iter(|| {
+            let mut m = SymMatrix::zeros(210);
+            for x in &pixels {
+                m.rank_one_update(x).unwrap();
+            }
+            m
+        })
+    });
+    group.bench_function("naive_reference", |b| {
+        b.iter(|| {
+            let mut m = SymMatrix::zeros(210);
+            for x in &pixels {
+                m.rank_one_update_reference(x).unwrap();
+            }
+            m
+        })
+    });
     group.finish();
 }
 
@@ -82,6 +113,7 @@ criterion_group!(
     kernels,
     bench_screening,
     bench_covariance,
+    bench_rank_one_update,
     bench_eigen,
     bench_transform_and_colormap
 );

@@ -1,0 +1,98 @@
+//! Ingest-path throughput benchmark: writes a deterministic folder of
+//! interleaved cube files (one big blocker, eight distinct small scenes,
+//! three duplicates) and replays it through `IngestPump` → `CubeStore` →
+//! `fusiond` with a tight in-flight-bytes watermark.
+//!
+//! Every `CSV` counter is deterministic: the file set, replay order, chunk
+//! count, store hit/miss split and shed count are fixed by construction
+//! (the blocker occupies the single in-flight slot for far longer than the
+//! pump needs to replay the burst, so the watermark decisions never race).
+//! Lines starting with `CSV` are parsed by `bench/record.sh` into
+//! `bench/BENCH_history.csv`.
+
+use hsi::io::{write_cube_as, Interleave};
+use hsi::{CubeDims, SceneConfig, SceneGenerator};
+use ingest::{DirectorySource, IngestConfig, IngestPump, SheddingPolicy};
+use service::{BackendKind, FusionService, Route, ServiceConfig};
+use std::time::Instant;
+
+fn scene(seed: u64, side: usize, bands: usize) -> SceneConfig {
+    let mut config = SceneConfig::small(900 + seed);
+    config.dims = CubeDims::new(side, side, bands);
+    config
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("ingest_throughput_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // 00: the blocker; 01..08: distinct small scenes; 09..11: duplicates of
+    // the first three small scenes, re-exported in a different interleave.
+    let blocker = scene(0, 64, 32);
+    let blocker_bytes = blocker.dims.byte_size();
+    let small_bytes = CubeDims::new(24, 24, 12).byte_size();
+    let mut configs = vec![(blocker, Interleave::Bip)];
+    for i in 0..8u64 {
+        configs.push((scene(1 + i, 24, 12), Interleave::ALL[(i % 3) as usize]));
+    }
+    for i in 0..3u64 {
+        configs.push((
+            scene(1 + i, 24, 12),
+            Interleave::ALL[((i + 1) % 3) as usize],
+        ));
+    }
+    for (i, (config, interleave)) in configs.iter().enumerate() {
+        let cube = SceneGenerator::new(config.clone())
+            .expect("valid scene")
+            .generate();
+        write_cube_as(&cube, *interleave, dir.join(format!("{i:02}_cube.hsif")))
+            .expect("cube written");
+    }
+
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(1)
+            .replica_groups(0)
+            .shared_memory_executors(0)
+            .queue_capacity(16)
+            .max_in_flight(1)
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+
+    // Watermark: the blocker plus exactly three small cubes in flight.
+    let config = IngestConfig {
+        shedding: SheddingPolicy::unbounded()
+            .with_max_in_flight_bytes(blocker_bytes + 3 * small_bytes),
+        route: Route::Pinned(BackendKind::Standard),
+        shards: 4,
+        ..IngestConfig::default()
+    };
+    let started = Instant::now();
+    let run = IngestPump::new(&service, config)
+        .run(vec![Box::new(DirectorySource::with_chunk_bytes(
+            &dir, 8192,
+        ))])
+        .expect("pump runs");
+    let elapsed = started.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+    service.shutdown();
+
+    println!("ingest throughput benchmark — 12 cube files (1 blocker, 8 distinct, 3 duplicates)");
+    println!();
+    print!("{}", run.report.render());
+    println!();
+    let totals = run.report.totals();
+    // Stable, machine-independent numbers first; wall-clock trend last.
+    println!("CSV ingest_cubes {}", totals.cubes_seen);
+    println!("CSV ingest_chunks {}", totals.chunks);
+    println!("CSV ingest_shed {}", totals.cubes_shed());
+    println!("CSV ingest_store_hits {}", totals.store_hits);
+    println!("CSV ingest_store_misses {}", totals.store_misses);
+    println!("CSV ingest_bytes_assembled {}", totals.bytes_assembled);
+    println!(
+        "CSV ingest_cubes_per_sec {:.2}",
+        totals.cubes_seen as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+}

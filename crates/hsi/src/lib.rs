@@ -38,10 +38,13 @@ pub mod synthetic;
 pub mod view;
 
 pub use cube::{CubeDims, HyperCube};
+pub use io::{CubeFileHeader, Interleave};
 pub use partition::{GranularityPolicy, SubCube, SubCubeSpec};
 pub use rgb::RgbImage;
 pub use synthetic::{Material, SceneConfig, SceneGenerator};
-pub use view::{cloned_bytes_total, CloneLedger, CubeView};
+pub use view::{
+    assembled_bytes_total, charge_assembled_bytes, cloned_bytes_total, CloneLedger, CubeView,
+};
 
 /// Errors produced by the hyper-spectral imagery substrate.
 #[derive(Debug)]

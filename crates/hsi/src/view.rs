@@ -29,6 +29,10 @@ use std::sync::Arc;
 /// Process-wide count of sub-cube payload bytes that were deep-copied.
 static CLONE_LEDGER: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of payload bytes streamed *directly into* shared cube
+/// storage by an ingestion path (decoded in place, never copied again).
+static ASSEMBLY_LEDGER: AtomicU64 = AtomicU64::new(0);
+
 /// Charges `bytes` of deep-copied sub-cube payload to the clone ledger.
 pub(crate) fn charge_cloned_bytes(bytes: usize) {
     CLONE_LEDGER.fetch_add(bytes as u64, Ordering::Relaxed);
@@ -39,20 +43,47 @@ pub fn cloned_bytes_total() -> u64 {
     CLONE_LEDGER.load(Ordering::Relaxed)
 }
 
-/// A snapshot of the clone ledger; [`CloneLedger::delta`] measures the
-/// payload bytes deep-copied since the snapshot was taken.
+/// Charges `bytes` of streamed payload that were decoded directly into
+/// their final position in shared cube storage.  Ingestion decoders call
+/// this once per assembled sample run; together with a zero
+/// [`CloneLedger::delta`] it *measures* the claim that streaming assembly
+/// involves no post-assembly copy.
+pub fn charge_assembled_bytes(bytes: usize) {
+    ASSEMBLY_LEDGER.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Total payload bytes assembled in place by this process so far.
+pub fn assembled_bytes_total() -> u64 {
+    ASSEMBLY_LEDGER.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the clone and assembly ledgers; [`CloneLedger::delta`]
+/// measures the payload bytes deep-copied since the snapshot was taken and
+/// [`CloneLedger::assembled_delta`] the bytes streamed straight into shared
+/// storage.
 #[derive(Debug, Clone, Copy)]
-pub struct CloneLedger(u64);
+pub struct CloneLedger {
+    cloned: u64,
+    assembled: u64,
+}
 
 impl CloneLedger {
-    /// Snapshots the current ledger value.
+    /// Snapshots the current ledger values.
     pub fn snapshot() -> Self {
-        Self(cloned_bytes_total())
+        Self {
+            cloned: cloned_bytes_total(),
+            assembled: assembled_bytes_total(),
+        }
     }
 
     /// Payload bytes deep-copied since this snapshot.
     pub fn delta(&self) -> u64 {
-        cloned_bytes_total().saturating_sub(self.0)
+        cloned_bytes_total().saturating_sub(self.cloned)
+    }
+
+    /// Payload bytes assembled in place since this snapshot.
+    pub fn assembled_delta(&self) -> u64 {
+        assembled_bytes_total().saturating_sub(self.assembled)
     }
 }
 
@@ -412,6 +443,19 @@ mod tests {
         assert_ne!(a, c);
         // A clone is an Arc bump, equal by definition.
         assert_eq!(a.clone(), a);
+    }
+
+    #[test]
+    fn assembly_ledger_tracks_in_place_decoding_separately_from_clones() {
+        let before = CloneLedger::snapshot();
+        charge_assembled_bytes(4096);
+        assert!(before.assembled_delta() >= 4096);
+        // Assembly charges never leak into the clone counter: the clone
+        // delta only moves when payload is actually deep-copied.
+        let cube = coded_cube(2, 2, 2);
+        let cloned_before = before.delta();
+        CubeView::full(cube).materialize();
+        assert!(before.delta() >= cloned_before + 2 * 2 * 2 * 8);
     }
 
     #[test]

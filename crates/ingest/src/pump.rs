@@ -1,0 +1,607 @@
+//! The [`IngestPump`]: sources → decoder → store → `fusiond`, with
+//! event-driven load shedding.
+//!
+//! The pump pulls [`crate::SourceEvent`]s from its sources, assembles each
+//! arrival with a [`crate::StreamDecoder`], interns the result in the
+//! [`CubeStore`] (dedup happens *before* admission, so a repeated scene is
+//! an `Arc` bump even when it is later shed), and then asks the
+//! [`SheddingPolicy`] what to do.  The policy's view of the service is fed
+//! entirely by the subscribed [`ServiceEvent`] stream: a submission enters
+//! the *queued* set, an `Admitted` event moves it to *running*, a
+//! `Terminal` event retires it and releases its bytes.  Arrivals beyond a
+//! hard watermark are **shed** (dropped, counted, never blocking the
+//! source), arrivals beyond the soft watermark are **down-prioritized** to
+//! [`Priority::Low`] — production back-pressure behaviour instead of an
+//! unbounded mirror of the admission queue.
+//!
+//! The watermarks govern ingest-originated load: jobs submitted by other
+//! clients of the same service are not counted (they are invisible to the
+//! pump's accounting even though their events arrive; only tracked job ids
+//! move the state).
+
+use crate::report::{IngestReport, ShedReason};
+use crate::source::{CubeSource, SourceEvent};
+use crate::store::CubeStore;
+use crate::{Result, StreamDecoder};
+use hsi::{CloneLedger, HyperCube};
+use pct::PctConfig;
+use service::{
+    CubeSource as JobCubeSource, EventSubscriber, FusionService, JobHandle, JobOutcome, JobSpec,
+    JobStatus, Priority, Route, ServiceError, ServiceEvent,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Watermarks deciding when arrivals are shed or down-prioritized instead
+/// of submitted at the configured priority.  `usize::MAX` (the default)
+/// disables a watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SheddingPolicy {
+    /// Hard watermark on the number of ingest jobs submitted but not yet
+    /// admitted by the scheduler: at or above it, arrivals are shed with
+    /// [`ShedReason::QueueDepth`].
+    pub max_queue_depth: usize,
+    /// Hard watermark on the payload bytes of ingest jobs submitted but
+    /// not yet terminal: at or above it, arrivals are shed with
+    /// [`ShedReason::InFlightBytes`].
+    pub max_in_flight_bytes: usize,
+    /// Soft watermark on queue depth: at or above it (but below the hard
+    /// watermarks), arrivals are admitted at [`Priority::Low`].
+    pub downgrade_queue_depth: usize,
+}
+
+impl SheddingPolicy {
+    /// No watermarks: every decodable arrival is submitted.
+    pub fn unbounded() -> Self {
+        Self {
+            max_queue_depth: usize::MAX,
+            max_in_flight_bytes: usize::MAX,
+            downgrade_queue_depth: usize::MAX,
+        }
+    }
+
+    /// Sets the hard queue-depth watermark.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Sets the hard in-flight-bytes watermark.
+    pub fn with_max_in_flight_bytes(mut self, bytes: usize) -> Self {
+        self.max_in_flight_bytes = bytes;
+        self
+    }
+
+    /// Sets the soft down-prioritization watermark.
+    pub fn with_downgrade_queue_depth(mut self, depth: usize) -> Self {
+        self.downgrade_queue_depth = depth;
+        self
+    }
+}
+
+impl Default for SheddingPolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// Configuration of one pump run.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// The shedding watermarks.
+    pub shedding: SheddingPolicy,
+    /// Route of submitted jobs (pinned lane or [`Route::Auto`]).
+    pub route: Route,
+    /// Priority of submitted jobs (downgraded to [`Priority::Low`] past the
+    /// soft watermark).
+    pub priority: Priority,
+    /// Shard count of submitted jobs.
+    pub shards: usize,
+    /// Pipeline configuration of submitted jobs.
+    pub pct: PctConfig,
+    /// Optional per-job deadline.
+    pub timeout: Option<Duration>,
+    /// Byte bound of the content-addressed store.
+    pub store_capacity_bytes: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            shedding: SheddingPolicy::unbounded(),
+            route: Route::Auto,
+            priority: Priority::Normal,
+            shards: 4,
+            pct: PctConfig::paper(),
+            timeout: None,
+            store_capacity_bytes: 256 << 20,
+        }
+    }
+}
+
+/// One admitted arrival, resolved after its job reached a terminal state.
+#[derive(Debug)]
+pub struct IngestedJob {
+    /// Name of the source that delivered the cube.
+    pub source: String,
+    /// The arrival's tag (file name, synthetic label).
+    pub tag: String,
+    /// The store-resident cube the job fused (shared storage — equal
+    /// content means `Arc`-equal cubes).
+    pub cube: Arc<HyperCube>,
+    /// The effective priority it was submitted at.
+    pub priority: Priority,
+    /// The job's typed terminal outcome.
+    pub outcome: JobOutcome,
+}
+
+/// One shed arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedCube {
+    /// Name of the source that delivered the cube.
+    pub source: String,
+    /// The arrival's tag.
+    pub tag: String,
+    /// Why it was shed.
+    pub reason: ShedReason,
+    /// Its payload size.
+    pub bytes: usize,
+}
+
+/// Everything one pump run produced.
+#[derive(Debug)]
+pub struct IngestRun {
+    /// Counters per source plus aggregate store/job/ledger accounting.
+    pub report: IngestReport,
+    /// Every admitted arrival with its terminal outcome, in admission
+    /// order.
+    pub jobs: Vec<IngestedJob>,
+    /// Every shed arrival, in arrival order.
+    pub shed: Vec<ShedCube>,
+    /// The store as the run left it (resident cubes stay shared).
+    pub store: CubeStore,
+}
+
+/// The event-fed view of the service the shedding decisions consult.
+#[derive(Default)]
+struct AdmissionState {
+    /// Submitted, not yet admitted by the scheduler (bytes per job).
+    queued: HashMap<u64, usize>,
+    /// Admitted, not yet terminal (bytes per job).
+    running: HashMap<u64, usize>,
+    /// Sum of bytes across both maps.
+    in_flight_bytes: usize,
+}
+
+impl AdmissionState {
+    fn on_submit(&mut self, job: u64, bytes: usize) {
+        self.queued.insert(job, bytes);
+        self.in_flight_bytes += bytes;
+    }
+
+    /// Applies one service event; events of jobs the pump did not submit
+    /// fall through untouched.
+    fn on_event(&mut self, event: &ServiceEvent) {
+        match event {
+            ServiceEvent::Admitted { job, .. } => {
+                if let Some(bytes) = self.queued.remove(job) {
+                    self.running.insert(*job, bytes);
+                }
+            }
+            ServiceEvent::Terminal { job, .. } => {
+                if let Some(bytes) = self.queued.remove(job).or_else(|| self.running.remove(job)) {
+                    self.in_flight_bytes -= bytes;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queued.len()
+    }
+}
+
+/// Drives cube sources through decode, dedup and admission into a running
+/// [`FusionService`].
+///
+/// ```no_run
+/// use ingest::{DirectorySource, IngestConfig, IngestPump};
+/// use service::{FusionService, ServiceConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = FusionService::start(ServiceConfig::builder().build()?)?;
+/// let pump = IngestPump::new(&service, IngestConfig::default());
+/// let run = pump.run(vec![Box::new(DirectorySource::new("/data/cubes"))])?;
+/// println!("{}", run.report.render());
+/// service.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct IngestPump<'a> {
+    service: &'a FusionService,
+    events: EventSubscriber,
+    config: IngestConfig,
+    store: CubeStore,
+}
+
+impl<'a> IngestPump<'a> {
+    /// Creates a pump over a running service.  The event subscription is
+    /// opened here, before any submission, so no admission or terminal
+    /// event can be missed.
+    pub fn new(service: &'a FusionService, config: IngestConfig) -> Self {
+        let events = service.subscribe();
+        let store = CubeStore::new(config.store_capacity_bytes);
+        Self {
+            service,
+            events,
+            config,
+            store,
+        }
+    }
+
+    /// Ingests every source to exhaustion (sequentially, in order — the
+    /// deterministic arrival schedule), waits for every admitted job's
+    /// terminal outcome, and returns the full accounting.
+    pub fn run(mut self, mut sources: Vec<Box<dyn CubeSource>>) -> Result<IngestRun> {
+        let ledger = CloneLedger::snapshot();
+        let mut report = IngestReport::default();
+        let mut state = AdmissionState::default();
+        let mut pending: Vec<(String, String, Arc<HyperCube>, Priority, JobHandle)> = Vec::new();
+        let mut shed = Vec::new();
+
+        for source in sources.iter_mut() {
+            let name = source.name().to_string();
+            report.sources.entry(name.clone()).or_default();
+            let mut decoder: Option<(String, StreamDecoder)> = None;
+            while let Some(event) = source.next_event() {
+                let counters = report.sources.get_mut(&name).expect("entry inserted");
+                match event {
+                    Err(_) => {
+                        counters.decode_errors += 1;
+                        decoder = None;
+                    }
+                    Ok(SourceEvent::Begin { tag, header }) => {
+                        // A Begin while a decode is active means the source
+                        // never delivered the previous cube's End: the
+                        // partial decode is abandoned and must be accounted,
+                        // or seen/admitted/shed/error stops adding up.
+                        if decoder.take().is_some() {
+                            counters.decode_errors += 1;
+                        }
+                        counters.cubes_seen += 1;
+                        decoder = Some((tag, StreamDecoder::new(header)));
+                    }
+                    Ok(SourceEvent::Chunk(bytes)) => {
+                        if let Some((_, d)) = decoder.as_mut() {
+                            counters.chunks += 1;
+                            if d.push(&bytes).is_err() {
+                                counters.decode_errors += 1;
+                                decoder = None;
+                            }
+                        }
+                    }
+                    Ok(SourceEvent::End) => {
+                        let Some((tag, d)) = decoder.take() else {
+                            continue;
+                        };
+                        counters.bytes_assembled += (d.samples_filled() * 8) as u64;
+                        let cube = match d.finish() {
+                            Ok(cube) => cube,
+                            Err(_) => {
+                                counters.decode_errors += 1;
+                                continue;
+                            }
+                        };
+                        // Dedup before admission: a repeated scene becomes
+                        // an Arc bump whether or not it is then shed.
+                        let (cube, hit) = self.store.intern(cube);
+                        if hit {
+                            counters.store_hits += 1;
+                        } else {
+                            counters.store_misses += 1;
+                        }
+                        self.admit(
+                            &name,
+                            tag,
+                            cube,
+                            &mut state,
+                            &mut report,
+                            &mut pending,
+                            &mut shed,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // Resolve every admitted job's terminal outcome.
+        let mut jobs = Vec::with_capacity(pending.len());
+        for (source, tag, cube, priority, mut handle) in pending {
+            let outcome = handle.wait()?;
+            match outcome.status() {
+                JobStatus::Completed => report.jobs_completed += 1,
+                JobStatus::Failed => report.jobs_failed += 1,
+                JobStatus::Cancelled => report.jobs_cancelled += 1,
+                JobStatus::TimedOut => report.jobs_timed_out += 1,
+                JobStatus::Queued | JobStatus::Running => unreachable!("wait is terminal"),
+            }
+            jobs.push(IngestedJob {
+                source,
+                tag,
+                cube,
+                priority,
+                outcome,
+            });
+        }
+
+        report.store_len = self.store.len();
+        report.store_resident_bytes = self.store.resident_bytes();
+        report.store_evictions = self.store.evictions();
+        report.bytes_cloned = ledger.delta();
+        Ok(IngestRun {
+            report,
+            jobs,
+            shed,
+            store: self.store,
+        })
+    }
+
+    /// Applies the shedding decision for one decoded arrival and submits it
+    /// if admitted.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        source: &str,
+        tag: String,
+        cube: Arc<HyperCube>,
+        state: &mut AdmissionState,
+        report: &mut IngestReport,
+        pending: &mut Vec<(String, String, Arc<HyperCube>, Priority, JobHandle)>,
+        shed: &mut Vec<ShedCube>,
+    ) -> Result<()> {
+        // Fold in everything the service reported since the last arrival.
+        while let Some(event) = self.events.try_next() {
+            state.on_event(&event);
+        }
+        let counters = report.sources.get_mut(source).expect("entry inserted");
+        let policy = self.config.shedding;
+        let bytes = cube.byte_size();
+        let reason = if state.queue_depth() >= policy.max_queue_depth {
+            Some(ShedReason::QueueDepth)
+        } else if state.in_flight_bytes >= policy.max_in_flight_bytes {
+            Some(ShedReason::InFlightBytes)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            counters.record_shed(reason);
+            shed.push(ShedCube {
+                source: source.to_string(),
+                tag,
+                reason,
+                bytes,
+            });
+            return Ok(());
+        }
+        let downgraded = state.queue_depth() >= policy.downgrade_queue_depth;
+        let priority = if downgraded {
+            Priority::Low
+        } else {
+            self.config.priority
+        };
+        let mut builder = JobSpec::builder(JobCubeSource::InMemory(Arc::clone(&cube)))
+            .route(self.config.route)
+            .priority(priority)
+            .shards(self.config.shards)
+            .config(self.config.pct);
+        if let Some(timeout) = self.config.timeout {
+            builder = builder.timeout(timeout);
+        }
+        let spec = builder.build().map_err(ServiceError::from)?;
+        match self.service.try_submit(spec) {
+            Ok(handle) => {
+                counters.cubes_admitted += 1;
+                if downgraded {
+                    counters.cubes_downgraded += 1;
+                }
+                state.on_submit(handle.id(), bytes);
+                pending.push((source.to_string(), tag, cube, priority, handle));
+                Ok(())
+            }
+            Err(ServiceError::Saturated) => {
+                counters.record_shed(ShedReason::Saturated);
+                shed.push(ShedCube {
+                    source: source.to_string(),
+                    tag,
+                    reason: ShedReason::Saturated,
+                    bytes,
+                });
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SyntheticSource;
+    use hsi::io::Interleave;
+    use hsi::{CubeDims, SceneConfig};
+    use pct::SequentialPct;
+    use service::{BackendKind, ServiceConfig};
+
+    fn scene(seed: u64, side: usize, bands: usize) -> SceneConfig {
+        let mut config = SceneConfig::small(seed);
+        config.dims = CubeDims::new(side, side, bands);
+        config
+    }
+
+    fn small_service() -> FusionService {
+        FusionService::start(
+            ServiceConfig::builder()
+                .standard_workers(2)
+                .replica_groups(0)
+                .shared_memory_executors(1)
+                .queue_capacity(16)
+                .max_in_flight(4)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pump_ingests_dedups_and_fuses_byte_identical() {
+        let service = small_service();
+        // Scene 50 arrives twice, in *different* interleaves: content dedup.
+        let arrivals = vec![
+            ("a".into(), scene(50, 12, 6), Interleave::Bsq),
+            ("b".into(), scene(51, 12, 6), Interleave::Bil),
+            ("a-again".into(), scene(50, 12, 6), Interleave::Bip),
+        ];
+        let source = SyntheticSource::new("synth", arrivals, 97);
+        let pump = IngestPump::new(&service, IngestConfig::default());
+        let run = pump.run(vec![Box::new(source)]).unwrap();
+        service.shutdown();
+
+        let totals = run.report.totals();
+        assert_eq!(totals.cubes_seen, 3);
+        assert_eq!(totals.cubes_admitted, 3);
+        assert_eq!(totals.cubes_shed(), 0);
+        assert_eq!(totals.store_misses, 2);
+        assert_eq!(totals.store_hits, 1, "repeated scene deduplicated");
+        assert_eq!(run.report.jobs_completed, 3);
+        assert_eq!(run.store.len(), 2);
+
+        // The duplicate fused the *same shared storage* as the original.
+        assert!(Arc::ptr_eq(&run.jobs[0].cube, &run.jobs[2].cube));
+        for job in &run.jobs {
+            let reference = SequentialPct::new(PctConfig::paper())
+                .run(&job.cube)
+                .unwrap();
+            assert_eq!(
+                job.outcome.output().expect("completed"),
+                &reference,
+                "{} diverged from sequential",
+                job.tag
+            );
+        }
+    }
+
+    #[test]
+    fn in_flight_bytes_watermark_sheds_deterministically() {
+        // One standard worker, one job in flight at a time: the big blocker
+        // occupies the only slot for far longer than the pump needs to
+        // process the burst, so the accounting below is deterministic.
+        let service = FusionService::start(
+            ServiceConfig::builder()
+                .standard_workers(1)
+                .replica_groups(0)
+                .shared_memory_executors(0)
+                .queue_capacity(16)
+                .max_in_flight(1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let blocker = scene(60, 64, 32);
+        let small = scene(61, 10, 5);
+        let blocker_bytes = blocker.dims.byte_size();
+        let small_bytes = small.dims.byte_size();
+        let mut arrivals = vec![("blocker".into(), blocker, Interleave::Bip)];
+        for i in 0..5u64 {
+            arrivals.push((format!("burst-{i}"), scene(70 + i, 10, 5), Interleave::Bil));
+        }
+        let source = SyntheticSource::new("burst", arrivals, 4096);
+        // Watermark admits the blocker plus exactly two burst cubes.
+        let config = IngestConfig {
+            shedding: SheddingPolicy::unbounded()
+                .with_max_in_flight_bytes(blocker_bytes + 2 * small_bytes),
+            route: Route::Pinned(BackendKind::Standard),
+            shards: 2,
+            ..IngestConfig::default()
+        };
+        let run = IngestPump::new(&service, config)
+            .run(vec![Box::new(source)])
+            .unwrap();
+        service.shutdown();
+
+        let totals = run.report.totals();
+        assert_eq!(totals.cubes_seen, 6);
+        assert_eq!(totals.cubes_admitted, 3, "blocker + two burst cubes");
+        assert_eq!(totals.shed_in_flight_bytes, 3);
+        assert_eq!(
+            run.shed.iter().map(|s| s.tag.as_str()).collect::<Vec<_>>(),
+            vec!["burst-2", "burst-3", "burst-4"],
+            "shedding hits the tail of the burst, in order"
+        );
+        assert_eq!(run.report.jobs_completed, 3, "admitted cubes still fuse");
+    }
+
+    #[test]
+    fn downgrade_watermark_lowers_priority_without_shedding() {
+        let service = FusionService::start(
+            ServiceConfig::builder()
+                .standard_workers(1)
+                .replica_groups(0)
+                .shared_memory_executors(0)
+                .queue_capacity(16)
+                .max_in_flight(1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // A blocker submitted *outside* the pump occupies the only in-flight
+        // slot before ingestion starts, so every pump submission stays
+        // queued deterministically (the pump only tracks its own jobs).
+        let blocker_cube = Arc::new(
+            hsi::SceneGenerator::new(scene(80, 64, 32))
+                .unwrap()
+                .generate(),
+        );
+        let mut blocker = service
+            .submit(
+                JobSpec::builder(JobCubeSource::InMemory(blocker_cube))
+                    .route(Route::Pinned(BackendKind::Standard))
+                    .shards(2)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        while blocker.status().unwrap() == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let arrivals = (0..4u64)
+            .map(|i| (format!("late-{i}"), scene(90 + i, 10, 5), Interleave::Bsq))
+            .collect();
+        let source = SyntheticSource::new("soft", arrivals, 8192);
+        // Soft watermark only: once two ingest jobs sit in the queue,
+        // later arrivals are admitted at Low priority.
+        let config = IngestConfig {
+            shedding: SheddingPolicy::unbounded().with_downgrade_queue_depth(2),
+            route: Route::Pinned(BackendKind::Standard),
+            priority: Priority::High,
+            shards: 2,
+            ..IngestConfig::default()
+        };
+        let run = IngestPump::new(&service, config)
+            .run(vec![Box::new(source)])
+            .unwrap();
+        assert!(matches!(blocker.wait().unwrap(), JobOutcome::Completed(_)));
+        service.shutdown();
+
+        let totals = run.report.totals();
+        assert_eq!(totals.cubes_admitted, 4, "soft watermark never sheds");
+        assert_eq!(totals.cubes_downgraded, 2, "arrivals at queue depth >= 2");
+        assert_eq!(run.jobs[0].priority, Priority::High);
+        assert_eq!(run.jobs[1].priority, Priority::High);
+        assert_eq!(run.jobs[2].priority, Priority::Low);
+        assert_eq!(run.jobs[3].priority, Priority::Low);
+        assert_eq!(run.report.jobs_completed, 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! The content-addressed cube store: repeated scenes become `Arc` bumps.
+//!
+//! Ingestion often sees the same scene more than once — re-submitted
+//! acquisitions, the same product exported in different interleaves, a
+//! directory replayed after a crash.  The store addresses cubes by a hash
+//! of their *content* (dimensions + every sample's bit pattern, i.e. the
+//! canonical in-memory BIP form — the file interleave is an encoding
+//! detail, so the same scene shipped as BIL and BSQ deduplicates), keeps
+//! them behind `Arc`s with LRU eviction bounded in bytes, and counts hits
+//! and misses so dedup is a measured number in the [`crate::IngestReport`].
+
+use hsi::HyperCube;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// 64-bit FNV-1a over the cube's dimensions and sample bit patterns.
+/// Stable across runs and platforms (no per-process hashing seed), which
+/// keeps store behaviour — and therefore the bench counters — replayable.
+pub fn content_hash(cube: &HyperCube) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    let dims = cube.dims();
+    eat(&(dims.width as u64).to_le_bytes());
+    eat(&(dims.height as u64).to_le_bytes());
+    eat(&(dims.bands as u64).to_le_bytes());
+    for &sample in cube.samples() {
+        eat(&sample.to_le_bytes());
+    }
+    hash
+}
+
+/// A content-addressed, LRU-evicted cache of ingested cubes.
+#[derive(Debug)]
+pub struct CubeStore {
+    capacity_bytes: usize,
+    resident: HashMap<u64, Arc<HyperCube>>,
+    /// Least-recently-used order, front = coldest.
+    lru: VecDeque<u64>,
+    resident_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    collisions: u64,
+}
+
+impl CubeStore {
+    /// Creates a store holding at most `capacity_bytes` of cube payload.
+    /// A single cube larger than the capacity is still admitted (everything
+    /// else is evicted first); the bound is honoured again as soon as it is
+    /// evicted or joined by another cube.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            resident: HashMap::new(),
+            lru: VecDeque::new(),
+            resident_bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Interns a freshly decoded cube: if a cube with identical content is
+    /// resident, the stored `Arc` is returned (a hit — the duplicate is
+    /// dropped and downstream holds the shared storage); otherwise the cube
+    /// is inserted (a miss), evicting cold entries to stay within capacity.
+    /// Returns the canonical `Arc` and whether it was a hit.
+    ///
+    /// A hit is only declared after the resident cube's content is compared
+    /// equal: a 64-bit hash collision (crafted or birthday-paradox) must
+    /// never substitute a different image.  A verified collision is counted
+    /// ([`CubeStore::collisions`]) and the new cube passes through uncached.
+    pub fn intern(&mut self, cube: Arc<HyperCube>) -> (Arc<HyperCube>, bool) {
+        let hash = content_hash(&cube);
+        if let Some(stored) = self.resident.get(&hash) {
+            if **stored == *cube {
+                self.hits += 1;
+                let stored = Arc::clone(stored);
+                self.touch(hash);
+                return (stored, true);
+            }
+            // Same hash, different content: the slot stays with the
+            // resident cube; the arrival is served uncached.
+            self.collisions += 1;
+            self.misses += 1;
+            return (cube, false);
+        }
+        self.misses += 1;
+        self.resident_bytes += cube.byte_size();
+        self.resident.insert(hash, Arc::clone(&cube));
+        self.lru.push_back(hash);
+        self.evict_to_capacity(hash);
+        (cube, false)
+    }
+
+    /// Moves `hash` to the hot end of the LRU order.
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.lru.iter().position(|&h| h == hash) {
+            self.lru.remove(pos);
+            self.lru.push_back(hash);
+        }
+    }
+
+    /// Evicts cold entries (never `keep`) until the byte bound holds.
+    fn evict_to_capacity(&mut self, keep: u64) {
+        while self.resident_bytes > self.capacity_bytes && self.lru.len() > 1 {
+            let Some(pos) = self.lru.iter().position(|&h| h != keep) else {
+                break;
+            };
+            let cold = self.lru.remove(pos).expect("position is in bounds");
+            if let Some(evicted) = self.resident.remove(&cold) {
+                self.resident_bytes -= evicted.byte_size();
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Whether a cube with this content hash is resident.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.resident.contains_key(&hash)
+    }
+
+    /// Number of resident cubes.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Payload bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The configured byte bound.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Interns that found identical content resident.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Interns that inserted new content.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to hold the byte bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hash collisions caught by the content comparison (the arrival was
+    /// served uncached instead of being substituted).
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsi::{CubeDims, SceneConfig, SceneGenerator};
+
+    fn cube(seed: u64, side: usize) -> Arc<HyperCube> {
+        let mut config = SceneConfig::small(seed);
+        config.dims = CubeDims::new(side, side, 4);
+        Arc::new(SceneGenerator::new(config).unwrap().generate())
+    }
+
+    #[test]
+    fn identical_content_dedups_into_an_arc_bump() {
+        let mut store = CubeStore::new(1 << 20);
+        let first = cube(1, 8);
+        // A *different allocation* with identical content: dedup must be by
+        // content, not pointer.
+        let second = Arc::new((*cube(1, 8)).clone());
+        assert!(!Arc::ptr_eq(&first, &second));
+
+        let (stored_a, hit_a) = store.intern(Arc::clone(&first));
+        let (stored_b, hit_b) = store.intern(second);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&stored_a, &stored_b), "hit returns shared Arc");
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.resident_bytes(), first.byte_size());
+    }
+
+    #[test]
+    fn distinct_content_is_kept_apart() {
+        let mut store = CubeStore::new(1 << 20);
+        let (_, hit_a) = store.intern(cube(1, 8));
+        let (_, hit_b) = store.intern(cube(2, 8));
+        assert!(!hit_a && !hit_b);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_holds_the_byte_bound_and_prefers_cold_entries() {
+        let one = cube(1, 8);
+        let size = one.byte_size();
+        let mut store = CubeStore::new(2 * size);
+        store.intern(one);
+        store.intern(cube(2, 8));
+        // Touch cube 1 so cube 2 is the cold one.
+        let (_, hit) = store.intern(cube(1, 8));
+        assert!(hit);
+        store.intern(cube(3, 8));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert!(store.resident_bytes() <= store.capacity_bytes());
+        // Cube 1 (hot) survived; cube 2 (cold) was evicted.
+        assert!(store.contains(content_hash(&cube(1, 8))));
+        assert!(!store.contains(content_hash(&cube(2, 8))));
+    }
+
+    #[test]
+    fn oversized_cube_is_admitted_alone() {
+        let big = cube(9, 16);
+        let mut store = CubeStore::new(big.byte_size() / 2);
+        store.intern(cube(1, 8));
+        let (stored, hit) = store.intern(Arc::clone(&big));
+        assert!(!hit);
+        assert!(Arc::ptr_eq(&stored, &big));
+        assert_eq!(store.len(), 1, "everything else was evicted");
+        // The next intern evicts the oversized resident again.
+        store.intern(cube(2, 8));
+        assert!(store.resident_bytes() <= store.capacity_bytes());
+    }
+
+    #[test]
+    fn hash_collisions_are_detected_and_never_substitute_content() {
+        // Forge a collision: plant cube A under cube B's hash (white-box —
+        // real 64-bit collisions are impractical to construct here).
+        let a = cube(1, 8);
+        let b = cube(2, 8);
+        let b_hash = content_hash(&b);
+        let mut store = CubeStore::new(1 << 20);
+        store.resident.insert(b_hash, Arc::clone(&a));
+        store.lru.push_back(b_hash);
+        store.resident_bytes += a.byte_size();
+
+        let (returned, hit) = store.intern(Arc::clone(&b));
+        assert!(!hit, "a collision must not be declared a hit");
+        assert!(Arc::ptr_eq(&returned, &b), "the arrival passes through");
+        assert_eq!(store.collisions(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 0);
+        // The resident slot still holds cube A.
+        assert!(Arc::ptr_eq(store.resident.get(&b_hash).unwrap(), &a));
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let a = cube(4, 8);
+        assert_eq!(content_hash(&a), content_hash(&a.clone()));
+        assert_ne!(content_hash(&a), content_hash(&cube(5, 8)));
+        // Same samples, different dims hash differently.
+        let flat = HyperCube::from_samples(
+            CubeDims::new(a.pixels() * a.bands(), 1, 1),
+            a.samples().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(content_hash(&a), content_hash(&flat));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the interleaved cube wire format and the streaming
+//! decoder: for arbitrary dimensions, every interleave, and arbitrary
+//! (sample-splitting) chunk sizes, a written cube decodes **bit-identical**
+//! to the in-memory original — and truncated payloads, mid-sample ends and
+//! corrupt headers are typed errors, never wrong cubes.
+
+use hsi::io::{
+    interleave_to_bip_offset, write_cube_as, CubeFileHeader, Interleave, CUBE_FILE_HEADER_LEN,
+};
+use hsi::{CubeDims, HyperCube};
+use ingest::{IngestError, StreamDecoder};
+use proptest::prelude::*;
+
+/// A deterministic cube whose every sample is a distinct, salt-dependent
+/// value, so bit-identity failures cannot hide behind repeated samples.
+fn coded_cube(dims: CubeDims, salt: f64) -> HyperCube {
+    let samples: Vec<f64> = (0..dims.samples())
+        .map(|i| salt + (i as f64) * 0.618_033_9 + (i as f64).cos() * 1e-3)
+        .collect();
+    HyperCube::from_samples(dims, samples).expect("length matches")
+}
+
+/// Full wire bytes (header + payload) of `cube` in `interleave` order,
+/// produced through the real `hsi::io` writer.
+fn wire_bytes(cube: &HyperCube, interleave: Interleave, case: &str) -> Vec<u8> {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ingest_prop_{}_{case}.hsif", std::process::id()));
+    write_cube_as(cube, interleave, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Decodes `payload` through a [`StreamDecoder`] in chunks whose sizes
+/// cycle through `chunk_sizes` (any of which may split an `f64`).
+fn decode_chunked(
+    header: CubeFileHeader,
+    payload: &[u8],
+    chunk_sizes: &[usize],
+) -> ingest::Result<std::sync::Arc<HyperCube>> {
+    let mut decoder = StreamDecoder::new(header);
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < payload.len() {
+        let size = chunk_sizes[i % chunk_sizes.len()].max(1);
+        let end = (pos + size).min(payload.len());
+        decoder.push(&payload[pos..end])?;
+        pos = end;
+        i += 1;
+    }
+    decoder.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: dims × interleave × chunk sizes → the decoded
+    /// cube is bit-identical to the written one.
+    #[test]
+    fn chunked_decode_is_bit_identical_for_every_interleave(
+        w in 1usize..11,
+        h in 1usize..13,
+        b in 1usize..8,
+        interleave_pick in 0usize..3,
+        chunks in prop::collection::vec(1usize..61, 1..6),
+        salt in -1000.0..1000.0f64,
+    ) {
+        let dims = CubeDims::new(w, h, b);
+        let cube = coded_cube(dims, salt);
+        let interleave = Interleave::ALL[interleave_pick];
+        let bytes = wire_bytes(&cube, interleave, &format!("rt_{w}_{h}_{b}_{interleave_pick}"));
+        let header = CubeFileHeader::parse(&bytes).unwrap();
+        prop_assert_eq!(header.dims, dims);
+        prop_assert_eq!(header.interleave, interleave);
+
+        let decoded = decode_chunked(header, &bytes[CUBE_FILE_HEADER_LEN..], &chunks).unwrap();
+        prop_assert_eq!(decoded.samples().len(), cube.samples().len());
+        prop_assert!(
+            decoded
+                .samples()
+                .iter()
+                .zip(cube.samples())
+                .all(|(a, c)| a.to_bits() == c.to_bits()),
+            "decode diverged for {} with chunks {:?}",
+            interleave.label(),
+            &chunks
+        );
+    }
+
+    /// The interleave scatter map is a bijection onto BIP storage for any
+    /// dims — no sample is dropped or written twice.
+    #[test]
+    fn scatter_map_is_a_bijection(
+        w in 1usize..14,
+        h in 1usize..14,
+        b in 1usize..10,
+        interleave_pick in 0usize..3,
+    ) {
+        let dims = CubeDims::new(w, h, b);
+        let interleave = Interleave::ALL[interleave_pick];
+        let mut seen = vec![false; dims.samples()];
+        for index in 0..dims.samples() {
+            let off = interleave_to_bip_offset(dims, interleave, index);
+            prop_assert!(off < dims.samples());
+            prop_assert!(!seen[off], "{} duplicates offset {off}", interleave.label());
+            seen[off] = true;
+        }
+    }
+
+    /// Truncation anywhere in the payload is a typed error: a cut on a
+    /// sample boundary reports `Truncated`, a mid-sample cut `Malformed` —
+    /// never a silently wrong cube.
+    #[test]
+    fn truncated_payloads_are_typed_errors(
+        w in 1usize..9,
+        h in 1usize..9,
+        b in 1usize..6,
+        interleave_pick in 0usize..3,
+        cut in 1usize..10_000,
+        salt in -100.0..100.0f64,
+    ) {
+        let dims = CubeDims::new(w, h, b);
+        let cube = coded_cube(dims, salt);
+        let interleave = Interleave::ALL[interleave_pick];
+        let bytes = wire_bytes(&cube, interleave, &format!("tr_{w}_{h}_{b}_{interleave_pick}"));
+        let payload = &bytes[CUBE_FILE_HEADER_LEN..];
+        // Cut between 1 byte and the whole payload (payloads are never
+        // empty: dims are at least 1x1x1).
+        let cut = 1 + cut % payload.len();
+        let header = CubeFileHeader::parse(&bytes).unwrap();
+        let short = &payload[..payload.len() - cut];
+        let result = decode_chunked(header, short, &[23]);
+        if cut.is_multiple_of(8) {
+            prop_assert!(matches!(result, Err(IngestError::Truncated { .. })));
+        } else {
+            prop_assert!(matches!(result, Err(IngestError::Malformed(_))));
+        }
+    }
+
+    /// Extra payload beyond what the header announces is an overflow error
+    /// regardless of chunking.
+    #[test]
+    fn overflowing_payloads_are_typed_errors(
+        w in 1usize..7,
+        h in 1usize..7,
+        b in 1usize..5,
+        extra in 1usize..40,
+        salt in -100.0..100.0f64,
+    ) {
+        let dims = CubeDims::new(w, h, b);
+        let cube = coded_cube(dims, salt);
+        let bytes = wire_bytes(&cube, Interleave::Bip, &format!("ov_{w}_{h}_{b}"));
+        let mut payload = bytes[CUBE_FILE_HEADER_LEN..].to_vec();
+        payload.extend(std::iter::repeat_n(0xAB, extra));
+        let header = CubeFileHeader::parse(&bytes).unwrap();
+        let result = decode_chunked(header, &payload, &[17]);
+        prop_assert!(matches!(result, Err(IngestError::Overflow { .. })));
+    }
+
+    /// Corrupting any single header byte either fails parsing or leaves a
+    /// header that still describes *some* cube — but never one that parses
+    /// as the original with different dims/interleave silently accepted as
+    /// equal.
+    #[test]
+    fn corrupt_headers_never_impersonate_the_original(
+        w in 1usize..9,
+        h in 1usize..9,
+        b in 1usize..6,
+        byte_index in 0usize..30,
+        flip in 1usize..256,
+    ) {
+        let dims = CubeDims::new(w, h, b);
+        let header = CubeFileHeader::new(dims, Interleave::Bil);
+        let mut encoded = header.encode();
+        encoded[byte_index % CUBE_FILE_HEADER_LEN] ^= flip as u8;
+        match CubeFileHeader::parse(&encoded) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert!(
+                parsed != header,
+                "a corrupted byte parsed back as the original header"
+            ),
+        }
+    }
+}

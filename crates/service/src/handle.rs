@@ -16,8 +16,8 @@
 //! * Dropping a handle without waiting cancels the job and releases its
 //!   record (**cancel-on-drop**), so abandoned submissions can't leak
 //!   results or run to completion unobserved.  [`JobHandle::detach`] opts
-//!   out: the job keeps running and its record stays claimable through the
-//!   deprecated id-keyed API.
+//!   out: the job keeps running fire-and-forget, observable through the
+//!   [`crate::ServiceEvent`] stream and the final report.
 //!
 //! Handles outlive the service: they hold the results plane by `Arc`, so a
 //! handle can still `wait` (and observe the forced terminal state) after
@@ -142,7 +142,7 @@ impl JobHandle {
     }
 
     /// The job's identifier (stable across the service's lifetime; what the
-    /// deprecated id-keyed API and the event stream refer to).
+    /// event stream refers to).
     pub fn id(&self) -> JobId {
         self.id
     }
@@ -208,10 +208,13 @@ impl JobHandle {
     }
 
     /// Disarms cancel-on-drop and releases the handle: the job keeps
-    /// running, and its record stays in the results plane for the
-    /// deprecated id-keyed `wait`.  Returns the [`JobId`] for that purpose.
+    /// running fire-and-forget, and its record is released at the terminal
+    /// transition (no waiter is left to consume it, so retaining the full
+    /// image would leak).  Returns the [`JobId`] so the caller can
+    /// correlate the job's [`crate::ServiceEvent`]s.
     pub fn detach(mut self) -> JobId {
         self.detached = true;
+        self.plane.status.abandon(self.id);
         self.id
     }
 }
@@ -298,7 +301,7 @@ mod tests {
     }
 
     #[test]
-    fn drop_cancels_and_abandons_but_detach_does_not() {
+    fn drop_cancels_and_abandons_but_detach_only_abandons() {
         let plane = plane();
         plane.status.insert(1, JobRecord::queued());
         let handle = JobHandle::new(1, plane.clone());
@@ -308,12 +311,16 @@ mod tests {
         plane.status.transition(1, JobStatus::Cancelled, None, None);
         assert_eq!(plane.status.status(1), None);
 
+        // Detach never cancels; the record stays live until terminal, then
+        // is released (nobody is left to consume it).
         plane.status.insert(2, JobRecord::queued());
         let handle = JobHandle::new(2, plane.clone());
         assert_eq!(handle.detach(), 2);
         assert_eq!(plane.cancels.lock().unwrap().as_slice(), &[1]);
+        plane.status.transition(2, JobStatus::Running, None, None);
+        assert_eq!(plane.status.status(2), Some(JobStatus::Running));
         plane.status.transition(2, JobStatus::Completed, None, None);
-        assert_eq!(plane.status.status(2), Some(JobStatus::Completed));
+        assert_eq!(plane.status.status(2), None, "released at terminal");
     }
 
     #[test]

@@ -216,13 +216,6 @@ impl JobSpec {
         self
     }
 
-    /// Overrides the backend lane.
-    #[deprecated(since = "0.1.0", note = "use JobSpec::builder(..).route(..) instead")]
-    pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.route = Route::Pinned(backend);
-        self
-    }
-
     /// Sets the route (pinned lane or [`Route::Auto`]).
     pub fn with_route(mut self, route: impl Into<Route>) -> Self {
         self.route = route.into();
@@ -342,10 +335,9 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_backend_shim_still_pins_the_route() {
-        #[allow(deprecated)]
+    fn route_setters_pin_and_default_to_auto() {
         let spec = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)))
-            .with_backend(BackendKind::SharedMemory);
+            .with_route(Route::Pinned(BackendKind::SharedMemory));
         assert_eq!(spec.route, Route::Pinned(BackendKind::SharedMemory));
         assert_eq!(
             JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1))).route,

@@ -2,13 +2,13 @@
 //! observing events, shutting down.
 //!
 //! Submission returns an owned [`JobHandle`] — waiting, polling,
-//! cancellation and cancel-on-drop live there.  The old id-keyed methods
-//! remain as thin `#[deprecated]` shims for one release.
+//! cancellation and cancel-on-drop live there.  (The pre-handle id-keyed
+//! methods spent one release as `#[deprecated]` shims and are gone.)
 
 use crate::config::ServiceConfig;
 use crate::events::{EventBus, EventSubscriber, ServiceEvent};
 use crate::handle::{HandlePlane, JobHandle};
-use crate::job::{BackendKind, JobId, JobSpec, JobStatus};
+use crate::job::{BackendKind, JobId, JobSpec};
 use crate::pool::WorkerPool;
 use crate::queue::{AdmissionQueue, QueuedJob};
 use crate::report::ServiceReport;
@@ -16,7 +16,6 @@ use crate::routing::Route;
 use crate::scheduler::Scheduler;
 use crate::status::{JobRecord, StatusTable};
 use crate::{Result, ServiceError};
-use pct::FusionOutput;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -175,38 +174,6 @@ impl FusionService {
         self.events.subscribe()
     }
 
-    /// Submits a job and returns its bare id (cancel-on-drop disarmed).
-    #[deprecated(since = "0.1.0", note = "use submit() and the returned JobHandle")]
-    pub fn submit_detached(&self, spec: JobSpec) -> Result<JobId> {
-        self.submit(spec).map(JobHandle::detach)
-    }
-
-    /// Current lifecycle status of a job, if known.
-    #[deprecated(since = "0.1.0", note = "use JobHandle::status")]
-    pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        self.status.status(id)
-    }
-
-    /// Blocks until the job reaches a terminal state and returns its output
-    /// (or the terminal error).  The job's record is consumed: a later
-    /// `wait` or `status` for the same id reports it as unknown.
-    #[deprecated(since = "0.1.0", note = "use JobHandle::wait and the typed JobOutcome")]
-    pub fn wait(&self, id: JobId) -> Result<FusionOutput> {
-        self.status.wait_terminal(id)
-    }
-
-    /// Requests cancellation of a job.  Returns whether the job was known
-    /// and not yet terminal when the request was recorded; the scheduler
-    /// applies it asynchronously.
-    #[deprecated(since = "0.1.0", note = "use JobHandle::cancel")]
-    pub fn cancel(&self, id: JobId) -> bool {
-        HandlePlane {
-            status: Arc::clone(&self.status),
-            cancels: Arc::clone(&self.cancels),
-        }
-        .request_cancel(id)
-    }
-
     /// Number of jobs currently waiting in the admission queue.
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
@@ -265,7 +232,7 @@ mod tests {
     use super::*;
     use crate::config::PoolConfig;
     use crate::handle::JobOutcome;
-    use crate::job::{CubeSource, Priority};
+    use crate::job::{CubeSource, JobStatus, Priority};
     use hsi::{CubeDims, SceneConfig, SceneGenerator};
     use pct::{PctConfig, SequentialPct};
     use std::sync::Arc;
@@ -385,28 +352,35 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_id_keyed_shims_still_work() {
-        #[allow(deprecated)]
-        {
-            let service = FusionService::start(tiny_pool()).unwrap();
-            let cube = Arc::new(SceneGenerator::new(scene(9, 12, 6)).unwrap().generate());
-            let id = service
-                .submit_detached(
-                    JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
-                        .build()
-                        .unwrap(),
-                )
-                .unwrap();
-            assert!(service.status(id).is_some());
-            let output = service.wait(id).unwrap();
-            let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-            assert_eq!(output, reference);
-            // wait() consumed the record — the documented legacy footgun.
-            assert_eq!(service.status(id), None);
-            assert_eq!(service.wait(id).unwrap_err(), ServiceError::UnknownJob(id));
-            assert!(!service.cancel(99));
-            service.shutdown();
-        }
+    fn detached_jobs_run_to_completion_unobserved() {
+        let service = FusionService::start(tiny_pool()).unwrap();
+        let cube = Arc::new(SceneGenerator::new(scene(9, 12, 6)).unwrap().generate());
+        let events = service.subscribe();
+        let id = service
+            .submit(
+                JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+            .detach();
+        // No handle is left; the event stream still reports the terminal
+        // transition and the report accounts the job.
+        let terminal = events
+            .wait_for(
+                Duration::from_secs(30),
+                |e| matches!(e, crate::ServiceEvent::Terminal { job, .. } if *job == id),
+            )
+            .expect("terminal event");
+        assert_eq!(
+            terminal,
+            crate::ServiceEvent::Terminal {
+                job: id,
+                status: JobStatus::Completed
+            }
+        );
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 1);
     }
 
     #[test]

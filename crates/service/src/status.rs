@@ -153,15 +153,6 @@ impl StatusTable {
         drop(records);
         record.into_outcome().map(Some)
     }
-
-    /// The deprecated id-keyed wait: blocks for the terminal state, consumes
-    /// the record, and collapses the outcome into the old result shape.
-    pub fn wait_terminal(&self, id: JobId) -> Result<FusionOutput> {
-        match self.wait_outcome(id, None)? {
-            Some(outcome) => outcome.into_result(),
-            None => unreachable!("deadline-free wait returns an outcome or errors"),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -178,13 +169,13 @@ mod tests {
 
         let waiter = {
             let table = Arc::clone(&table);
-            std::thread::spawn(move || table.wait_terminal(7))
+            std::thread::spawn(move || table.wait_outcome(7, None))
         };
         table.transition(7, JobStatus::Running, None, None);
         table.transition(7, JobStatus::Failed, None, Some("boom".into()));
         assert_eq!(
-            waiter.join().unwrap().unwrap_err(),
-            ServiceError::Failed("boom".into())
+            waiter.join().unwrap().unwrap(),
+            Some(JobOutcome::Failed("boom".into()))
         );
     }
 
@@ -195,11 +186,14 @@ mod tests {
         table.transition(1, JobStatus::Cancelled, None, None);
         table.transition(1, JobStatus::Running, None, None);
         assert_eq!(table.status(1), Some(JobStatus::Cancelled));
-        assert_eq!(table.wait_terminal(1).unwrap_err(), ServiceError::Cancelled);
+        assert_eq!(
+            table.wait_outcome(1, None).unwrap(),
+            Some(JobOutcome::Cancelled)
+        );
         // The record was consumed by the wait; the table does not grow.
         assert_eq!(table.status(1), None);
         assert_eq!(
-            table.wait_terminal(1).unwrap_err(),
+            table.wait_outcome(1, None).unwrap_err(),
             ServiceError::UnknownJob(1)
         );
     }
@@ -209,7 +203,7 @@ mod tests {
         let table = StatusTable::new();
         assert_eq!(table.status(9), None);
         assert_eq!(
-            table.wait_terminal(9).unwrap_err(),
+            table.wait_outcome(9, None).unwrap_err(),
             ServiceError::UnknownJob(9)
         );
         table.insert(9, JobRecord::queued());

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub use hsi;
+pub use ingest;
 pub use linalg;
 pub use netsim;
 pub use pct;

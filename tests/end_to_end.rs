@@ -1,8 +1,10 @@
 //! Cross-crate integration tests: the whole system from synthetic scene
 //! generation through every fusion implementation, the resiliency protocols,
-//! and the figure-regeneration simulations.
+//! the streaming ingestion front door, and the figure-regeneration
+//! simulations.
 
 use hsi::{io, CubeDims, SceneConfig, SceneGenerator};
+use ingest::{DirectorySource, IngestConfig, IngestPump, ShedReason, SheddingPolicy};
 use pct::distributed_sim::{simulate_fusion, SimParams};
 use pct::resilient::{AttackPlan, ResilientPct};
 use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
@@ -363,8 +365,9 @@ fn service_handle_lifecycle_timeout_drop_detach_and_shutdown() {
         .unwrap();
     drop(dropped);
 
-    // ...while detach() lets the job run and keeps the record claimable
-    // through the deprecated id-keyed API.
+    // ...while detach() lets the job run fire-and-forget: the event stream
+    // observes its completion without any handle or poll.
+    let events = service.subscribe();
     let cube = Arc::new(SceneGenerator::new(small_job_scene(77)).unwrap().generate());
     let detached_id = service
         .submit(
@@ -374,10 +377,19 @@ fn service_handle_lifecycle_timeout_drop_detach_and_shutdown() {
         )
         .unwrap()
         .detach();
-    #[allow(deprecated)]
-    let output = service.wait(detached_id).unwrap();
-    let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-    assert_eq!(output, reference);
+    let terminal = events
+        .wait_for(
+            Duration::from_secs(30),
+            |e| matches!(e, ServiceEvent::Terminal { job, .. } if *job == detached_id),
+        )
+        .expect("detached job reaches a terminal state");
+    assert_eq!(
+        terminal,
+        ServiceEvent::Terminal {
+            job: detached_id,
+            status: JobStatus::Completed
+        }
+    );
 
     // A handle outlives shutdown: it holds the results plane by Arc and
     // observes the final terminal state.
@@ -554,7 +566,7 @@ fn event_stream_observes_kill_regeneration_and_completion_without_polling() {
             .unwrap()
             .generate(),
     );
-    let handle = service
+    let mut handle = service
         .submit(
             JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
                 .pinned(BackendKind::Resilient)
@@ -564,7 +576,6 @@ fn event_stream_observes_kill_regeneration_and_completion_without_polling() {
         )
         .unwrap();
     let id = handle.id();
-    let _detached = handle.detach();
 
     let timeout = Duration::from_secs(30);
     let admitted = events
@@ -614,10 +625,9 @@ fn event_stream_observes_kill_regeneration_and_completion_without_polling() {
     );
 
     // Only now touch the results plane: the output survived the kill.
-    #[allow(deprecated)]
-    let output = service.wait(id).unwrap();
+    let outcome = handle.wait().unwrap();
     let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
-    assert_eq!(output, reference);
+    assert_eq!(outcome.output().expect("job completed"), &reference);
     let report = service.shutdown();
     assert!(report.regenerations >= 1);
 }
@@ -702,6 +712,109 @@ fn chaos_kill_matrix_every_surviving_output_is_byte_identical_to_sequential() {
                 "{label}: no payload accounted"
             );
         }
+    }
+}
+
+/// The ingest-under-pressure chaos scenario: a folder of cube files is
+/// replayed into a deliberately tiny resilient-lane service while a chaos
+/// plan kills a replica mid-screen of the first (big) arrival.  The burst
+/// behind the blocker overruns the in-flight-bytes watermark, so shedding
+/// kicks in **deterministically** (the blocker occupies the only in-flight
+/// slot for far longer than the microseconds the pump needs to process the
+/// burst, and queued jobs cannot reach a terminal state behind it) — and
+/// every *admitted* cube still fuses byte-identical to `SequentialPct`,
+/// kill, regeneration and shedding notwithstanding.
+#[test]
+fn ingest_under_pressure_sheds_deterministically_and_admitted_cubes_fuse_exactly() {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(0)
+            .replica_groups(1)
+            .replication_level(2)
+            .shared_memory_executors(0)
+            .queue_capacity(16)
+            .max_in_flight(1)
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#0"))
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+
+    // The arrival schedule on disk: one big blocker, then a burst of five
+    // small cubes in mixed interleaves (sorted replay order).
+    let dir = std::env::temp_dir().join(format!("e2e_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = slow_job_scene(130);
+    let small = small_job_scene(131);
+    let blocker_bytes = blocker.dims.byte_size();
+    let small_bytes = small.dims.byte_size();
+    let mut total_payload = 0u64;
+    for (i, config) in std::iter::once(blocker)
+        .chain((0..5).map(|i| small_job_scene(140 + i)))
+        .enumerate()
+    {
+        let cube = SceneGenerator::new(config).unwrap().generate();
+        total_payload += cube.byte_size() as u64;
+        let name = if i == 0 {
+            "00_blocker.hsif".to_string()
+        } else {
+            format!("{i:02}_burst.hsif")
+        };
+        io::write_cube_as(&cube, hsi::Interleave::ALL[i % 3], dir.join(name)).unwrap();
+    }
+
+    // Watermark: the blocker plus exactly two burst cubes may be in flight.
+    let config = IngestConfig {
+        shedding: SheddingPolicy::unbounded()
+            .with_max_in_flight_bytes(blocker_bytes + 2 * small_bytes),
+        route: Route::Pinned(BackendKind::Resilient),
+        shards: 3,
+        ..IngestConfig::default()
+    };
+    let run = IngestPump::new(&service, config)
+        .run(vec![Box::new(DirectorySource::with_chunk_bytes(
+            &dir, 8192,
+        ))])
+        .expect("pump runs");
+    std::fs::remove_dir_all(&dir).ok();
+    let report = service.shutdown();
+
+    // Shedding was deterministic: the tail of the burst, in arrival order.
+    let totals = run.report.totals();
+    assert_eq!(totals.cubes_seen, 6);
+    assert_eq!(totals.cubes_admitted, 3, "blocker + two burst cubes");
+    assert_eq!(totals.shed_in_flight_bytes, 3);
+    assert_eq!(totals.cubes_shed(), 3);
+    assert_eq!(
+        run.shed.iter().map(|s| s.tag.as_str()).collect::<Vec<_>>(),
+        vec!["03_burst.hsif", "04_burst.hsif", "05_burst.hsif"]
+    );
+    assert!(run
+        .shed
+        .iter()
+        .all(|s| s.reason == ShedReason::InFlightBytes));
+    assert_eq!(
+        totals.bytes_assembled, total_payload,
+        "shed cubes decode too"
+    );
+    assert_eq!(totals.decode_errors, 0);
+
+    // The chaos kill fired and the member was regenerated mid-ingest.
+    assert_eq!(report.members_attacked, vec!["rg0#0".to_string()]);
+    assert!(report.regenerations >= 1, "killed member never regenerated");
+
+    // Every admitted cube fused byte-identical to the sequential reference.
+    assert_eq!(run.report.jobs_completed, 3);
+    for job in &run.jobs {
+        let reference = SequentialPct::new(PctConfig::paper())
+            .run(&job.cube)
+            .unwrap();
+        assert_eq!(
+            job.outcome.output().expect("job completes"),
+            &reference,
+            "{} diverged under pressure + chaos",
+            job.tag
+        );
     }
 }
 
