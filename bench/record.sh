@@ -25,6 +25,14 @@
 #     bytes_assembled} are deterministic by construction (fixed file set,
 #     sorted replay, blocker-pinned shedding); cubes_per_sec is wall-clock
 #     and trend-only.
+#   * {service,ingest}_tenant_t<N>_{admitted,downgraded,shed,rejected} —
+#     per-tenant admission-plane attribution from the same two benchmarks
+#     (both drive fixed tenant mixes through service::admission); all four
+#     counters per tenant are deterministic, so any drift means admission
+#     behaviour changed.
+#
+# After appending, the committed trend chart bench/BENCH_trends.svg is
+# regenerated from the full history by `bench --bin plot_history`.
 #
 # Usage: bash bench/record.sh   (from anywhere; non-gating in CI)
 set -euo pipefail
@@ -60,3 +68,5 @@ ING=$(cargo run --release -q -p bench --bin ingest_throughput 2>/dev/null)
 
 echo "recorded $(grep -c "^$STAMP,$REV," "$CSV") metrics for $REV into $CSV:"
 grep "^$STAMP,$REV," "$CSV"
+
+cargo run --release -q -p bench --bin plot_history

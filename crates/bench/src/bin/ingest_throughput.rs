@@ -13,8 +13,12 @@
 use hsi::io::{write_cube_as, Interleave};
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
 use ingest::{DirectorySource, IngestConfig, IngestPump, SheddingPolicy};
-use service::{BackendKind, FusionService, Route, ServiceConfig};
+use service::{BackendKind, FusionService, Route, ServiceConfig, TenantId};
 use std::time::Instant;
+
+/// The tenant all ingested cubes are attributed to (the pump submits every
+/// job under one tenant, as `JobClass::Bulk`).
+const TENANT: TenantId = TenantId(9);
 
 fn scene(seed: u64, side: usize, bands: usize) -> SceneConfig {
     let mut config = SceneConfig::small(900 + seed);
@@ -67,6 +71,7 @@ fn main() {
             .with_max_in_flight_bytes(blocker_bytes + 3 * small_bytes),
         route: Route::Pinned(BackendKind::Standard),
         shards: 4,
+        tenant: TENANT,
         ..IngestConfig::default()
     };
     let started = Instant::now();
@@ -77,7 +82,7 @@ fn main() {
         .expect("pump runs");
     let elapsed = started.elapsed();
     std::fs::remove_dir_all(&dir).ok();
-    service.shutdown();
+    let service_report = service.shutdown();
 
     println!("ingest throughput benchmark — 12 cube files (1 blocker, 8 distinct, 3 duplicates)");
     println!();
@@ -91,6 +96,25 @@ fn main() {
     println!("CSV ingest_store_hits {}", totals.store_hits);
     println!("CSV ingest_store_misses {}", totals.store_misses);
     println!("CSV ingest_bytes_assembled {}", totals.bytes_assembled);
+    // Per-tenant attribution, as both sides of the admission plane saw it:
+    // admitted/downgraded/rejected from the service's governor, shed from
+    // the ingest report (the pump records every shed, watermark or service,
+    // against the one tenant it submits under).
+    let tenant_stats = service_report.tenant(TENANT);
+    let label = TENANT.label();
+    println!(
+        "CSV ingest_tenant_{label}_admitted {}",
+        tenant_stats.jobs_admitted
+    );
+    println!(
+        "CSV ingest_tenant_{label}_downgraded {}",
+        tenant_stats.jobs_downgraded
+    );
+    println!("CSV ingest_tenant_{label}_shed {}", totals.cubes_shed());
+    println!(
+        "CSV ingest_tenant_{label}_rejected {}",
+        tenant_stats.jobs_rejected
+    );
     println!(
         "CSV ingest_cubes_per_sec {:.2}",
         totals.cubes_seen as f64 / elapsed.as_secs_f64().max(1e-9)

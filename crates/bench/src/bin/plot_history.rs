@@ -1,0 +1,288 @@
+//! Renders `bench/BENCH_history.csv` into a committed SVG trend chart.
+//!
+//! Two panels: wall-clock throughput (`service_jobs_per_sec`,
+//! `ingest_cubes_per_sec`) and shed/reject pressure (`ingest_shed` plus
+//! every per-tenant `*_shed` / `*_rejected` counter).  The x-axis is the
+//! sequence of recorded snapshots (one per `bench/record.sh` run, labelled
+//! by short rev); y-axes auto-scale from zero.  The SVG is hand-rolled —
+//! no plotting dependency — and deterministic for a given CSV, so the
+//! committed `bench/BENCH_trends.svg` only churns when the history does.
+//!
+//! Usage: `cargo run --release -p bench --bin plot_history`
+//! (optionally: `-- <input.csv> <output.svg>`)
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Distinct series colours (repeats after eight).
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const WIDTH: f64 = 920.0;
+const PANEL_HEIGHT: f64 = 250.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 190.0;
+const MARGIN_TOP: f64 = 34.0;
+const MARGIN_BOTTOM: f64 = 40.0;
+
+/// The parsed history: snapshot labels in recording order, and per metric
+/// the `(snapshot index, value)` points.
+struct History {
+    snapshots: Vec<String>,
+    series: BTreeMap<String, Vec<(usize, f64)>>,
+}
+
+/// Parses `recorded_at,rev,metric,value` rows, keeping snapshot order of
+/// first appearance.  Malformed rows are skipped — the history file is
+/// appended by shell and a torn line must not kill the plot.
+fn parse_history(csv: &str) -> History {
+    let mut snapshots: Vec<String> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    let mut series: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+    for line in csv.lines().skip(1) {
+        let mut fields = line.split(',');
+        let (Some(stamp), Some(rev), Some(metric), Some(value)) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            continue;
+        };
+        let Ok(value) = value.trim().parse::<f64>() else {
+            continue;
+        };
+        let key = format!("{stamp},{rev}");
+        let index = match keys.iter().position(|k| k == &key) {
+            Some(i) => i,
+            None => {
+                keys.push(key);
+                snapshots.push(rev.to_string());
+                snapshots.len() - 1
+            }
+        };
+        series
+            .entry(metric.to_string())
+            .or_default()
+            .push((index, value));
+    }
+    History { snapshots, series }
+}
+
+/// A rounded-up axis maximum so gridline labels come out clean.
+fn nice_max(max: f64) -> f64 {
+    if max <= 0.0 {
+        return 1.0;
+    }
+    let magnitude = 10f64.powf(max.log10().floor());
+    let normalized = max / magnitude;
+    let nice = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .into_iter()
+        .find(|n| normalized <= *n)
+        .unwrap_or(10.0);
+    nice * magnitude
+}
+
+/// Formats an axis label without trailing zero noise.
+fn axis_label(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e9 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+/// Draws one panel of series as gridlines + polylines + point markers +
+/// legend, with `top` as the panel's y-offset into the document.
+fn render_panel(
+    svg: &mut String,
+    title: &str,
+    top: f64,
+    snapshots: &[String],
+    panel_series: &[(&str, &[(usize, f64)])],
+) {
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = PANEL_HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let x_of = |i: usize| {
+        let n = snapshots.len().max(2) - 1;
+        MARGIN_LEFT + plot_w * i as f64 / n as f64
+    };
+    let max = panel_series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(_, v)| *v))
+        .fold(0.0_f64, f64::max);
+    let y_max = nice_max(max);
+    let y_of = |v: f64| top + MARGIN_TOP + plot_h * (1.0 - v / y_max);
+
+    let _ = writeln!(
+        svg,
+        r##"<text x="{MARGIN_LEFT}" y="{}" font-size="14" font-weight="bold" fill="#222">{title}</text>"##,
+        top + 18.0
+    );
+    // Horizontal gridlines with y labels.
+    for tick in 0..=4 {
+        let v = y_max * tick as f64 / 4.0;
+        let y = y_of(v);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd" stroke-width="1"/>"##,
+            MARGIN_LEFT + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" fill="#555">{}</text>"##,
+            MARGIN_LEFT - 6.0,
+            y + 3.5,
+            axis_label(v)
+        );
+    }
+    // X labels: one short rev per snapshot.
+    for (i, rev) in snapshots.iter().enumerate() {
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" text-anchor="middle" fill="#555">{rev}</text>"##,
+            x_of(i),
+            top + PANEL_HEIGHT - MARGIN_BOTTOM + 14.0
+        );
+    }
+    // Series polylines, markers and legend rows.
+    for (s, (name, points)) in panel_series.iter().enumerate() {
+        let colour = PALETTE[s % PALETTE.len()];
+        let path: Vec<String> = points
+            .iter()
+            .map(|(i, v)| format!("{:.1},{:.1}", x_of(*i), y_of(*v)))
+            .collect();
+        if path.len() > 1 {
+            let _ = writeln!(
+                svg,
+                r##"<polyline points="{}" fill="none" stroke="{colour}" stroke-width="2"/>"##,
+                path.join(" ")
+            );
+        }
+        for (i, v) in *points {
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{colour}"/>"##,
+                x_of(*i),
+                y_of(*v)
+            );
+        }
+        let legend_y = top + MARGIN_TOP + 14.0 * s as f64;
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{colour}"/>"##,
+            MARGIN_LEFT + plot_w + 14.0,
+            legend_y
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="10" fill="#222">{name}</text>"##,
+            MARGIN_LEFT + plot_w + 28.0,
+            legend_y + 9.0
+        );
+    }
+}
+
+/// Renders the whole document: throughput panel on top, shedding below.
+fn render_svg(history: &History) -> String {
+    let throughput: Vec<(&str, &[(usize, f64)])> = ["service_jobs_per_sec", "ingest_cubes_per_sec"]
+        .iter()
+        .filter_map(|m| history.series.get(*m).map(|pts| (*m, pts.as_slice())))
+        .collect();
+    let shedding: Vec<(&str, &[(usize, f64)])> = history
+        .series
+        .iter()
+        .filter(|(m, _)| {
+            m.as_str() == "ingest_shed" || m.ends_with("_shed") || m.ends_with("_rejected")
+        })
+        .map(|(m, pts)| (m.as_str(), pts.as_slice()))
+        .collect();
+
+    let height = 2.0 * PANEL_HEIGHT + 10.0;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" viewBox="0 0 {WIDTH} {height}" font-family="monospace">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect x="0" y="0" width="{WIDTH}" height="{height}" fill="white"/>"##
+    );
+    render_panel(
+        &mut svg,
+        "throughput (wall-clock, trend-only)",
+        0.0,
+        &history.snapshots,
+        &throughput,
+    );
+    render_panel(
+        &mut svg,
+        "shed / rejected (deterministic counters)",
+        PANEL_HEIGHT + 10.0,
+        &history.snapshots,
+        &shedding,
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let input = args
+        .next()
+        .unwrap_or_else(|| "bench/BENCH_history.csv".to_string());
+    let output = args
+        .next()
+        .unwrap_or_else(|| "bench/BENCH_trends.svg".to_string());
+    let csv = std::fs::read_to_string(&input)
+        .unwrap_or_else(|e| panic!("cannot read {input}: {e} (run bench/record.sh first)"));
+    let history = parse_history(&csv);
+    let svg = render_svg(&history);
+    std::fs::write(&output, &svg).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    println!(
+        "plotted {} snapshots x {} metrics into {output}",
+        history.snapshots.len(),
+        history.series.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "recorded_at,rev,metric,value\n\
+        2026-01-01T00:00:00Z,aaa1111,service_jobs_per_sec,10.5\n\
+        2026-01-01T00:00:00Z,aaa1111,ingest_shed,8\n\
+        2026-01-02T00:00:00Z,bbb2222,service_jobs_per_sec,12.0\n\
+        2026-01-02T00:00:00Z,bbb2222,service_tenant_t1_shed,0\n\
+        torn,line\n";
+
+    #[test]
+    fn parse_orders_snapshots_and_skips_torn_lines() {
+        let h = parse_history(SAMPLE);
+        assert_eq!(h.snapshots, vec!["aaa1111", "bbb2222"]);
+        assert_eq!(h.series["service_jobs_per_sec"], vec![(0, 10.5), (1, 12.0)]);
+        assert_eq!(h.series["ingest_shed"], vec![(0, 8.0)]);
+        assert_eq!(h.series.len(), 3);
+    }
+
+    #[test]
+    fn nice_max_rounds_up_to_clean_gridlines() {
+        assert_eq!(nice_max(0.0), 1.0);
+        assert_eq!(nice_max(7.3), 10.0);
+        assert_eq!(nice_max(324.77), 500.0);
+        assert_eq!(nice_max(1.9), 2.0);
+    }
+
+    #[test]
+    fn rendered_svg_contains_both_panels_and_all_shed_series() {
+        let svg = render_svg(&parse_history(SAMPLE));
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("throughput (wall-clock, trend-only)"));
+        assert!(svg.contains("shed / rejected (deterministic counters)"));
+        assert!(svg.contains("service_jobs_per_sec"));
+        assert!(svg.contains("ingest_shed"));
+        assert!(svg.contains("service_tenant_t1_shed"));
+        // One polyline for the two-point throughput series, markers for all.
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -11,9 +11,16 @@
 //! to the shared-memory lane for these 28×28×14 cubes — deterministically),
 //! and the rest are pinned standard.  The per-route job counts in the CSV
 //! make routing-mix drift bisectable.
+//!
+//! Tenancy mix: three of every four jobs belong to tenant `t1` (weight 3),
+//! the fourth to tenant `t2` (weight 1), so the admission plane's weighted
+//! fair-share dequeue is exercised and the per-tenant
+//! `tenant_{admitted,downgraded,shed,rejected}` counters land in the CSV.
 
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
-use service::{BackendKind, CubeSource, FusionService, JobSpec, Route, ServiceConfig};
+use service::{
+    BackendKind, CubeSource, FusionService, JobSpec, Route, ServiceConfig, TenantId, TenantQuota,
+};
 use std::sync::Arc;
 
 const JOBS: u64 = 32;
@@ -33,6 +40,8 @@ fn main() {
             .shared_memory_executors(2)
             .queue_capacity(JOBS as usize)
             .max_in_flight(12)
+            .tenant_quota(TenantId(1), TenantQuota::weighted(3))
+            .tenant_quota(TenantId(2), TenantQuota::weighted(1))
             .build()
             .expect("config validates"),
     )
@@ -50,8 +59,10 @@ fn main() {
             1 => Route::Auto,
             _ => Route::Pinned(BackendKind::Standard),
         };
+        let tenant = if i % 4 == 3 { TenantId(2) } else { TenantId(1) };
         let spec = JobSpec::builder(CubeSource::InMemory(cube))
             .priority(service::Priority::ALL[i as usize % 3])
+            .tenant(tenant)
             .route(route)
             .shards(4)
             .build()
@@ -99,6 +110,26 @@ fn main() {
         "CSV service_payload_bytes_shipped {}",
         report.payload_bytes_shipped
     );
+    // Per-tenant admission-plane attribution: 24 jobs for t1, 8 for t2, all
+    // admitted (the queue is sized for the burst, so shed/rejected stay 0 —
+    // a drift here means the admission plane changed behaviour).
+    for tenant in [TenantId(1), TenantId(2)] {
+        let stats = report.tenant(tenant);
+        let label = tenant.label();
+        println!(
+            "CSV service_tenant_{label}_admitted {}",
+            stats.jobs_admitted
+        );
+        println!(
+            "CSV service_tenant_{label}_downgraded {}",
+            stats.jobs_downgraded
+        );
+        println!("CSV service_tenant_{label}_shed {}", stats.jobs_shed);
+        println!(
+            "CSV service_tenant_{label}_rejected {}",
+            stats.jobs_rejected
+        );
+    }
     println!(
         "CSV service_jobs_per_sec {:.2}",
         report.throughput_jobs_per_sec()

@@ -24,11 +24,16 @@
 //!   counters: a repeated scene deduplicates into an `Arc` bump before it
 //!   ever reaches admission.
 //! * [`IngestPump`] — drives sources → decoder → store →
-//!   [`service::FusionService::submit`] through the builder/handle API,
-//!   with a [`SheddingPolicy`] fed by the [`service::ServiceEvent`]
-//!   stream: queue-depth and in-flight-bytes watermarks reject or
-//!   down-prioritize arrivals instead of blocking, and every decision is
-//!   surfaced in the [`IngestReport`] and per-source counters.
+//!   [`service::FusionService::submit`] through the builder/handle API.
+//!   Load shedding is the service's admission plane: the
+//!   [`SheddingPolicy`] is a thin adapter over
+//!   [`service::PressurePolicy`], fed by a [`service::PressureGauge`]
+//!   over the [`service::ServiceEvent`] stream — queue-depth and
+//!   in-flight-bytes watermarks reject or down-prioritize arrivals
+//!   instead of blocking, jobs are attributed to the configured
+//!   [`service::TenantId`] as [`service::JobClass::Bulk`], and every
+//!   decision (with its [`service::RetryAfter`] hint) is surfaced in the
+//!   [`IngestReport`] and per-source counters.
 //!
 //! Admitted cubes keep the service's determinism contract: each fused
 //! output is byte-identical to `pct::SequentialPct` on the same cube.

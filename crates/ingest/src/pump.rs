@@ -4,20 +4,26 @@
 //! The pump pulls [`crate::SourceEvent`]s from its sources, assembles each
 //! arrival with a [`crate::StreamDecoder`], interns the result in the
 //! [`CubeStore`] (dedup happens *before* admission, so a repeated scene is
-//! an `Arc` bump even when it is later shed), and then asks the
-//! [`SheddingPolicy`] what to do.  The policy's view of the service is fed
-//! entirely by the subscribed [`ServiceEvent`] stream: a submission enters
-//! the *queued* set, an `Admitted` event moves it to *running*, a
-//! `Terminal` event retires it and releases its bytes.  Arrivals beyond a
-//! hard watermark are **shed** (dropped, counted, never blocking the
+//! an `Arc` bump even when it is later shed), and then consults the
+//! service's admission plane.  The [`SheddingPolicy`] is a thin adapter
+//! over [`service::PressurePolicy`] — the same tiered downgrade → shed
+//! ladder the service itself applies — and its view of the service is a
+//! [`service::PressureGauge`] fed entirely by the subscribed
+//! [`service::ServiceEvent`] stream: a submission enters the *queued* set, an
+//! `Admitted` event moves it to *running*, a `Terminal` event retires it
+//! and releases its bytes.  Arrivals beyond a hard watermark are **shed**
+//! (dropped, counted with a [`RetryAfter`] hint, never blocking the
 //! source), arrivals beyond the soft watermark are **down-prioritized** to
 //! [`Priority::Low`] — production back-pressure behaviour instead of an
 //! unbounded mirror of the admission queue.
 //!
 //! The watermarks govern ingest-originated load: jobs submitted by other
 //! clients of the same service are not counted (they are invisible to the
-//! pump's accounting even though their events arrive; only tracked job ids
-//! move the state).
+//! gauge even though their events arrive; only tracked job ids move the
+//! state).  Whatever the service's own admission plane refuses —
+//! saturation, a shed watermark of its own, or the ingest tenant's quota —
+//! comes back as a typed error the pump folds into the same shed
+//! accounting.
 
 use crate::report::{IngestReport, ShedReason};
 use crate::source::{CubeSource, SourceEvent};
@@ -26,16 +32,21 @@ use crate::{Result, StreamDecoder};
 use hsi::{CloneLedger, HyperCube};
 use pct::PctConfig;
 use service::{
-    CubeSource as JobCubeSource, EventSubscriber, FusionService, JobHandle, JobOutcome, JobSpec,
-    JobStatus, Priority, Route, ServiceError, ServiceEvent,
+    CubeSource as JobCubeSource, EventSubscriber, FusionService, JobClass, JobHandle, JobOutcome,
+    JobSpec, JobStatus, PressureDecision, PressureGauge, PressurePolicy, Priority, RetryAfter,
+    Route, ServiceError, TenantId,
 };
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Watermarks deciding when arrivals are shed or down-prioritized instead
 /// of submitted at the configured priority.  `usize::MAX` (the default)
 /// disables a watermark.
+///
+/// This is a thin adapter over the service's [`PressurePolicy`]
+/// ([`SheddingPolicy::plane`]): the pump keeps no watermark arithmetic of
+/// its own, it feeds the shared ladder with an event-fed
+/// [`PressureGauge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SheddingPolicy {
     /// Hard watermark on the number of ingest jobs submitted but not yet
@@ -78,6 +89,15 @@ impl SheddingPolicy {
         self.downgrade_queue_depth = depth;
         self
     }
+
+    /// The service-side pressure ladder these watermarks adapt to: every
+    /// pump decision is a [`PressurePolicy::decide`] call on this value.
+    pub fn plane(&self) -> PressurePolicy {
+        PressurePolicy::unbounded()
+            .with_downgrade_queue_depth(self.downgrade_queue_depth)
+            .with_shed_queue_depth(self.max_queue_depth)
+            .with_shed_in_flight_bytes(self.max_in_flight_bytes)
+    }
 }
 
 impl Default for SheddingPolicy {
@@ -91,6 +111,14 @@ impl Default for SheddingPolicy {
 pub struct IngestConfig {
     /// The shedding watermarks.
     pub shedding: SheddingPolicy,
+    /// The tenant submitted jobs are attributed to (fair-share weight and
+    /// quota come from the service's [`service::AdmissionConfig`]).
+    pub tenant: TenantId,
+    /// The admission class of submitted jobs.  Defaults to
+    /// [`JobClass::Bulk`]: streaming arrivals are degradable *and*
+    /// sheddable, so the service-side ladder treats them exactly as the
+    /// pump's own watermarks do.
+    pub class: JobClass,
     /// Route of submitted jobs (pinned lane or [`Route::Auto`]).
     pub route: Route,
     /// Priority of submitted jobs (downgraded to [`Priority::Low`] past the
@@ -110,6 +138,8 @@ impl Default for IngestConfig {
     fn default() -> Self {
         Self {
             shedding: SheddingPolicy::unbounded(),
+            tenant: TenantId::default(),
+            class: JobClass::Bulk,
             route: Route::Auto,
             priority: Priority::Normal,
             shards: 4,
@@ -147,6 +177,8 @@ pub struct ShedCube {
     pub reason: ShedReason,
     /// Its payload size.
     pub bytes: usize,
+    /// The machine-readable back-off hint the admission plane attached.
+    pub retry_after: RetryAfter,
 }
 
 /// Everything one pump run produced.
@@ -161,46 +193,6 @@ pub struct IngestRun {
     pub shed: Vec<ShedCube>,
     /// The store as the run left it (resident cubes stay shared).
     pub store: CubeStore,
-}
-
-/// The event-fed view of the service the shedding decisions consult.
-#[derive(Default)]
-struct AdmissionState {
-    /// Submitted, not yet admitted by the scheduler (bytes per job).
-    queued: HashMap<u64, usize>,
-    /// Admitted, not yet terminal (bytes per job).
-    running: HashMap<u64, usize>,
-    /// Sum of bytes across both maps.
-    in_flight_bytes: usize,
-}
-
-impl AdmissionState {
-    fn on_submit(&mut self, job: u64, bytes: usize) {
-        self.queued.insert(job, bytes);
-        self.in_flight_bytes += bytes;
-    }
-
-    /// Applies one service event; events of jobs the pump did not submit
-    /// fall through untouched.
-    fn on_event(&mut self, event: &ServiceEvent) {
-        match event {
-            ServiceEvent::Admitted { job, .. } => {
-                if let Some(bytes) = self.queued.remove(job) {
-                    self.running.insert(*job, bytes);
-                }
-            }
-            ServiceEvent::Terminal { job, .. } => {
-                if let Some(bytes) = self.queued.remove(job).or_else(|| self.running.remove(job)) {
-                    self.in_flight_bytes -= bytes;
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn queue_depth(&self) -> usize {
-        self.queued.len()
-    }
 }
 
 /// Drives cube sources through decode, dedup and admission into a running
@@ -246,8 +238,11 @@ impl<'a> IngestPump<'a> {
     /// terminal outcome, and returns the full accounting.
     pub fn run(mut self, mut sources: Vec<Box<dyn CubeSource>>) -> Result<IngestRun> {
         let ledger = CloneLedger::snapshot();
-        let mut report = IngestReport::default();
-        let mut state = AdmissionState::default();
+        let mut report = IngestReport {
+            tenant: self.config.tenant,
+            ..IngestReport::default()
+        };
+        let mut gauge = PressureGauge::new();
         let mut pending: Vec<(String, String, Arc<HyperCube>, Priority, JobHandle)> = Vec::new();
         let mut shed = Vec::new();
 
@@ -306,7 +301,7 @@ impl<'a> IngestPump<'a> {
                             &name,
                             tag,
                             cube,
-                            &mut state,
+                            &mut gauge,
                             &mut report,
                             &mut pending,
                             &mut shed,
@@ -348,44 +343,40 @@ impl<'a> IngestPump<'a> {
         })
     }
 
-    /// Applies the shedding decision for one decoded arrival and submits it
-    /// if admitted.
+    /// Applies the admission-plane decision for one decoded arrival and
+    /// submits it if admitted.
     #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
         source: &str,
         tag: String,
         cube: Arc<HyperCube>,
-        state: &mut AdmissionState,
+        gauge: &mut PressureGauge,
         report: &mut IngestReport,
         pending: &mut Vec<(String, String, Arc<HyperCube>, Priority, JobHandle)>,
         shed: &mut Vec<ShedCube>,
     ) -> Result<()> {
         // Fold in everything the service reported since the last arrival.
         while let Some(event) = self.events.try_next() {
-            state.on_event(&event);
+            gauge.observe(&event);
         }
         let counters = report.sources.get_mut(source).expect("entry inserted");
-        let policy = self.config.shedding;
+        let plane = self.config.shedding.plane();
         let bytes = cube.byte_size();
-        let reason = if state.queue_depth() >= policy.max_queue_depth {
-            Some(ShedReason::QueueDepth)
-        } else if state.in_flight_bytes >= policy.max_in_flight_bytes {
-            Some(ShedReason::InFlightBytes)
-        } else {
-            None
+        let downgraded = match plane.decide(gauge.load(), self.config.class) {
+            PressureDecision::Shed { reason } => {
+                counters.record_shed(reason);
+                shed.push(ShedCube {
+                    source: source.to_string(),
+                    tag,
+                    reason,
+                    bytes,
+                    retry_after: plane.retry_hint(),
+                });
+                return Ok(());
+            }
+            PressureDecision::Admit { downgrade } => downgrade,
         };
-        if let Some(reason) = reason {
-            counters.record_shed(reason);
-            shed.push(ShedCube {
-                source: source.to_string(),
-                tag,
-                reason,
-                bytes,
-            });
-            return Ok(());
-        }
-        let downgraded = state.queue_depth() >= policy.downgrade_queue_depth;
         let priority = if downgraded {
             Priority::Low
         } else {
@@ -394,34 +385,48 @@ impl<'a> IngestPump<'a> {
         let mut builder = JobSpec::builder(JobCubeSource::InMemory(Arc::clone(&cube)))
             .route(self.config.route)
             .priority(priority)
+            .tenant(self.config.tenant)
+            .class(self.config.class)
             .shards(self.config.shards)
             .config(self.config.pct);
         if let Some(timeout) = self.config.timeout {
             builder = builder.timeout(timeout);
         }
         let spec = builder.build().map_err(ServiceError::from)?;
-        match self.service.try_submit(spec) {
+        // The service's own admission plane may still refuse: saturation,
+        // a service-side watermark, or the ingest tenant's quota.  Each
+        // refusal carries a typed reason and retry hint the shed
+        // accounting preserves.
+        let refusal = match self.service.try_submit(spec) {
             Ok(handle) => {
                 counters.cubes_admitted += 1;
                 if downgraded {
                     counters.cubes_downgraded += 1;
                 }
-                state.on_submit(handle.id(), bytes);
+                gauge.on_submit(handle.id(), bytes);
                 pending.push((source.to_string(), tag, cube, priority, handle));
-                Ok(())
+                return Ok(());
             }
-            Err(ServiceError::Saturated) => {
-                counters.record_shed(ShedReason::Saturated);
-                shed.push(ShedCube {
-                    source: source.to_string(),
-                    tag,
-                    reason: ShedReason::Saturated,
-                    bytes,
-                });
-                Ok(())
+            Err(ServiceError::Saturated { retry_after }) => (ShedReason::Saturated, retry_after),
+            Err(ServiceError::Shed {
+                reason,
+                retry_after,
+            }) => (reason, retry_after),
+            Err(ServiceError::QuotaExceeded { retry_after, .. }) => {
+                (ShedReason::Quota, retry_after)
             }
-            Err(e) => Err(e.into()),
-        }
+            Err(e) => return Err(e.into()),
+        };
+        let (reason, retry_after) = refusal;
+        counters.record_shed(reason);
+        shed.push(ShedCube {
+            source: source.to_string(),
+            tag,
+            reason,
+            bytes,
+            retry_after,
+        });
+        Ok(())
     }
 }
 

@@ -2,32 +2,13 @@
 //! run — arrivals, chunks, assembled bytes, store dedup, shedding
 //! decisions, and job outcomes.
 
+use service::TenantId;
 use std::collections::BTreeMap;
 
-/// Why an arrival was shed instead of submitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShedReason {
-    /// The estimated admission-queue depth was at or above the hard
-    /// watermark.
-    QueueDepth,
-    /// The bytes of submitted-but-unfinished cubes were at or above the
-    /// hard watermark.
-    InFlightBytes,
-    /// The service's own admission queue rejected the submission
-    /// (`ServiceError::Saturated`).
-    Saturated,
-}
-
-impl ShedReason {
-    /// A short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ShedReason::QueueDepth => "queue-depth",
-            ShedReason::InFlightBytes => "in-flight-bytes",
-            ShedReason::Saturated => "saturated",
-        }
-    }
-}
+// The shed taxonomy is the admission plane's: one enum shared by the
+// service's typed errors/events and the pump's counters, so a
+// `ServiceError::Shed` maps onto an ingest counter without translation.
+pub use service::ShedReason;
 
 /// Counters for one source.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +23,8 @@ pub struct SourceCounters {
     pub shed_queue_depth: u64,
     /// Arrivals shed at the in-flight-bytes watermark.
     pub shed_in_flight_bytes: u64,
+    /// Arrivals bounced off the ingest tenant's queued-job quota.
+    pub shed_quota: u64,
     /// Arrivals shed by service admission backpressure.
     pub shed_saturated: u64,
     /// Payload chunks decoded.
@@ -60,7 +43,7 @@ pub struct SourceCounters {
 impl SourceCounters {
     /// Arrivals shed for any reason.
     pub fn cubes_shed(&self) -> u64 {
-        self.shed_queue_depth + self.shed_in_flight_bytes + self.shed_saturated
+        self.shed_queue_depth + self.shed_in_flight_bytes + self.shed_quota + self.shed_saturated
     }
 
     /// Records a shed under its reason.
@@ -68,6 +51,7 @@ impl SourceCounters {
         match reason {
             ShedReason::QueueDepth => self.shed_queue_depth += 1,
             ShedReason::InFlightBytes => self.shed_in_flight_bytes += 1,
+            ShedReason::Quota => self.shed_quota += 1,
             ShedReason::Saturated => self.shed_saturated += 1,
         }
     }
@@ -79,6 +63,7 @@ impl SourceCounters {
         self.cubes_downgraded += other.cubes_downgraded;
         self.shed_queue_depth += other.shed_queue_depth;
         self.shed_in_flight_bytes += other.shed_in_flight_bytes;
+        self.shed_quota += other.shed_quota;
         self.shed_saturated += other.shed_saturated;
         self.chunks += other.chunks;
         self.bytes_assembled += other.bytes_assembled;
@@ -91,6 +76,8 @@ impl SourceCounters {
 /// Aggregate accounting of one [`crate::IngestPump`] run.
 #[derive(Debug, Clone, Default)]
 pub struct IngestReport {
+    /// The tenant the pump submitted on behalf of.
+    pub tenant: TenantId,
     /// Per-source counters, keyed by source name.
     pub sources: BTreeMap<String, SourceCounters>,
     /// Cubes resident in the store at the end of the run.
@@ -125,17 +112,18 @@ impl IngestReport {
     /// A human-readable multi-line rendering for examples and logs.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("ingest report\n");
+        out.push_str(&format!("ingest report (tenant {})\n", self.tenant.label()));
         for (name, c) in &self.sources {
             out.push_str(&format!(
                 "  source {name}: {} seen, {} admitted ({} downgraded), {} shed \
-                 ({} queue-depth, {} in-flight-bytes, {} saturated), {} decode errors\n",
+                 ({} queue-depth, {} in-flight-bytes, {} quota, {} saturated), {} decode errors\n",
                 c.cubes_seen,
                 c.cubes_admitted,
                 c.cubes_downgraded,
                 c.cubes_shed(),
                 c.shed_queue_depth,
                 c.shed_in_flight_bytes,
+                c.shed_quota,
                 c.shed_saturated,
                 c.decode_errors,
             ));
@@ -196,11 +184,14 @@ mod tests {
     fn shed_reasons_label_and_count() {
         assert_eq!(ShedReason::QueueDepth.label(), "queue-depth");
         assert_eq!(ShedReason::InFlightBytes.label(), "in-flight-bytes");
+        assert_eq!(ShedReason::Quota.label(), "quota");
         assert_eq!(ShedReason::Saturated.label(), "saturated");
         let mut c = SourceCounters::default();
         c.record_shed(ShedReason::InFlightBytes);
         c.record_shed(ShedReason::InFlightBytes);
-        assert_eq!(c.cubes_shed(), 2);
+        c.record_shed(ShedReason::Quota);
+        assert_eq!(c.cubes_shed(), 3);
         assert_eq!(c.shed_in_flight_bytes, 2);
+        assert_eq!(c.shed_quota, 1);
     }
 }

@@ -23,6 +23,7 @@
 //! # }
 //! ```
 
+use crate::admission::{AdmissionConfig, PressurePolicy, TenantId, TenantQuota};
 use crate::chaos::ChaosPlan;
 use crate::routing::{default_policy, RoutingPolicy, SharedRoutingPolicy};
 use crate::ServiceError;
@@ -43,6 +44,12 @@ pub enum ConfigError {
     ZeroReplicationLevel,
     /// A job spec asked for zero shards.
     ZeroShards,
+    /// A tenant quota carries a fair-share weight of zero: the tenant
+    /// could never be dequeued.
+    ZeroTenantWeight(TenantId),
+    /// A tenant quota bounds the tenant's queue at zero jobs: no
+    /// submission of that tenant could ever be accepted.
+    ZeroTenantQuota(TenantId),
     /// The embedded pipeline configuration is invalid; the payload is the
     /// pipeline's own message.
     Pipeline(String),
@@ -61,6 +68,12 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "replica groups need a replication level of at least 1")
             }
             ConfigError::ZeroShards => write!(f, "a job needs at least one shard"),
+            ConfigError::ZeroTenantWeight(tenant) => {
+                write!(f, "tenant {tenant} needs a fair-share weight of at least 1")
+            }
+            ConfigError::ZeroTenantQuota(tenant) => {
+                write!(f, "tenant {tenant} needs a queue quota of at least 1")
+            }
             ConfigError::Pipeline(msg) => write!(f, "pipeline configuration: {msg}"),
         }
     }
@@ -116,6 +129,9 @@ pub struct ServiceConfig {
     pub max_in_flight: usize,
     /// The policy resolving [`crate::Route::Auto`] jobs to a lane.
     pub routing: SharedRoutingPolicy,
+    /// The admission plane: tenant quotas, fair-share weights, and the
+    /// tiered-degradation watermarks.
+    pub admission: AdmissionConfig,
     /// Deterministic chaos schedule: member kills anchored to scheduler
     /// dispatch events (empty by default).
     pub chaos: ChaosPlan,
@@ -128,6 +144,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_in_flight: 16,
             routing: default_policy(),
+            admission: AdmissionConfig::default(),
             chaos: ChaosPlan::none(),
         }
     }
@@ -161,6 +178,7 @@ impl ServiceConfig {
         if pool.replica_groups > 0 && pool.replication_level == 0 {
             return Err(ConfigError::ZeroReplicationLevel);
         }
+        self.admission.validate()?;
         Ok(())
     }
 }
@@ -232,6 +250,30 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Replaces the whole admission-plane block.
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Sets one tenant's quota (fair-share weight and queue bound).
+    pub fn tenant_quota(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        self.config.admission.quotas.insert(tenant, quota);
+        self
+    }
+
+    /// The quota of tenants without an explicit [`Self::tenant_quota`].
+    pub fn default_tenant_quota(mut self, quota: TenantQuota) -> Self {
+        self.config.admission.default_quota = quota;
+        self
+    }
+
+    /// The tiered-degradation watermarks applied at submission.
+    pub fn pressure(mut self, pressure: PressurePolicy) -> Self {
+        self.config.admission.pressure = pressure;
+        self
+    }
+
     /// Deterministic chaos schedule.
     pub fn chaos(mut self, plan: ChaosPlan) -> Self {
         self.config.chaos = plan;
@@ -292,6 +334,32 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroReplicationLevel
         );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_tenant_quotas() {
+        assert_eq!(
+            ServiceConfig::builder()
+                .tenant_quota(TenantId(4), TenantQuota::weighted(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroTenantWeight(TenantId(4))
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .tenant_quota(TenantId(4), TenantQuota::weighted(2).with_max_queued(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroTenantQuota(TenantId(4))
+        );
+        let config = ServiceConfig::builder()
+            .tenant_quota(TenantId(4), TenantQuota::weighted(2).with_max_queued(8))
+            .default_tenant_quota(TenantQuota::weighted(1))
+            .pressure(PressurePolicy::unbounded().with_downgrade_queue_depth(4))
+            .build()
+            .unwrap();
+        assert_eq!(config.admission.quotas.get(&TenantId(4)).unwrap().weight, 2);
+        assert_eq!(config.admission.pressure.downgrade_queue_depth, 4);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! # }
 //! ```
 
+use crate::admission::{RetryAfter, ShedReason, TenantId};
 use crate::job::{BackendKind, JobId, JobStatus};
 use pct::messages::TaskId;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -43,10 +44,26 @@ pub enum ServiceEvent {
     Admitted {
         /// The job.
         job: JobId,
+        /// The tenant it belongs to.
+        tenant: TenantId,
         /// The resolved execution lane.
         route: BackendKind,
         /// Whether the lane came from the routing policy ([`crate::Route::Auto`]).
         auto: bool,
+    },
+    /// The admission plane refused a submission: shed at a watermark,
+    /// bounced off a tenant quota, or rejected by queue saturation.  The
+    /// event mirrors the typed error the submitter saw, so observers can
+    /// account rejections they did not themselves submit.
+    Rejected {
+        /// The id the front end had assigned (never admitted).
+        job: JobId,
+        /// The tenant whose submission was refused.
+        tenant: TenantId,
+        /// Why it was refused.
+        reason: ShedReason,
+        /// The machine-readable back-off hint the submitter received.
+        retry_after: RetryAfter,
     },
     /// A task (or, on the shared-memory lane, the whole job) was handed to
     /// an execution slot.
@@ -86,6 +103,8 @@ pub enum ServiceEvent {
     Terminal {
         /// The job.
         job: JobId,
+        /// The tenant it belongs to.
+        tenant: TenantId,
         /// The terminal status (`Completed`, `Failed`, `Cancelled` or
         /// `TimedOut`).
         status: JobStatus,
@@ -204,6 +223,7 @@ mod tests {
         assert_eq!(bus.subscriber_count(), 2);
         bus.publish(ServiceEvent::Terminal {
             job: 1,
+            tenant: TenantId::default(),
             status: JobStatus::Completed,
         });
         assert_eq!(bus.subscriber_count(), 1);
@@ -216,11 +236,13 @@ mod tests {
         let sub = bus.subscribe();
         bus.publish(ServiceEvent::Admitted {
             job: 1,
+            tenant: TenantId::default(),
             route: BackendKind::Standard,
             auto: true,
         });
         bus.publish(ServiceEvent::Terminal {
             job: 1,
+            tenant: TenantId::default(),
             status: JobStatus::Completed,
         });
         let hit = sub.wait_for(Duration::from_millis(100), |e| {
@@ -230,6 +252,7 @@ mod tests {
             hit,
             Some(ServiceEvent::Terminal {
                 job: 1,
+                tenant: TenantId::default(),
                 status: JobStatus::Completed
             })
         );

@@ -1,5 +1,6 @@
 //! Job specifications, identifiers, priorities and lifecycle states.
 
+use crate::admission::{JobClass, TenantId};
 use crate::config::ConfigError;
 use crate::routing::Route;
 use crate::Result;
@@ -99,6 +100,16 @@ impl CubeSource {
             }
         }
     }
+
+    /// Payload bytes of the cube this source yields, used for the
+    /// admission plane's in-flight byte accounting (exact for in-memory
+    /// cubes, derived from the dimensions for synthetic scenes).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            CubeSource::InMemory(cube) => cube.byte_size(),
+            CubeSource::Synthetic(config) => config.dims.byte_size(),
+        }
+    }
 }
 
 /// Everything the service needs to run one fusion job.
@@ -130,6 +141,11 @@ pub struct JobSpec {
     pub route: Route,
     /// Scheduling priority.
     pub priority: Priority,
+    /// The tenant the job is submitted on behalf of (fairness and quota
+    /// accounting; defaults to [`TenantId`]`(0)`).
+    pub tenant: TenantId,
+    /// How the admission plane may degrade the job under pressure.
+    pub class: JobClass,
     /// Number of sub-cubes the job is sharded into (clamped to the cube's
     /// row count at admission).  The decomposition is fixed per job, so the
     /// output does not depend on pool width.
@@ -170,6 +186,18 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Attributes the job to a tenant.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.spec.tenant = tenant;
+        self
+    }
+
+    /// Overrides the admission class.
+    pub fn class(mut self, class: JobClass) -> Self {
+        self.spec.class = class;
+        self
+    }
+
     /// Overrides the shard count.
     pub fn shards(mut self, shards: usize) -> Self {
         self.spec.shards = shards;
@@ -198,6 +226,8 @@ impl JobSpec {
             config: PctConfig::paper(),
             route: Route::Auto,
             priority: Priority::Normal,
+            tenant: TenantId::default(),
+            class: JobClass::default(),
             shards: 4,
             timeout: None,
         }
@@ -225,6 +255,18 @@ impl JobSpec {
     /// Overrides the priority.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attributes the job to a tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Overrides the admission class.
+    pub fn with_class(mut self, class: JobClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -301,15 +343,23 @@ mod tests {
         let spec = JobSpec::builder(CubeSource::Synthetic(SceneConfig::small(1)))
             .pinned(BackendKind::Resilient)
             .priority(Priority::High)
+            .tenant(TenantId(7))
+            .class(JobClass::Bulk)
             .shards(2)
             .timeout(Duration::from_secs(5))
             .build()
             .unwrap();
         assert_eq!(spec.route, Route::Pinned(BackendKind::Resilient));
         assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.tenant, TenantId(7));
+        assert_eq!(spec.class, JobClass::Bulk);
         assert_eq!(spec.shards, 2);
         assert!(spec.timeout.is_some());
         assert!(spec.validate().is_ok());
+        // The defaults keep pre-tenancy call sites on the public tenant.
+        let plain = JobSpec::new(CubeSource::Synthetic(SceneConfig::small(1)));
+        assert_eq!(plain.tenant, TenantId::default());
+        assert_eq!(plain.class, JobClass::Standard);
     }
 
     #[test]

@@ -49,10 +49,22 @@
 //! Intra-job screening is therefore pipelined rather than fanned out; pool
 //! utilisation comes from running many jobs concurrently, which is the
 //! service's reason to exist.
+//!
+//! ## Admission & tenancy
+//!
+//! Every admission decision — queueing, route resolution and load shedding —
+//! flows through one [`AdmissionGovernor`] (module [`admission`]).  Jobs
+//! carry a [`TenantId`] and a [`JobClass`]; tenants get weighted fair-share
+//! dequeueing (deterministic deficit round-robin) plus optional per-tenant
+//! quotas, and a tiered [`PressurePolicy`] degrades load in order —
+//! *downgrade* priority, then *shed*, then *reject* — with every refusal
+//! carrying a machine-readable [`RetryAfter`] hint in both the typed
+//! [`ServiceError`] and the [`ServiceEvent::Rejected`] event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod chaos;
 pub mod config;
 pub mod events;
@@ -67,12 +79,16 @@ mod queue;
 mod scheduler;
 mod status;
 
+pub use admission::{
+    AdmissionConfig, AdmissionGovernor, DrrQueue, JobClass, LoadView, PressureDecision,
+    PressureGauge, PressurePolicy, RetryAfter, ShedReason, TenantId, TenantQuota,
+};
 pub use chaos::{ChaosPhase, ChaosPlan, PhaseKill};
 pub use config::{ConfigError, PoolConfig, ServiceConfig, ServiceConfigBuilder};
 pub use events::{EventSubscriber, ServiceEvent};
 pub use handle::{JobHandle, JobOutcome};
 pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobSpecBuilder, JobStatus, Priority};
-pub use report::{LatencyStats, RouteStats, ServiceReport};
+pub use report::{LatencyStats, RouteStats, ServiceReport, TenantStats};
 pub use routing::{
     CostHintPolicy, LaneLoad, LaneSnapshot, LeastLoadedPolicy, RoundRobinPolicy, Route,
     RoutingPolicy, RoutingRequest, SharedRoutingPolicy, SizeThresholdPolicy,
@@ -83,7 +99,25 @@ pub use service::FusionService;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The admission queue is full (backpressure): the job was rejected.
-    Saturated,
+    /// The hint tells the submitter when a retry is worthwhile.
+    Saturated {
+        /// Machine-readable back-off hint.
+        retry_after: RetryAfter,
+    },
+    /// The admission plane shed the job at a pressure watermark.
+    Shed {
+        /// The watermark (or quota) that triggered the shed.
+        reason: ShedReason,
+        /// Machine-readable back-off hint.
+        retry_after: RetryAfter,
+    },
+    /// The tenant's per-tenant queued-job quota is exhausted.
+    QuotaExceeded {
+        /// The tenant whose quota is exhausted.
+        tenant: TenantId,
+        /// Machine-readable back-off hint.
+        retry_after: RetryAfter,
+    },
     /// The service is shutting down and no longer accepts jobs.
     ShuttingDown,
     /// No job with this id is known to the service.
@@ -105,7 +139,29 @@ pub enum ServiceError {
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::Saturated => write!(f, "admission queue is full"),
+            ServiceError::Saturated { retry_after } => {
+                write!(f, "admission queue is full ({retry_after})")
+            }
+            ServiceError::Shed {
+                reason,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "job shed at {} watermark ({retry_after})",
+                    reason.label()
+                )
+            }
+            ServiceError::QuotaExceeded {
+                tenant,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "tenant {} queued-job quota exhausted ({retry_after})",
+                    tenant.label()
+                )
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
             ServiceError::Failed(cause) => write!(f, "job failed: {cause}"),

@@ -1,14 +1,18 @@
-//! The bounded, priority-ordered admission queue.
+//! The bounded, tenant-aware admission queue.
 //!
-//! Submissions enter here; the scheduler drains from here.  The queue is the
-//! backpressure point of the service: `try_push` rejects when full (the
-//! caller sees [`ServiceError::Saturated`]) and `push_blocking` parks the
-//! submitter until space frees up or the queue closes.  Within the bound the
-//! queue orders by priority, FIFO within a priority.
+//! Submissions enter here; the scheduler drains from here.  The queue is
+//! the backpressure point of the service: `try_push` rejects when full
+//! (the caller sees [`ServiceError::Saturated`] with the plane's
+//! [`crate::RetryAfter`] hint) and `push_blocking` parks the submitter
+//! until space frees up or the queue closes.  Within the bound, ordering
+//! is the admission plane's deterministic weighted fair share
+//! ([`crate::DrrQueue`]): deficit round-robin across tenants,
+//! priority-then-FIFO within a tenant.  With a single tenant this
+//! degenerates to the old global priority queue.
 
-use crate::job::{JobId, JobSpec, Priority};
+use crate::admission::{DrrQueue, RetryAfter, TenantId};
+use crate::job::{JobId, JobSpec};
 use crate::ServiceError;
-use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -23,33 +27,8 @@ pub(crate) struct QueuedJob {
     pub spec: JobSpec,
 }
 
-struct Entry {
-    rank: u8,
-    seq: u64,
-    job: QueuedJob,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.rank == other.rank && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: more urgent first; among equals, earlier submission first.
-        self.rank.cmp(&other.rank).then(other.seq.cmp(&self.seq))
-    }
-}
-
 struct Inner {
-    heap: BinaryHeap<Entry>,
-    next_seq: u64,
+    queue: DrrQueue<QueuedJob>,
     high_water: usize,
     closed: bool,
 }
@@ -57,17 +36,20 @@ struct Inner {
 /// The bounded admission queue shared by the front end and the scheduler.
 pub(crate) struct AdmissionQueue {
     capacity: usize,
+    retry_after: RetryAfter,
     inner: Mutex<Inner>,
     space: Condvar,
 }
 
 impl AdmissionQueue {
-    pub fn new(capacity: usize) -> Self {
+    /// A queue holding at most `capacity` jobs (floor 1); `retry_after` is
+    /// the back-off hint attached to saturation rejections.
+    pub fn new(capacity: usize, retry_after: RetryAfter) -> Self {
         Self {
             capacity: capacity.max(1),
+            retry_after,
             inner: Mutex::new(Inner {
-                heap: BinaryHeap::new(),
-                next_seq: 0,
+                queue: DrrQueue::new(),
                 high_water: 0,
                 closed: false,
             }),
@@ -79,58 +61,63 @@ impl AdmissionQueue {
         self.capacity
     }
 
-    fn push_locked(inner: &mut Inner, priority: Priority, job: QueuedJob) {
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        inner.heap.push(Entry {
-            rank: priority.rank(),
-            seq,
-            job,
-        });
-        inner.high_water = inner.high_water.max(inner.heap.len());
+    fn push_locked(inner: &mut Inner, weight: u64, job: QueuedJob) {
+        let tenant = job.spec.tenant;
+        let priority = job.spec.priority;
+        inner.queue.push(tenant, weight, priority, job);
+        inner.high_water = inner.high_water.max(inner.queue.len());
     }
 
     /// Non-blocking submission: rejects with `Saturated` when full.
-    pub fn try_push(&self, job: QueuedJob) -> Result<(), ServiceError> {
+    pub fn try_push(&self, job: QueuedJob, weight: u64) -> Result<(), ServiceError> {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.closed {
             return Err(ServiceError::ShuttingDown);
         }
-        if inner.heap.len() >= self.capacity {
-            return Err(ServiceError::Saturated);
+        if inner.queue.len() >= self.capacity {
+            return Err(ServiceError::Saturated {
+                retry_after: self.retry_after,
+            });
         }
-        let priority = job.spec.priority;
-        Self::push_locked(&mut inner, priority, job);
+        Self::push_locked(&mut inner, weight, job);
         Ok(())
     }
 
     /// Blocking submission: waits for space, errs only on shutdown.
-    pub fn push_blocking(&self, job: QueuedJob) -> Result<(), ServiceError> {
+    pub fn push_blocking(&self, job: QueuedJob, weight: u64) -> Result<(), ServiceError> {
         let mut inner = self.inner.lock().expect("queue lock");
-        while !inner.closed && inner.heap.len() >= self.capacity {
+        while !inner.closed && inner.queue.len() >= self.capacity {
             inner = self.space.wait(inner).expect("queue lock");
         }
         if inner.closed {
             return Err(ServiceError::ShuttingDown);
         }
-        let priority = job.spec.priority;
-        Self::push_locked(&mut inner, priority, job);
+        Self::push_locked(&mut inner, weight, job);
         Ok(())
     }
 
-    /// Scheduler side: takes the most urgent queued job, if any.
+    /// Scheduler side: takes the next job under weighted fair dequeue.
     pub fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock().expect("queue lock");
-        let entry = inner.heap.pop();
+        let entry = inner.queue.pop();
         if entry.is_some() {
             self.space.notify_one();
         }
-        entry.map(|e| e.job)
+        entry.map(|(_, job)| job)
     }
 
     /// Number of jobs currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").heap.len()
+        self.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// Number of jobs one tenant currently has queued.
+    pub fn tenant_depth(&self, tenant: TenantId) -> usize {
+        self.inner
+            .lock()
+            .expect("queue lock")
+            .queue
+            .tenant_len(tenant)
     }
 
     /// Whether the queue is currently empty.
@@ -153,10 +140,14 @@ impl AdmissionQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{CubeSource, JobSpec};
+    use crate::job::{CubeSource, JobSpec, Priority};
     use hsi::SceneConfig;
     use std::sync::Arc;
     use std::time::Duration;
+
+    fn hint() -> RetryAfter {
+        RetryAfter(Duration::from_millis(25))
+    }
 
     fn job(id: JobId, priority: Priority) -> QueuedJob {
         QueuedJob {
@@ -167,39 +158,64 @@ mod tests {
         }
     }
 
+    fn tenant_job(id: JobId, tenant: TenantId) -> QueuedJob {
+        QueuedJob {
+            id,
+            submitted: Instant::now(),
+            spec: JobSpec::new(CubeSource::Synthetic(SceneConfig::small(id))).with_tenant(tenant),
+        }
+    }
+
     #[test]
     fn pops_by_priority_then_fifo() {
-        let q = AdmissionQueue::new(10);
-        q.try_push(job(1, Priority::Low)).unwrap();
-        q.try_push(job(2, Priority::Normal)).unwrap();
-        q.try_push(job(3, Priority::High)).unwrap();
-        q.try_push(job(4, Priority::Normal)).unwrap();
+        let q = AdmissionQueue::new(10, hint());
+        q.try_push(job(1, Priority::Low), 1).unwrap();
+        q.try_push(job(2, Priority::Normal), 1).unwrap();
+        q.try_push(job(3, Priority::High), 1).unwrap();
+        q.try_push(job(4, Priority::Normal), 1).unwrap();
         let order: Vec<JobId> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
         assert_eq!(order, vec![3, 2, 4, 1]);
     }
 
     #[test]
+    fn weighted_tenants_interleave_fairly() {
+        let q = AdmissionQueue::new(16, hint());
+        for i in 0..4u64 {
+            q.try_push(tenant_job(10 + i, TenantId(1)), 2).unwrap();
+            q.try_push(tenant_job(20 + i, TenantId(2)), 1).unwrap();
+        }
+        assert_eq!(q.tenant_depth(TenantId(1)), 4);
+        assert_eq!(q.tenant_depth(TenantId(2)), 4);
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pop()).map(|j| j.id).collect();
+        // Two from tenant 1 per one from tenant 2 while both are backlogged.
+        assert_eq!(order, vec![10, 11, 20, 12, 13, 21, 22, 23]);
+        assert_eq!(q.tenant_depth(TenantId(1)), 0);
+    }
+
+    #[test]
     fn saturation_rejects_and_high_water_tracks() {
-        let q = AdmissionQueue::new(2);
-        q.try_push(job(1, Priority::Normal)).unwrap();
-        q.try_push(job(2, Priority::Normal)).unwrap();
+        let q = AdmissionQueue::new(2, hint());
+        q.try_push(job(1, Priority::Normal), 1).unwrap();
+        q.try_push(job(2, Priority::Normal), 1).unwrap();
         assert_eq!(
-            q.try_push(job(3, Priority::High)).unwrap_err(),
-            ServiceError::Saturated
+            q.try_push(job(3, Priority::High), 1).unwrap_err(),
+            ServiceError::Saturated {
+                retry_after: hint()
+            }
         );
         assert_eq!(q.len(), 2);
         assert_eq!(q.high_water(), 2);
         q.pop().unwrap();
-        q.try_push(job(3, Priority::High)).unwrap();
+        q.try_push(job(3, Priority::High), 1).unwrap();
         assert_eq!(q.high_water(), 2);
     }
 
     #[test]
     fn blocking_push_waits_for_space() {
-        let q = Arc::new(AdmissionQueue::new(1));
-        q.try_push(job(1, Priority::Normal)).unwrap();
+        let q = Arc::new(AdmissionQueue::new(1, hint()));
+        q.try_push(job(1, Priority::Normal), 1).unwrap();
         let q2 = Arc::clone(&q);
-        let pusher = std::thread::spawn(move || q2.push_blocking(job(2, Priority::Normal)));
+        let pusher = std::thread::spawn(move || q2.push_blocking(job(2, Priority::Normal), 1));
         // Give the pusher a moment to park, then free space.
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(q.pop().unwrap().id, 1);
@@ -209,10 +225,10 @@ mod tests {
 
     #[test]
     fn close_rejects_and_wakes_blocked_pushers() {
-        let q = Arc::new(AdmissionQueue::new(1));
-        q.try_push(job(1, Priority::Normal)).unwrap();
+        let q = Arc::new(AdmissionQueue::new(1, hint()));
+        q.try_push(job(1, Priority::Normal), 1).unwrap();
         let q2 = Arc::clone(&q);
-        let pusher = std::thread::spawn(move || q2.push_blocking(job(2, Priority::Normal)));
+        let pusher = std::thread::spawn(move || q2.push_blocking(job(2, Priority::Normal), 1));
         std::thread::sleep(Duration::from_millis(30));
         q.close();
         assert_eq!(
@@ -220,7 +236,7 @@ mod tests {
             ServiceError::ShuttingDown
         );
         assert_eq!(
-            q.try_push(job(3, Priority::Normal)).unwrap_err(),
+            q.try_push(job(3, Priority::Normal), 1).unwrap_err(),
             ServiceError::ShuttingDown
         );
         // Already-queued jobs still drain.
@@ -230,9 +246,9 @@ mod tests {
 
     #[test]
     fn capacity_floor_is_one() {
-        let q = AdmissionQueue::new(0);
+        let q = AdmissionQueue::new(0, hint());
         assert_eq!(q.capacity(), 1);
-        q.try_push(job(1, Priority::Normal)).unwrap();
-        assert!(q.try_push(job(2, Priority::Normal)).is_err());
+        q.try_push(job(1, Priority::Normal), 1).unwrap();
+        assert!(q.try_push(job(2, Priority::Normal), 1).is_err());
     }
 }

@@ -1,9 +1,28 @@
 //! The [`ServiceReport`]: counters and latency statistics describing one
 //! service lifetime.
 
+use crate::admission::TenantId;
 use crate::job::{BackendKind, Priority};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Per-tenant admission accounting, kept by the
+/// [`crate::AdmissionGovernor`] and folded into the report at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's fair-share weight at the time it was first seen.
+    pub weight: u64,
+    /// Jobs accepted into the admission queue.
+    pub jobs_admitted: u64,
+    /// Of the admitted, jobs down-prioritized by the soft watermark.
+    pub jobs_downgraded: u64,
+    /// Submissions shed at a hard watermark.
+    pub jobs_shed: u64,
+    /// Submissions rejected (queue saturation or tenant quota).
+    pub jobs_rejected: u64,
+    /// Admitted jobs that completed successfully.
+    pub jobs_completed: u64,
+}
 
 /// Per-route accounting: how many jobs ran on one execution lane and how
 /// they got there.
@@ -63,8 +82,11 @@ pub struct ServiceReport {
     pub jobs_cancelled: u64,
     /// Jobs abandoned after exceeding their deadline.
     pub jobs_timed_out: u64,
-    /// Submissions rejected by admission backpressure.
+    /// Submissions rejected by admission backpressure (queue saturation or
+    /// tenant quota).
     pub jobs_rejected: u64,
+    /// Submissions shed by the pressure ladder's hard watermarks.
+    pub jobs_shed: u64,
     /// Tasks dispatched to the pool (group sends count once).
     pub tasks_dispatched: u64,
     /// First-per-task results consumed.
@@ -101,6 +123,9 @@ pub struct ServiceReport {
     /// Per-route accounting: jobs and tasks per execution lane, and how many
     /// lane choices came from the routing policy.
     pub routes: BTreeMap<BackendKind, RouteStats>,
+    /// Per-tenant admission accounting (weights, admissions, downgrades,
+    /// sheds, rejections, completions).
+    pub tenants: BTreeMap<TenantId, TenantStats>,
 }
 
 impl ServiceReport {
@@ -149,6 +174,11 @@ impl ServiceReport {
         self.routes.get(&route).copied().unwrap_or_default()
     }
 
+    /// The stats of one tenant (all-zero if it never submitted).
+    pub fn tenant(&self, tenant: TenantId) -> TenantStats {
+        self.tenants.get(&tenant).copied().unwrap_or_default()
+    }
+
     /// A human-readable multi-line rendering for examples and logs.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -162,6 +192,12 @@ impl ServiceReport {
             self.jobs_submitted,
             self.jobs_rejected,
         ));
+        if self.jobs_shed > 0 {
+            out.push_str(&format!(
+                "          {} shed by pressure watermarks\n",
+                self.jobs_shed
+            ));
+        }
         out.push_str(&format!(
             "  tasks:  {} dispatched, {} results ({} replica duplicates ignored, {} retransmits), {} heartbeats\n",
             self.tasks_dispatched,
@@ -188,6 +224,18 @@ impl ServiceReport {
                     stats.tasks_dispatched,
                 ));
             }
+        }
+        for (tenant, stats) in &self.tenants {
+            out.push_str(&format!(
+                "  tenant {:>6} (w{}): {} admitted ({} downgraded), {} shed, {} rejected, {} completed\n",
+                tenant.label(),
+                stats.weight,
+                stats.jobs_admitted,
+                stats.jobs_downgraded,
+                stats.jobs_shed,
+                stats.jobs_rejected,
+                stats.jobs_completed,
+            ));
         }
         out.push_str(&format!(
             "  queue:  high-water mark {} jobs\n",

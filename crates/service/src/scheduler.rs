@@ -30,13 +30,13 @@
 //! replica results are discarded by task id — all without disturbing job
 //! outputs.
 
+use crate::admission::{AdmissionGovernor, TenantId};
 use crate::chaos::{ChaosPhase, ChaosPlan};
 use crate::events::{EventBus, ServiceEvent};
 use crate::job::{BackendKind, JobId, JobStatus, Priority};
 use crate::pool::{InlineJob, InlineResult, WorkerPool};
-use crate::queue::AdmissionQueue;
 use crate::report::ServiceReport;
-use crate::routing::{LaneLoad, LaneSnapshot, Route, RoutingRequest, SharedRoutingPolicy};
+use crate::routing::{LaneLoad, LaneSnapshot, RoutingRequest};
 use crate::status::StatusTable;
 use hsi::partition::{partition_rows, SubCubeSpec};
 use hsi::{CloneLedger, HyperCube};
@@ -83,6 +83,7 @@ enum Phase {
 
 /// Scheduler-side state of one admitted job.
 struct JobRun {
+    tenant: TenantId,
     priority: Priority,
     /// The resolved execution lane.
     backend: BackendKind,
@@ -174,12 +175,11 @@ const DEDUP_WINDOW: usize = 4096;
 pub(crate) struct Scheduler {
     pool: WorkerPool,
     ctx: ThreadContext<PctMessage>,
-    queue: Arc<AdmissionQueue>,
+    governor: Arc<AdmissionGovernor>,
     status: Arc<StatusTable>,
     cancels: Arc<Mutex<Vec<JobId>>>,
     shutdown: Arc<AtomicBool>,
     max_in_flight: usize,
-    routing: SharedRoutingPolicy,
     events: Arc<EventBus>,
     running: BTreeMap<JobId, JobRun>,
     tasks: HashMap<TaskId, InFlight>,
@@ -206,12 +206,11 @@ impl Scheduler {
     pub fn new(
         pool: WorkerPool,
         ctx: ThreadContext<PctMessage>,
-        queue: Arc<AdmissionQueue>,
+        governor: Arc<AdmissionGovernor>,
         status: Arc<StatusTable>,
         cancels: Arc<Mutex<Vec<JobId>>>,
         shutdown: Arc<AtomicBool>,
         max_in_flight: usize,
-        routing: SharedRoutingPolicy,
         events: Arc<EventBus>,
         chaos: ChaosPlan,
     ) -> Self {
@@ -223,12 +222,11 @@ impl Scheduler {
         Self {
             pool,
             ctx,
-            queue,
+            governor,
             status,
             cancels,
             shutdown,
             max_in_flight: max_in_flight.max(1),
-            routing,
             events,
             running: BTreeMap::new(),
             tasks: HashMap::new(),
@@ -270,27 +268,6 @@ impl Scheduler {
         }
     }
 
-    /// Resolves a job's route to a concrete, enabled lane.  Pinned routes
-    /// were validated at submission; auto routes go through the policy, and
-    /// anything pointing at a disabled lane is clamped to the first enabled
-    /// lane in preference order (a misbehaving policy cannot strand a job).
-    fn resolve_route(&self, route: Route, request: &RoutingRequest) -> (BackendKind, bool) {
-        let lanes = self.lane_snapshot();
-        let (kind, auto) = match route {
-            Route::Pinned(kind) => (kind, false),
-            Route::Auto => (self.routing.route(request, &lanes), true),
-        };
-        if lanes.lane(kind).enabled() {
-            return (kind, auto);
-        }
-        let fallback = lanes
-            .enabled_lanes()
-            .first()
-            .copied()
-            .unwrap_or(BackendKind::Standard);
-        (fallback, auto)
-    }
-
     /// The scheduler main loop; returns the final report at shutdown.
     pub fn run(mut self) -> ServiceReport {
         loop {
@@ -314,7 +291,7 @@ impl Scheduler {
             self.enforce_deadlines();
             if self.shutdown.load(Ordering::Acquire)
                 && self.running.is_empty()
-                && self.queue.is_empty()
+                && self.governor.queue_is_empty()
             {
                 break;
             }
@@ -337,30 +314,38 @@ impl Scheduler {
         }
     }
 
-    /// Marks a job terminal in the results plane and publishes the event.
+    /// Marks a job terminal in the results plane, reports it back to the
+    /// admission governor (releasing its in-flight bytes and crediting the
+    /// tenant), and publishes the event.
     fn terminal_transition(
         &mut self,
         id: JobId,
+        tenant: TenantId,
         status: JobStatus,
         output: Option<FusionOutput>,
         error: Option<String>,
     ) {
+        self.governor.note_terminal(id, tenant, status);
         self.status.transition(id, status, output, error);
-        self.events
-            .publish(ServiceEvent::Terminal { job: id, status });
+        self.events.publish(ServiceEvent::Terminal {
+            job: id,
+            tenant,
+            status,
+        });
     }
 
     /// Admits queued jobs while in-flight capacity remains, resolving each
     /// job's route against the live lane snapshot.
     fn admit(&mut self) {
         while self.running.len() < self.max_in_flight {
-            let Some(queued) = self.queue.pop() else {
+            let Some(queued) = self.governor.next() else {
                 break;
             };
+            let tenant = queued.spec.tenant;
             self.report.jobs_submitted += 1;
             if self.cancelled_queued.remove(&queued.id) {
                 self.report.jobs_cancelled += 1;
-                self.terminal_transition(queued.id, JobStatus::Cancelled, None, None);
+                self.terminal_transition(queued.id, tenant, JobStatus::Cancelled, None, None);
                 continue;
             }
             let cube = match queued.spec.source.realize() {
@@ -369,6 +354,7 @@ impl Scheduler {
                     self.report.jobs_failed += 1;
                     self.terminal_transition(
                         queued.id,
+                        tenant,
                         JobStatus::Failed,
                         None,
                         Some(e.to_string()),
@@ -382,6 +368,7 @@ impl Scheduler {
                     self.report.jobs_failed += 1;
                     self.terminal_transition(
                         queued.id,
+                        tenant,
                         JobStatus::Failed,
                         None,
                         Some(e.to_string()),
@@ -390,9 +377,12 @@ impl Scheduler {
                 }
             };
             let request = RoutingRequest::for_dims(cube.dims(), shards.len());
-            let (backend, auto_routed) = self.resolve_route(queued.spec.route, &request);
+            let (backend, auto_routed) =
+                self.governor
+                    .resolve(queued.spec.route, &request, &self.lane_snapshot());
             self.report.route_admitted(backend, auto_routed);
             let run = JobRun {
+                tenant,
                 priority: queued.spec.priority,
                 backend,
                 config: queued.spec.config,
@@ -418,6 +408,7 @@ impl Scheduler {
                 .transition(queued.id, JobStatus::Running, None, None);
             self.events.publish(ServiceEvent::Admitted {
                 job: queued.id,
+                tenant,
                 route: backend,
                 auto: auto_routed,
             });
@@ -618,7 +609,7 @@ impl Scheduler {
                 self.report.route_completed(BackendKind::SharedMemory);
                 self.report
                     .record_latency(job.priority, job.submitted.elapsed());
-                self.terminal_transition(id, JobStatus::Completed, Some(output), None);
+                self.terminal_transition(id, job.tenant, JobStatus::Completed, Some(output), None);
             }
             Err(error) => self.fail_job(id, JobStatus::Failed, error),
         }
@@ -719,6 +710,7 @@ impl Scheduler {
         let Some(job) = self.running.remove(&id) else {
             return;
         };
+        let tenant = job.tenant;
         match assemble_image(job.cube.width(), job.cube.height(), job.strips) {
             Ok(image) => {
                 let output = FusionOutput {
@@ -731,11 +723,11 @@ impl Scheduler {
                 self.report.route_completed(job.backend);
                 self.report
                     .record_latency(job.priority, job.submitted.elapsed());
-                self.terminal_transition(id, JobStatus::Completed, Some(output), None);
+                self.terminal_transition(id, tenant, JobStatus::Completed, Some(output), None);
             }
             Err(e) => {
                 self.report.jobs_failed += 1;
-                self.terminal_transition(id, JobStatus::Failed, None, Some(e.to_string()));
+                self.terminal_transition(id, tenant, JobStatus::Failed, None, Some(e.to_string()));
             }
         }
     }
@@ -743,9 +735,9 @@ impl Scheduler {
     /// Removes a job with a non-success terminal status.  Its outstanding
     /// tasks stay in the table so their eventual results free the slots.
     fn fail_job(&mut self, id: JobId, status: JobStatus, error: String) {
-        if self.running.remove(&id).is_none() {
+        let Some(job) = self.running.remove(&id) else {
             return;
-        }
+        };
         match status {
             JobStatus::Failed => self.report.jobs_failed += 1,
             JobStatus::Cancelled => self.report.jobs_cancelled += 1,
@@ -753,7 +745,7 @@ impl Scheduler {
             _ => {}
         }
         let error = if error.is_empty() { None } else { Some(error) };
-        self.terminal_transition(id, status, None, error);
+        self.terminal_transition(id, job.tenant, status, None, error);
     }
 
     /// Fires every not-yet-fired chaos kill anchored to this dispatch event
@@ -947,11 +939,12 @@ impl Scheduler {
         for id in leftover {
             self.fail_job(id, JobStatus::Failed, "service stopped".to_string());
         }
-        while let Some(queued) = self.queue.pop() {
+        while let Some(queued) = self.governor.next() {
             self.report.jobs_submitted += 1;
             self.report.jobs_failed += 1;
             self.terminal_transition(
                 queued.id,
+                queued.spec.tenant,
                 JobStatus::Failed,
                 None,
                 Some("service stopped".to_string()),
@@ -960,7 +953,7 @@ impl Scheduler {
         let resilient_report = self.pool.shutdown(&mut self.ctx);
         self.report.regenerations = resilient_report.regenerations.len();
         self.report.members_attacked = resilient_report.members_attacked;
-        self.report.queue_high_water = self.queue.high_water();
+        self.report.queue_high_water = self.governor.queue_high_water();
         self.report.elapsed = self.started.elapsed();
         self.report
     }

@@ -5,12 +5,13 @@
 //! cancellation and cancel-on-drop live there.  (The pre-handle id-keyed
 //! methods spent one release as `#[deprecated]` shims and are gone.)
 
+use crate::admission::{AdmissionGovernor, ShedReason, TenantId};
 use crate::config::ServiceConfig;
 use crate::events::{EventBus, EventSubscriber, ServiceEvent};
 use crate::handle::{HandlePlane, JobHandle};
 use crate::job::{BackendKind, JobId, JobSpec};
 use crate::pool::WorkerPool;
-use crate::queue::{AdmissionQueue, QueuedJob};
+use crate::queue::QueuedJob;
 use crate::report::ServiceReport;
 use crate::routing::Route;
 use crate::scheduler::Scheduler;
@@ -43,7 +44,7 @@ use std::time::Instant;
 /// Dropping the service without calling [`FusionService::shutdown`] tears the
 /// pool down but discards the report.
 pub struct FusionService {
-    queue: Arc<AdmissionQueue>,
+    governor: Arc<AdmissionGovernor>,
     status: Arc<StatusTable>,
     cancels: Arc<Mutex<Vec<JobId>>>,
     shutdown_flag: Arc<AtomicBool>,
@@ -51,7 +52,6 @@ pub struct FusionService {
     injector: resilience::attack::AttackInjector,
     lane_totals: [usize; 3],
     next_job: AtomicU64,
-    rejected: AtomicU64,
     scheduler: Option<JoinHandle<ServiceReport>>,
 }
 
@@ -66,7 +66,11 @@ impl FusionService {
             pool.groups.len(),
             pool.inline.executors.len(),
         ];
-        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let governor = Arc::new(AdmissionGovernor::new(
+            config.queue_capacity,
+            config.admission.clone(),
+            Arc::clone(&config.routing),
+        ));
         let status = Arc::new(StatusTable::new());
         let cancels = Arc::new(Mutex::new(Vec::new()));
         let shutdown_flag = Arc::new(AtomicBool::new(false));
@@ -74,12 +78,11 @@ impl FusionService {
         let scheduler = Scheduler::new(
             pool,
             ctx,
-            Arc::clone(&queue),
+            Arc::clone(&governor),
             Arc::clone(&status),
             Arc::clone(&cancels),
             Arc::clone(&shutdown_flag),
             config.max_in_flight,
-            Arc::clone(&config.routing),
             Arc::clone(&events),
             config.chaos.clone(),
         );
@@ -88,7 +91,7 @@ impl FusionService {
             .spawn(move || scheduler.run())
             .expect("failed to spawn scheduler thread");
         Ok(FusionService {
-            queue,
+            governor,
             status,
             cancels,
             shutdown_flag,
@@ -96,7 +99,6 @@ impl FusionService {
             injector,
             lane_totals,
             next_job: AtomicU64::new(1),
-            rejected: AtomicU64::new(0),
             scheduler: Some(handle),
         })
     }
@@ -124,6 +126,7 @@ impl FusionService {
         // Pay any cube-generation cost here, on the submitting thread — the
         // scheduler's control plane must never stall on ingestion.
         let spec = spec.into_realized()?;
+        let tenant = spec.tenant;
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         self.status.insert(id, JobRecord::queued());
         let queued = QueuedJob {
@@ -131,12 +134,7 @@ impl FusionService {
             submitted: Instant::now(),
             spec,
         };
-        let pushed = if blocking {
-            self.queue.push_blocking(queued)
-        } else {
-            self.queue.try_push(queued)
-        };
-        match pushed {
+        match self.governor.submit(queued, blocking) {
             Ok(()) => Ok(JobHandle::new(
                 id,
                 HandlePlane {
@@ -146,12 +144,31 @@ impl FusionService {
             )),
             Err(e) => {
                 self.status.remove(id);
-                if e == ServiceError::Saturated {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
-                }
+                self.publish_rejection(id, tenant, &e);
                 Err(e)
             }
         }
+    }
+
+    /// Mirrors a typed admission refusal onto the event stream, so
+    /// observers can account rejections they did not themselves submit.
+    fn publish_rejection(&self, id: JobId, tenant: TenantId, error: &ServiceError) {
+        let (reason, retry_after) = match error {
+            ServiceError::Saturated { retry_after } => (ShedReason::Saturated, *retry_after),
+            ServiceError::Shed {
+                reason,
+                retry_after,
+            } => (*reason, *retry_after),
+            ServiceError::QuotaExceeded { retry_after, .. } => (ShedReason::Quota, *retry_after),
+            // Shutdown (and anything else) is not an admission verdict.
+            _ => return,
+        };
+        self.events.publish(ServiceEvent::Rejected {
+            job: id,
+            tenant,
+            reason,
+            retry_after,
+        });
     }
 
     /// Submits a job, blocking while the admission queue is full.  The
@@ -176,12 +193,23 @@ impl FusionService {
 
     /// Number of jobs currently waiting in the admission queue.
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.governor.queue_depth()
+    }
+
+    /// Number of jobs one tenant currently holds in the admission queue.
+    pub fn tenant_depth(&self, tenant: TenantId) -> usize {
+        self.governor.tenant_depth(tenant)
     }
 
     /// Bound of the admission queue (the backpressure point).
     pub fn queue_capacity(&self) -> usize {
-        self.queue.capacity()
+        self.governor.queue_capacity()
+    }
+
+    /// The admission plane itself — effective quotas, live depths and
+    /// in-flight byte accounting.
+    pub fn admission(&self) -> &AdmissionGovernor {
+        &self.governor
     }
 
     /// Routing names of the resilient lane's live attack targets.
@@ -207,12 +235,12 @@ impl FusionService {
     /// and observe the final terminal states.
     pub fn shutdown(mut self) -> ServiceReport {
         self.shutdown_flag.store(true, Ordering::Release);
-        self.queue.close();
+        self.governor.close();
         let mut report = match self.scheduler.take() {
             Some(handle) => handle.join().unwrap_or_default(),
             None => ServiceReport::default(),
         };
-        report.jobs_rejected = self.rejected.load(Ordering::Relaxed);
+        self.governor.fold_into(&mut report);
         report
     }
 }
@@ -221,7 +249,7 @@ impl Drop for FusionService {
     fn drop(&mut self) {
         if let Some(handle) = self.scheduler.take() {
             self.shutdown_flag.store(true, Ordering::Release);
-            self.queue.close();
+            self.governor.close();
             let _ = handle.join();
         }
     }
@@ -376,6 +404,7 @@ mod tests {
             terminal,
             crate::ServiceEvent::Terminal {
                 job: id,
+                tenant: TenantId::default(),
                 status: JobStatus::Completed
             }
         );

@@ -40,10 +40,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut seen_regen = false;
     while let Some(event) = events.next_timeout(Duration::from_secs(30)) {
         match &event {
-            ServiceEvent::Admitted { job, route, auto } => {
+            ServiceEvent::Admitted {
+                job,
+                tenant,
+                route,
+                auto,
+            } => {
                 println!(
-                    "job {job} admitted onto the {} lane (auto: {auto})",
+                    "job {job} (tenant {tenant}) admitted onto the {} lane (auto: {auto})",
                     route.label()
+                );
+            }
+            ServiceEvent::Rejected {
+                job,
+                tenant,
+                reason,
+                retry_after,
+            } => {
+                println!(
+                    "job {job} (tenant {tenant}) refused: {} ({retry_after})",
+                    reason.label()
                 );
             }
             ServiceEvent::Dispatched {
@@ -65,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 seen_regen = true;
                 println!("RECOVERY: {failed} regenerated as {replacement}");
             }
-            ServiceEvent::Terminal { job, status } => {
+            ServiceEvent::Terminal { job, status, .. } => {
                 println!("job {job} terminal: {status:?}");
                 break;
             }

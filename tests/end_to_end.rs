@@ -11,7 +11,7 @@ use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
 use service::{
     BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobHandle, JobOutcome, JobSpec,
     JobStatus, LeastLoadedPolicy, PoolConfig, Priority, RoundRobinPolicy, Route, ServiceConfig,
-    ServiceError, ServiceEvent, SharedRoutingPolicy, SizeThresholdPolicy,
+    ServiceError, ServiceEvent, SharedRoutingPolicy, SizeThresholdPolicy, TenantId, TenantQuota,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -263,10 +263,14 @@ fn service_admission_queue_applies_backpressure() {
     let queued_a = service.try_submit(slow.clone()).unwrap();
     let queued_b = service.try_submit(slow.clone()).unwrap();
     assert_eq!(service.queue_depth(), 2);
-    // ...and the third submission bounces.
-    assert_eq!(
-        service.try_submit(slow.clone()).unwrap_err(),
-        ServiceError::Saturated
+    // ...and the third submission bounces, carrying a typed retry hint.
+    let err = service.try_submit(slow.clone()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServiceError::Saturated { retry_after } if retry_after.0 > Duration::ZERO
+        ),
+        "expected Saturated with a retry hint, got {err:?}"
     );
 
     // Cancel the queued work so shutdown only waits for the running job.
@@ -387,6 +391,7 @@ fn service_handle_lifecycle_timeout_drop_detach_and_shutdown() {
         terminal,
         ServiceEvent::Terminal {
             job: detached_id,
+            tenant: TenantId::default(),
             status: JobStatus::Completed
         }
     );
@@ -450,6 +455,84 @@ fn service_resilient_jobs_survive_member_kill() {
     assert!(
         report.regenerations >= 1,
         "killed member was never regenerated: {report:?}"
+    );
+}
+
+#[test]
+fn multi_tenant_chaos_fair_share_and_byte_identity_survive_member_kill() {
+    // The admission-plane acceptance scenario: two tenants with a 4:1
+    // weight ratio burst-submit onto a deliberately narrow service while a
+    // chaos plan kills a replica-group member mid-run.  The starved
+    // low-weight tenant must still complete every job, every output must
+    // stay byte-identical to the sequential reference, and the shutdown
+    // report must attribute the work per tenant.
+    let heavy = TenantId(1);
+    let light = TenantId(2);
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .pool(PoolConfig {
+                standard_workers: 2,
+                replica_groups: 1,
+                replication_level: 2,
+                shared_memory_executors: 1,
+                ..PoolConfig::default()
+            })
+            .queue_capacity(32)
+            .max_in_flight(2)
+            .tenant_quota(heavy, TenantQuota::weighted(4))
+            .tenant_quota(light, TenantQuota::weighted(1))
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#0"))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    // Burst everything up front so the DRR queue is genuinely contended:
+    // the heavy tenant's eight jobs arrive before the light tenant's two.
+    let mut jobs = Vec::new();
+    for i in 0..10u64 {
+        let tenant = if i < 8 { heavy } else { light };
+        let cube = Arc::new(
+            SceneGenerator::new(small_job_scene(140 + i))
+                .unwrap()
+                .generate(),
+        );
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .tenant(tenant)
+            .pinned(BackendKind::ALL[i as usize % 3])
+            .shards(2 + i as usize % 3)
+            .build()
+            .unwrap();
+        jobs.push((service.submit(spec).unwrap(), cube));
+    }
+    for (mut handle, cube) in jobs {
+        let outcome = handle.wait().unwrap();
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(
+            outcome.output().expect("job completes"),
+            &reference,
+            "job {} diverged under multi-tenant chaos",
+            handle.id()
+        );
+    }
+
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, 10);
+    assert_eq!(report.jobs_failed, 0);
+    assert!(
+        report.regenerations >= 1,
+        "killed member was never regenerated: {report:?}"
+    );
+    let h = report.tenant(heavy);
+    assert_eq!((h.weight, h.jobs_admitted, h.jobs_completed), (4, 8, 8));
+    assert_eq!((h.jobs_shed, h.jobs_rejected), (0, 0));
+    let l = report.tenant(light);
+    assert_eq!((l.weight, l.jobs_admitted, l.jobs_completed), (1, 2, 2));
+    assert_eq!((l.jobs_shed, l.jobs_rejected), (0, 0));
+    let rendered = report.render();
+    assert!(
+        rendered.contains("tenant     t1 (w4)") && rendered.contains("tenant     t2 (w1)"),
+        "per-tenant attribution missing from rendered report:\n{rendered}"
     );
 }
 
@@ -588,6 +671,7 @@ fn event_stream_observes_kill_regeneration_and_completion_without_polling() {
         admitted,
         ServiceEvent::Admitted {
             job: id,
+            tenant: TenantId::default(),
             route: BackendKind::Resilient,
             auto: false
         }
@@ -620,6 +704,7 @@ fn event_stream_observes_kill_regeneration_and_completion_without_polling() {
         terminal,
         ServiceEvent::Terminal {
             job: id,
+            tenant: TenantId::default(),
             status: JobStatus::Completed
         }
     );
