@@ -30,6 +30,15 @@
 #     (both drive fixed tenant mixes through service::admission); all four
 #     counters per tenant are deterministic, so any drift means admission
 #     behaviour changed.
+#   * {service,ingest}_telemetry_overhead_pct — wall-clock cost of running
+#     the same workload with the telemetry plane fully on (spans + metrics
+#     + flight recorder) versus disabled; both benchmarks run their
+#     workload twice, disabled first (so every other row stays comparable
+#     with the pre-telemetry history).  Wall-clock and trend-only; the
+#     budget is <5%.
+#   * service_latency_{p50,p95,p99}_ms — submit-to-completion latency
+#     percentiles estimated from the enabled run's
+#     fusiond_job_latency_seconds histogram.  Wall-clock and trend-only.
 #
 # After appending, the committed trend chart bench/BENCH_trends.svg is
 # regenerated from the full history by `bench --bin plot_history`.

@@ -9,12 +9,20 @@
 //! pump needs to replay the burst, so the watermark decisions never race).
 //! Lines starting with `CSV` are parsed by `bench/record.sh` into
 //! `bench/BENCH_history.csv`.
+//!
+//! Telemetry overhead: the same replay runs twice — first with telemetry
+//! disabled (the configuration every pre-telemetry row in the history was
+//! recorded under, so the existing CSV rows stay comparable), then with the
+//! span layer, metrics registry and flight recorder all live.  The
+//! wall-clock delta lands in `ingest_telemetry_overhead_pct`.
 
 use hsi::io::{write_cube_as, Interleave};
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
-use ingest::{DirectorySource, IngestConfig, IngestPump, SheddingPolicy};
-use service::{BackendKind, FusionService, Route, ServiceConfig, TenantId};
-use std::time::Instant;
+use ingest::{DirectorySource, IngestConfig, IngestPump, IngestReport, SheddingPolicy};
+use service::{BackendKind, FusionService, Route, ServiceConfig, ServiceReport, TenantId};
+use std::path::Path;
+use std::time::{Duration, Instant};
+use telemetry::Telemetry;
 
 /// The tenant all ingested cubes are attributed to (the pump submits every
 /// job under one tenant, as `JobClass::Bulk`).
@@ -24,6 +32,41 @@ fn scene(seed: u64, side: usize, bands: usize) -> SceneConfig {
     let mut config = SceneConfig::small(900 + seed);
     config.dims = CubeDims::new(side, side, bands);
     config
+}
+
+/// Replays the prepared directory through one pump run and returns the
+/// ingest report, the service report and the replay wall time.
+fn run(
+    dir: &Path,
+    watermark_bytes: usize,
+    telemetry: Telemetry,
+) -> (IngestReport, ServiceReport, Duration) {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(1)
+            .replica_groups(0)
+            .shared_memory_executors(0)
+            .queue_capacity(16)
+            .max_in_flight(1)
+            .telemetry(telemetry)
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+
+    let config = IngestConfig {
+        shedding: SheddingPolicy::unbounded().with_max_in_flight_bytes(watermark_bytes),
+        route: Route::Pinned(BackendKind::Standard),
+        shards: 4,
+        tenant: TENANT,
+        ..IngestConfig::default()
+    };
+    let started = Instant::now();
+    let run = IngestPump::new(&service, config)
+        .run(vec![Box::new(DirectorySource::with_chunk_bytes(dir, 8192))])
+        .expect("pump runs");
+    let elapsed = started.elapsed();
+    (run.report, service.shutdown(), elapsed)
 }
 
 fn main() {
@@ -53,42 +96,23 @@ fn main() {
             .expect("cube written");
     }
 
-    let service = FusionService::start(
-        ServiceConfig::builder()
-            .standard_workers(1)
-            .replica_groups(0)
-            .shared_memory_executors(0)
-            .queue_capacity(16)
-            .max_in_flight(1)
-            .build()
-            .expect("config validates"),
-    )
-    .expect("service starts");
-
     // Watermark: the blocker plus exactly three small cubes in flight.
-    let config = IngestConfig {
-        shedding: SheddingPolicy::unbounded()
-            .with_max_in_flight_bytes(blocker_bytes + 3 * small_bytes),
-        route: Route::Pinned(BackendKind::Standard),
-        shards: 4,
-        tenant: TENANT,
-        ..IngestConfig::default()
-    };
-    let started = Instant::now();
-    let run = IngestPump::new(&service, config)
-        .run(vec![Box::new(DirectorySource::with_chunk_bytes(
-            &dir, 8192,
-        ))])
-        .expect("pump runs");
-    let elapsed = started.elapsed();
-    std::fs::remove_dir_all(&dir).ok();
-    let service_report = service.shutdown();
+    let watermark = blocker_bytes + 3 * small_bytes;
+
+    // Untimed warm-up so the overhead comparison below is not dominated by
+    // cold-start costs (thread spawning, file-cache population) that the
+    // first measured run would otherwise absorb alone.
+    run(&dir, watermark, Telemetry::disabled());
+
+    // Telemetry disabled: the configuration all pre-existing CSV rows were
+    // recorded under.
+    let (report, service_report, disabled_wall) = run(&dir, watermark, Telemetry::disabled());
 
     println!("ingest throughput benchmark — 12 cube files (1 blocker, 8 distinct, 3 duplicates)");
     println!();
-    print!("{}", run.report.render());
+    print!("{}", report.render());
     println!();
-    let totals = run.report.totals();
+    let totals = report.totals();
     // Stable, machine-independent numbers first; wall-clock trend last.
     println!("CSV ingest_cubes {}", totals.cubes_seen);
     println!("CSV ingest_chunks {}", totals.chunks);
@@ -117,6 +141,26 @@ fn main() {
     );
     println!(
         "CSV ingest_cubes_per_sec {:.2}",
-        totals.cubes_seen as f64 / elapsed.as_secs_f64().max(1e-9)
+        totals.cubes_seen as f64 / disabled_wall.as_secs_f64().max(1e-9)
     );
+
+    // Second pass with telemetry fully on: spans, metrics, flight recorder.
+    // The deterministic counters must match — telemetry may not perturb the
+    // watermark decisions or the store dedup split.
+    let enabled = Telemetry::enabled();
+    let (enabled_report, _, enabled_wall) = run(&dir, watermark, enabled);
+    std::fs::remove_dir_all(&dir).ok();
+    let enabled_totals = enabled_report.totals();
+    assert_eq!(
+        enabled_totals.cubes_seen, totals.cubes_seen,
+        "telemetry must not change arrivals"
+    );
+    assert_eq!(
+        (enabled_totals.store_hits, enabled_totals.store_misses),
+        (totals.store_hits, totals.store_misses),
+        "telemetry must not change the store dedup split"
+    );
+    let overhead_pct =
+        (enabled_wall.as_secs_f64() / disabled_wall.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+    println!("CSV ingest_telemetry_overhead_pct {overhead_pct:.2}");
 }

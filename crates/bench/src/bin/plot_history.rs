@@ -1,8 +1,10 @@
 //! Renders `bench/BENCH_history.csv` into a committed SVG trend chart.
 //!
-//! Two panels: wall-clock throughput (`service_jobs_per_sec`,
-//! `ingest_cubes_per_sec`) and shed/reject pressure (`ingest_shed` plus
-//! every per-tenant `*_shed` / `*_rejected` counter).  The x-axis is the
+//! Three panels: wall-clock throughput (`service_jobs_per_sec`,
+//! `ingest_cubes_per_sec`), shed/reject pressure (`ingest_shed` plus
+//! every per-tenant `*_shed` / `*_rejected` counter), and — once the
+//! history contains them — the telemetry latency percentiles (every
+//! `*_p50_ms` / `*_p95_ms` / `*_p99_ms` row).  The x-axis is the
 //! sequence of recorded snapshots (one per `bench/record.sh` run, labelled
 //! by short rev); y-axes auto-scale from zero.  The SVG is hand-rolled —
 //! no plotting dependency — and deterministic for a given CSV, so the
@@ -181,7 +183,8 @@ fn render_panel(
     }
 }
 
-/// Renders the whole document: throughput panel on top, shedding below.
+/// Renders the whole document: throughput panel on top, shedding below,
+/// and a latency-percentile panel when the history has telemetry rows.
 fn render_svg(history: &History) -> String {
     let throughput: Vec<(&str, &[(usize, f64)])> = ["service_jobs_per_sec", "ingest_cubes_per_sec"]
         .iter()
@@ -195,8 +198,15 @@ fn render_svg(history: &History) -> String {
         })
         .map(|(m, pts)| (m.as_str(), pts.as_slice()))
         .collect();
+    let latency: Vec<(&str, &[(usize, f64)])> = history
+        .series
+        .iter()
+        .filter(|(m, _)| m.ends_with("_p50_ms") || m.ends_with("_p95_ms") || m.ends_with("_p99_ms"))
+        .map(|(m, pts)| (m.as_str(), pts.as_slice()))
+        .collect();
 
-    let height = 2.0 * PANEL_HEIGHT + 10.0;
+    let panels = if latency.is_empty() { 2.0 } else { 3.0 };
+    let height = panels * PANEL_HEIGHT + 10.0 * (panels - 1.0);
     let mut svg = String::new();
     let _ = writeln!(
         svg,
@@ -220,6 +230,15 @@ fn render_svg(history: &History) -> String {
         &history.snapshots,
         &shedding,
     );
+    if !latency.is_empty() {
+        render_panel(
+            &mut svg,
+            "latency percentiles (telemetry, ms, trend-only)",
+            2.0 * (PANEL_HEIGHT + 10.0),
+            &history.snapshots,
+            &latency,
+        );
+    }
     svg.push_str("</svg>\n");
     svg
 }
@@ -253,6 +272,7 @@ mod tests {
         2026-01-01T00:00:00Z,aaa1111,ingest_shed,8\n\
         2026-01-02T00:00:00Z,bbb2222,service_jobs_per_sec,12.0\n\
         2026-01-02T00:00:00Z,bbb2222,service_tenant_t1_shed,0\n\
+        2026-01-02T00:00:00Z,bbb2222,service_latency_p95_ms,42.5\n\
         torn,line\n";
 
     #[test]
@@ -261,7 +281,7 @@ mod tests {
         assert_eq!(h.snapshots, vec!["aaa1111", "bbb2222"]);
         assert_eq!(h.series["service_jobs_per_sec"], vec![(0, 10.5), (1, 12.0)]);
         assert_eq!(h.series["ingest_shed"], vec![(0, 8.0)]);
-        assert_eq!(h.series.len(), 3);
+        assert_eq!(h.series.len(), 4);
     }
 
     #[test]
@@ -282,7 +302,17 @@ mod tests {
         assert!(svg.contains("service_jobs_per_sec"));
         assert!(svg.contains("ingest_shed"));
         assert!(svg.contains("service_tenant_t1_shed"));
+        assert!(svg.contains("latency percentiles (telemetry, ms, trend-only)"));
+        assert!(svg.contains("service_latency_p95_ms"));
         // One polyline for the two-point throughput series, markers for all.
         assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn latency_panel_is_omitted_without_percentile_rows() {
+        let csv = "recorded_at,rev,metric,value\n\
+            2026-01-01T00:00:00Z,aaa1111,service_jobs_per_sec,10.5\n";
+        let svg = render_svg(&parse_history(csv));
+        assert!(!svg.contains("latency percentiles"));
     }
 }

@@ -16,12 +16,23 @@
 //! the fourth to tenant `t2` (weight 1), so the admission plane's weighted
 //! fair-share dequeue is exercised and the per-tenant
 //! `tenant_{admitted,downgraded,shed,rejected}` counters land in the CSV.
+//!
+//! Telemetry overhead: the same workload runs twice — first with telemetry
+//! disabled (the configuration every pre-telemetry row in the history was
+//! recorded under, so the existing CSV rows stay comparable), then with the
+//! span layer, metrics registry and flight recorder all live.  The
+//! wall-clock delta lands in `service_telemetry_overhead_pct`, and the
+//! enabled run's `fusiond_job_latency_seconds` histogram yields the
+//! `service_latency_{p50,p95,p99}_ms` rows.
 
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
 use service::{
-    BackendKind, CubeSource, FusionService, JobSpec, Route, ServiceConfig, TenantId, TenantQuota,
+    BackendKind, CubeSource, FusionService, JobSpec, Route, ServiceConfig, ServiceReport, TenantId,
+    TenantQuota,
 };
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+use telemetry::Telemetry;
 
 const JOBS: u64 = 32;
 
@@ -31,7 +42,10 @@ fn scene(i: u64) -> SceneConfig {
     config
 }
 
-fn main() {
+/// Runs the fixed 32-job workload once and returns the service report, the
+/// sum of per-job unique-pixel counts (a determinism witness) and the
+/// submit-to-last-completion wall time.
+fn run(telemetry: Telemetry) -> (ServiceReport, usize, Duration) {
     let service = FusionService::start(
         ServiceConfig::builder()
             .standard_workers(4)
@@ -42,11 +56,13 @@ fn main() {
             .max_in_flight(12)
             .tenant_quota(TenantId(1), TenantQuota::weighted(3))
             .tenant_quota(TenantId(2), TenantQuota::weighted(1))
+            .telemetry(telemetry)
             .build()
             .expect("config validates"),
     )
     .expect("service starts");
 
+    let started = Instant::now();
     let mut handles = Vec::new();
     for i in 0..JOBS {
         let cube = Arc::new(
@@ -75,8 +91,20 @@ fn main() {
         let outcome = handle.wait().expect("job completes");
         unique_sum += outcome.output().expect("completed").unique_count;
     }
+    let elapsed = started.elapsed();
     drop(handles);
-    let report = service.shutdown();
+    (service.shutdown(), unique_sum, elapsed)
+}
+
+fn main() {
+    // Untimed warm-up so the overhead comparison below is not dominated by
+    // cold-start costs (thread spawning, allocator, page faults) that the
+    // first measured run would otherwise absorb alone.
+    run(Telemetry::disabled());
+
+    // Telemetry disabled: the configuration all pre-existing CSV rows were
+    // recorded under.
+    let (report, unique_sum, disabled_wall) = run(Telemetry::disabled());
 
     println!("service throughput benchmark — {JOBS} mixed jobs, 28x28x14 cubes");
     println!();
@@ -134,4 +162,28 @@ fn main() {
         "CSV service_jobs_per_sec {:.2}",
         report.throughput_jobs_per_sec()
     );
+
+    // Second pass with telemetry fully on: spans, metrics, flight recorder.
+    // The unique-count sums must match — telemetry may not perturb results.
+    let enabled = Telemetry::enabled();
+    let (enabled_report, enabled_unique_sum, enabled_wall) = run(enabled.clone());
+    assert_eq!(
+        enabled_unique_sum, unique_sum,
+        "telemetry must not change job outputs"
+    );
+    assert_eq!(
+        enabled_report.jobs_completed, report.jobs_completed,
+        "telemetry must not change job outcomes"
+    );
+    let overhead_pct =
+        (enabled_wall.as_secs_f64() / disabled_wall.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+    println!("CSV service_telemetry_overhead_pct {overhead_pct:.2}");
+    // End-to-end submit-to-completion latency percentiles from the enabled
+    // run's histogram (linear interpolation within fixed buckets, the same
+    // estimate Prometheus' `histogram_quantile` makes).
+    let latency = enabled.histogram("fusiond_job_latency_seconds", &[]);
+    for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let ms = latency.as_ref().and_then(|h| h.quantile(q)).unwrap_or(0.0) * 1e3;
+        println!("CSV service_latency_{name}_ms {ms:.3}");
+    }
 }

@@ -37,7 +37,8 @@ use service::{
     Route, ServiceError, TenantId,
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
+use telemetry::{SpanId, Telemetry};
 
 /// Watermarks deciding when arrivals are shed or down-prioritized instead
 /// of submitted at the configured priority.  `usize::MAX` (the default)
@@ -103,6 +104,40 @@ impl SheddingPolicy {
 impl Default for SheddingPolicy {
     fn default() -> Self {
         Self::unbounded()
+    }
+}
+
+/// One in-progress arrival: its decoder plus the telemetry bookkeeping of
+/// its `decode` span (Begin → End wall time).
+struct ActiveDecode {
+    tag: String,
+    decoder: StreamDecoder,
+    span: Option<SpanId>,
+    /// Duration fallback when telemetry is disabled and the span returns
+    /// nothing.
+    started: Instant,
+}
+
+impl ActiveDecode {
+    /// Closes the decode span (marking errors) and returns its duration,
+    /// observed into `ingest_decode_seconds`.
+    fn close(self, telemetry: &Telemetry, error: bool) -> Duration {
+        Self::close_parts(telemetry, self.span, self.started, error)
+    }
+
+    /// [`ActiveDecode::close`] for a decode already taken apart (the End
+    /// path consumes the decoder before the span can be closed).
+    fn close_parts(
+        telemetry: &Telemetry,
+        span: Option<SpanId>,
+        started: Instant,
+        error: bool,
+    ) -> Duration {
+        let elapsed = telemetry
+            .span_end_with_detail(span, error.then_some("error"))
+            .unwrap_or_else(|| started.elapsed());
+        telemetry.observe("ingest_decode_seconds", &[], elapsed);
+        elapsed
     }
 }
 
@@ -216,6 +251,10 @@ pub struct IngestPump<'a> {
     events: EventSubscriber,
     config: IngestConfig,
     store: CubeStore,
+    /// The service's telemetry handle: decode spans and ingest counters
+    /// land in the same registry/recorder as the scheduler's (disabled
+    /// together with the service's).
+    telemetry: Telemetry,
 }
 
 impl<'a> IngestPump<'a> {
@@ -225,11 +264,13 @@ impl<'a> IngestPump<'a> {
     pub fn new(service: &'a FusionService, config: IngestConfig) -> Self {
         let events = service.subscribe();
         let store = CubeStore::new(config.store_capacity_bytes);
+        let telemetry = service.telemetry().clone();
         Self {
             service,
             events,
             config,
             store,
+            telemetry,
         }
     }
 
@@ -240,8 +281,10 @@ impl<'a> IngestPump<'a> {
         let ledger = CloneLedger::snapshot();
         let mut report = IngestReport {
             tenant: self.config.tenant,
+            started_at: Some(SystemTime::now()),
             ..IngestReport::default()
         };
+        let ingest_span = self.telemetry.span_start("ingest", None, None, "");
         let mut gauge = PressureGauge::new();
         let mut pending: Vec<(String, String, Arc<HyperCube>, Priority, JobHandle)> = Vec::new();
         let mut shed = Vec::new();
@@ -249,43 +292,71 @@ impl<'a> IngestPump<'a> {
         for source in sources.iter_mut() {
             let name = source.name().to_string();
             report.sources.entry(name.clone()).or_default();
-            let mut decoder: Option<(String, StreamDecoder)> = None;
+            let mut decoder: Option<ActiveDecode> = None;
             while let Some(event) = source.next_event() {
                 let counters = report.sources.get_mut(&name).expect("entry inserted");
                 match event {
                     Err(_) => {
                         counters.decode_errors += 1;
-                        decoder = None;
+                        self.telemetry.count("ingest_decode_errors_total", &[]);
+                        if let Some(active) = decoder.take() {
+                            report.decode_time += active.close(&self.telemetry, true);
+                        }
                     }
                     Ok(SourceEvent::Begin { tag, header }) => {
                         // A Begin while a decode is active means the source
                         // never delivered the previous cube's End: the
                         // partial decode is abandoned and must be accounted,
                         // or seen/admitted/shed/error stops adding up.
-                        if decoder.take().is_some() {
+                        if let Some(active) = decoder.take() {
                             counters.decode_errors += 1;
+                            self.telemetry.count("ingest_decode_errors_total", &[]);
+                            report.decode_time += active.close(&self.telemetry, true);
                         }
                         counters.cubes_seen += 1;
-                        decoder = Some((tag, StreamDecoder::new(header)));
+                        self.telemetry.count("ingest_cubes_seen_total", &[]);
+                        decoder = Some(ActiveDecode {
+                            span: self.telemetry.span_start("decode", ingest_span, None, &tag),
+                            started: Instant::now(),
+                            tag,
+                            decoder: StreamDecoder::new(header),
+                        });
                     }
                     Ok(SourceEvent::Chunk(bytes)) => {
-                        if let Some((_, d)) = decoder.as_mut() {
+                        if let Some(active) = decoder.as_mut() {
                             counters.chunks += 1;
-                            if d.push(&bytes).is_err() {
+                            if active.decoder.push(&bytes).is_err() {
                                 counters.decode_errors += 1;
-                                decoder = None;
+                                self.telemetry.count("ingest_decode_errors_total", &[]);
+                                if let Some(active) = decoder.take() {
+                                    report.decode_time += active.close(&self.telemetry, true);
+                                }
                             }
                         }
                     }
                     Ok(SourceEvent::End) => {
-                        let Some((tag, d)) = decoder.take() else {
+                        let Some(active) = decoder.take() else {
                             continue;
                         };
-                        counters.bytes_assembled += (d.samples_filled() * 8) as u64;
-                        let cube = match d.finish() {
+                        counters.bytes_assembled += (active.decoder.samples_filled() * 8) as u64;
+                        let ActiveDecode {
+                            tag,
+                            decoder: d,
+                            span,
+                            started,
+                        } = active;
+                        let result = d.finish();
+                        report.decode_time += ActiveDecode::close_parts(
+                            &self.telemetry,
+                            span,
+                            started,
+                            result.is_err(),
+                        );
+                        let cube = match result {
                             Ok(cube) => cube,
                             Err(_) => {
                                 counters.decode_errors += 1;
+                                self.telemetry.count("ingest_decode_errors_total", &[]);
                                 continue;
                             }
                         };
@@ -294,8 +365,10 @@ impl<'a> IngestPump<'a> {
                         let (cube, hit) = self.store.intern(cube);
                         if hit {
                             counters.store_hits += 1;
+                            self.telemetry.count("ingest_store_hits_total", &[]);
                         } else {
                             counters.store_misses += 1;
+                            self.telemetry.count("ingest_store_misses_total", &[]);
                         }
                         self.admit(
                             &name,
@@ -335,6 +408,8 @@ impl<'a> IngestPump<'a> {
         report.store_resident_bytes = self.store.resident_bytes();
         report.store_evictions = self.store.evictions();
         report.bytes_cloned = ledger.delta();
+        self.telemetry.span_end(ingest_span);
+        report.finished_at = Some(SystemTime::now());
         Ok(IngestRun {
             report,
             jobs,
@@ -366,6 +441,8 @@ impl<'a> IngestPump<'a> {
         let downgraded = match plane.decide(gauge.load(), self.config.class) {
             PressureDecision::Shed { reason } => {
                 counters.record_shed(reason);
+                self.telemetry
+                    .count("ingest_cubes_shed_total", &[("reason", reason.label())]);
                 shed.push(ShedCube {
                     source: source.to_string(),
                     tag,
@@ -400,6 +477,7 @@ impl<'a> IngestPump<'a> {
         let refusal = match self.service.try_submit(spec) {
             Ok(handle) => {
                 counters.cubes_admitted += 1;
+                self.telemetry.count("ingest_cubes_admitted_total", &[]);
                 if downgraded {
                     counters.cubes_downgraded += 1;
                 }
@@ -419,6 +497,8 @@ impl<'a> IngestPump<'a> {
         };
         let (reason, retry_after) = refusal;
         counters.record_shed(reason);
+        self.telemetry
+            .count("ingest_cubes_shed_total", &[("reason", reason.label())]);
         shed.push(ShedCube {
             source: source.to_string(),
             tag,

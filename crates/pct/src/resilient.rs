@@ -197,6 +197,16 @@ impl OutstandingTask {
 }
 
 impl ResilientManagerState {
+    /// Attaches a telemetry handle to the resilience machinery: the
+    /// failure detector records `member_failed` instants and the
+    /// regenerator records `member_regenerated` instants, each with a
+    /// matching counter.
+    pub fn with_telemetry(mut self, telemetry: telemetry::Telemetry) -> Self {
+        self.detector.set_telemetry(telemetry.clone());
+        self.regenerator.set_telemetry(telemetry);
+        self
+    }
+
     /// Builds the state for one replica group per name in `group_names`,
     /// each with `level` members, spawning every member on `runtime` and
     /// watching it in a detector configured by `detector_config`.  Members

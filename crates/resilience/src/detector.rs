@@ -64,6 +64,7 @@ pub struct FailureDetector {
     config: DetectorConfig,
     last_heartbeat: BTreeMap<MemberId, u64>,
     declared_failed: BTreeMap<MemberId, u64>,
+    telemetry: telemetry::Telemetry,
 }
 
 impl FailureDetector {
@@ -73,7 +74,21 @@ impl FailureDetector {
             config,
             last_heartbeat: BTreeMap::new(),
             declared_failed: BTreeMap::new(),
+            telemetry: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every newly declared failure is
+    /// recorded as a `member_failed` instant and counted in
+    /// `resilience_members_failed_total`.
+    pub fn with_telemetry(mut self, telemetry: telemetry::Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// In-place variant of [`FailureDetector::with_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The detector's configuration.
@@ -126,6 +141,9 @@ impl FailureDetector {
                 && !self.declared_failed.contains_key(&member)
             {
                 self.declared_failed.insert(member.clone(), now_ms);
+                self.telemetry
+                    .instant("member_failed", None, None, &member.routing_name());
+                self.telemetry.count("resilience_members_failed_total", &[]);
                 newly_failed.push(member);
             }
         }

@@ -42,6 +42,7 @@ pub struct Regenerator {
     placement: PlacementPolicy,
     live_nodes: Vec<usize>,
     history: Vec<RegenerationEvent>,
+    telemetry: telemetry::Telemetry,
 }
 
 impl Regenerator {
@@ -56,7 +57,21 @@ impl Regenerator {
             placement,
             live_nodes,
             history: Vec::new(),
+            telemetry: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every regeneration is recorded as a
+    /// `member_regenerated` instant and counted in
+    /// `resilience_regenerations_total`.
+    pub fn with_telemetry(mut self, telemetry: telemetry::Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// In-place variant of [`Regenerator::with_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Marks a node as unusable (it was attacked or failed); members cannot
@@ -134,6 +149,17 @@ impl Regenerator {
             replacement,
             node,
         };
+        self.telemetry.instant(
+            "member_regenerated",
+            None,
+            None,
+            &format!(
+                "{} -> {}",
+                event.failed.routing_name(),
+                event.replacement.routing_name()
+            ),
+        );
+        self.telemetry.count("resilience_regenerations_total", &[]);
         self.history.push(event.clone());
         Ok(Some(event))
     }

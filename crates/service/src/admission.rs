@@ -583,6 +583,7 @@ pub struct AdmissionGovernor {
     routing: SharedRoutingPolicy,
     queue: AdmissionQueue,
     loads: Mutex<GovernorLoads>,
+    telemetry: telemetry::Telemetry,
 }
 
 impl AdmissionGovernor {
@@ -598,6 +599,22 @@ impl AdmissionGovernor {
             pressure: admission.pressure,
             routing,
             loads: Mutex::new(GovernorLoads::default()),
+            telemetry: telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: per-tenant admitted/shed/rejected
+    /// counters and the live queue-depth gauge.
+    pub(crate) fn with_telemetry(mut self, telemetry: telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Refreshes the `fusiond_queue_depth` gauge (one branch when
+    /// telemetry is disabled).
+    fn gauge_queue_depth(&self) {
+        if let Some(gauge) = self.telemetry.gauge("fusiond_queue_depth", &[]) {
+            gauge.set(self.queue.len() as i64);
         }
     }
 
@@ -628,6 +645,11 @@ impl AdmissionGovernor {
             if self.queue.tenant_depth(tenant) >= max_queued {
                 let mut loads = self.loads.lock().expect("governor lock");
                 Self::stats(&mut loads, tenant, quota.weight).jobs_rejected += 1;
+                drop(loads);
+                self.telemetry.count(
+                    "fusiond_jobs_rejected_total",
+                    &[("tenant", &tenant.label()), ("reason", "quota")],
+                );
                 return Err(ServiceError::QuotaExceeded {
                     tenant,
                     retry_after,
@@ -645,6 +667,11 @@ impl AdmissionGovernor {
             PressureDecision::Shed { reason } => {
                 let mut loads = self.loads.lock().expect("governor lock");
                 Self::stats(&mut loads, tenant, quota.weight).jobs_shed += 1;
+                drop(loads);
+                self.telemetry.count(
+                    "fusiond_jobs_shed_total",
+                    &[("tenant", &tenant.label()), ("reason", reason.label())],
+                );
                 return Err(ServiceError::Shed {
                     reason,
                     retry_after,
@@ -672,12 +699,21 @@ impl AdmissionGovernor {
                 if downgrade {
                     stats.jobs_downgraded += 1;
                 }
+                drop(loads);
+                self.telemetry
+                    .count("fusiond_jobs_queued_total", &[("tenant", &tenant.label())]);
+                self.gauge_queue_depth();
                 Ok(())
             }
             Err(e) => {
                 if matches!(e, ServiceError::Saturated { .. }) {
                     let mut loads = self.loads.lock().expect("governor lock");
                     Self::stats(&mut loads, tenant, quota.weight).jobs_rejected += 1;
+                    drop(loads);
+                    self.telemetry.count(
+                        "fusiond_jobs_rejected_total",
+                        &[("tenant", &tenant.label()), ("reason", "saturated")],
+                    );
                 }
                 Err(e)
             }
@@ -686,7 +722,11 @@ impl AdmissionGovernor {
 
     /// Scheduler side: the next job under weighted fair dequeue.
     pub(crate) fn next(&self) -> Option<QueuedJob> {
-        self.queue.pop()
+        let popped = self.queue.pop();
+        if popped.is_some() {
+            self.gauge_queue_depth();
+        }
+        popped
     }
 
     /// Resolves a route to a concrete, enabled lane.  Pinned routes were

@@ -29,6 +29,7 @@ use crate::routing::{default_policy, RoutingPolicy, SharedRoutingPolicy};
 use crate::ServiceError;
 use resilience::DetectorConfig;
 use std::sync::Arc;
+use telemetry::Telemetry;
 
 /// A typed configuration defect, produced by the validating builders.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +136,10 @@ pub struct ServiceConfig {
     /// Deterministic chaos schedule: member kills anchored to scheduler
     /// dispatch events (empty by default).
     pub chaos: ChaosPlan,
+    /// Observability handle: spans, metrics and the flight recorder.
+    /// Disabled by default, in which case every instrumentation point
+    /// costs one branch.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServiceConfig {
@@ -146,6 +151,7 @@ impl Default for ServiceConfig {
             routing: default_policy(),
             admission: AdmissionConfig::default(),
             chaos: ChaosPlan::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -277,6 +283,15 @@ impl ServiceConfigBuilder {
     /// Deterministic chaos schedule.
     pub fn chaos(mut self, plan: ChaosPlan) -> Self {
         self.config.chaos = plan;
+        self
+    }
+
+    /// Observability handle shared by the scheduler, admission plane and
+    /// resilient lane.  Pass [`Telemetry::enabled`] (or
+    /// [`Telemetry::with_clock`] in tests) to record spans, metrics and
+    /// the flight recorder; the default disabled handle records nothing.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.config.telemetry = telemetry;
         self
     }
 

@@ -7,10 +7,16 @@
 //! resolved route), task dispatch, retransmission, member kill, member
 //! regeneration, and every terminal transition — to every live subscriber.
 //!
+//! When the service runs with an enabled [`telemetry::Telemetry`], every
+//! event is stamped with the telemetry clock and, where one applies, the
+//! [`telemetry::SpanId`] of the span it belongs to; [`EventSubscriber::
+//! try_next_stamped`] exposes the envelope, while the plain accessors keep
+//! returning bare [`ServiceEvent`]s.
+//!
 //! Subscriptions are independent unbounded channels: a slow subscriber
 //! buffers, it never blocks the scheduler, and dropping the
-//! [`EventSubscriber`] unsubscribes (the bus prunes disconnected channels on
-//! the next publish).
+//! [`EventSubscriber`] unsubscribes (the bus prunes disconnected channels
+//! on both publish and subscribe).
 //!
 //! ```no_run
 //! use service::{ServiceConfig, ServiceEvent};
@@ -19,7 +25,7 @@
 //! let service = service::FusionService::start(ServiceConfig::builder().build()?)?;
 //! let events = service.subscribe();
 //! // ... submit jobs ...
-//! while let Some(event) = events.try_next() {
+//! for event in events.drain() {
 //!     if let ServiceEvent::MemberRegenerated { failed, replacement } = event {
 //!         eprintln!("{failed} came back as {replacement}");
 //!     }
@@ -32,8 +38,9 @@ use crate::admission::{RetryAfter, ShedReason, TenantId};
 use crate::job::{BackendKind, JobId, JobStatus};
 use pct::messages::TaskId;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
+use telemetry::{SpanId, Telemetry};
 
 /// One observable lifecycle event of the running service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,33 +118,86 @@ pub enum ServiceEvent {
     },
 }
 
+/// A [`ServiceEvent`] plus its telemetry envelope: when it was published
+/// (telemetry-clock nanoseconds) and which span it belongs to.  Both are
+/// `None` when the service runs with telemetry disabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampedEvent {
+    /// Telemetry-clock nanoseconds at publish, when telemetry is enabled.
+    pub at_nanos: Option<u64>,
+    /// The span this event is correlated with, when one applies.
+    pub span: Option<SpanId>,
+    /// The event itself.
+    pub event: ServiceEvent,
+}
+
+/// One subscription entry: the channel sender plus a liveness probe tied
+/// to the subscriber's lifetime (std `Sender` cannot detect a dropped
+/// `Receiver` without sending).
+struct Subscription {
+    sender: Sender<StampedEvent>,
+    alive: Weak<()>,
+}
+
 /// The scheduler-side publisher: fans every event out to all subscribers.
 #[derive(Default)]
 pub(crate) struct EventBus {
-    subscribers: Mutex<Vec<Sender<ServiceEvent>>>,
+    subscribers: Mutex<Vec<Subscription>>,
+    telemetry: Telemetry,
 }
 
 impl EventBus {
+    /// A bus with telemetry disabled (events carry no stamps).
+    #[cfg(test)]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Opens a new independent subscription.
+    /// A bus stamping events with the given telemetry clock.
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        Self {
+            subscribers: Mutex::new(Vec::new()),
+            telemetry,
+        }
+    }
+
+    /// Opens a new independent subscription, pruning any subscriptions
+    /// whose subscriber has been dropped.
     pub fn subscribe(&self) -> EventSubscriber {
         let (tx, rx) = std::sync::mpsc::channel();
-        self.subscribers.lock().expect("event bus lock").push(tx);
-        EventSubscriber { receiver: rx }
+        let token = Arc::new(());
+        let mut subscribers = self.subscribers.lock().expect("event bus lock");
+        subscribers.retain(|s| s.alive.upgrade().is_some());
+        subscribers.push(Subscription {
+            sender: tx,
+            alive: Arc::downgrade(&token),
+        });
+        EventSubscriber {
+            receiver: rx,
+            _alive: token,
+        }
     }
 
     /// Publishes one event to every live subscriber, pruning dead ones.
     /// Publishing with no subscribers is free apart from the lock.
     pub fn publish(&self, event: ServiceEvent) {
-        let mut subscribers = self.subscribers.lock().expect("event bus lock");
-        subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+        self.publish_correlated(event, None);
     }
 
-    /// Number of live subscriptions (dead ones are only pruned on publish).
-    #[cfg(test)]
+    /// Publishes one event correlated with `span`, stamped with the
+    /// telemetry clock when telemetry is enabled.
+    pub fn publish_correlated(&self, event: ServiceEvent, span: Option<SpanId>) {
+        let stamped = StampedEvent {
+            at_nanos: self.telemetry.now_nanos(),
+            span,
+            event,
+        };
+        let mut subscribers = self.subscribers.lock().expect("event bus lock");
+        subscribers.retain(|s| s.sender.send(stamped.clone()).is_ok());
+    }
+
+    /// Number of live subscriptions (dead ones linger until the next
+    /// publish or subscribe prunes them).
     pub fn subscriber_count(&self) -> usize {
         self.subscribers.lock().expect("event bus lock").len()
     }
@@ -146,24 +206,38 @@ impl EventBus {
 /// A client-side subscription to the service's event stream.  Dropping it
 /// unsubscribes.
 pub struct EventSubscriber {
-    receiver: Receiver<ServiceEvent>,
+    receiver: Receiver<StampedEvent>,
+    /// Liveness token observed by the bus through a `Weak`.
+    _alive: Arc<()>,
 }
 
 impl EventSubscriber {
     /// Returns the next buffered event without blocking, or `None` when the
     /// buffer is empty (or the service is gone and fully drained).
     pub fn try_next(&self) -> Option<ServiceEvent> {
+        self.try_next_stamped().map(|s| s.event)
+    }
+
+    /// Like [`EventSubscriber::try_next`] but keeps the telemetry envelope
+    /// (publish timestamp and correlated span id).
+    pub fn try_next_stamped(&self) -> Option<StampedEvent> {
         match self.receiver.try_recv() {
             Ok(event) => Some(event),
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
         }
     }
 
+    /// Drains every currently buffered event as an iterator, without
+    /// blocking: `for event in sub.drain() { ... }`.
+    pub fn drain(&self) -> impl Iterator<Item = ServiceEvent> + '_ {
+        std::iter::from_fn(move || self.try_next())
+    }
+
     /// Blocks up to `timeout` for the next event.  `None` means no event
     /// arrived in time (or the service shut down with nothing buffered).
     pub fn next_timeout(&self, timeout: Duration) -> Option<ServiceEvent> {
         match self.receiver.recv_timeout(timeout) {
-            Ok(event) => Some(event),
+            Ok(event) => Some(event.event),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
         }
     }
@@ -228,6 +302,62 @@ mod tests {
         });
         assert_eq!(bus.subscriber_count(), 1);
         assert!(keep.try_next().is_some());
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_subscribe_too() {
+        let bus = EventBus::new();
+        let dropped = bus.subscribe();
+        drop(dropped);
+        assert_eq!(bus.subscriber_count(), 1);
+        let _live = bus.subscribe();
+        assert_eq!(
+            bus.subscriber_count(),
+            1,
+            "subscribe() prunes the dead entry while adding the new one"
+        );
+    }
+
+    #[test]
+    fn drain_yields_buffered_events_then_stops() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe();
+        for member in ["rg0#0", "rg0#1"] {
+            bus.publish(ServiceEvent::MemberKilled {
+                member: member.into(),
+            });
+        }
+        let drained: Vec<ServiceEvent> = sub.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(sub.drain().count(), 0, "drain does not block when empty");
+    }
+
+    #[test]
+    fn stamped_events_carry_clock_and_span() {
+        let clock = Arc::new(telemetry::ManualClock::new());
+        let tel = Telemetry::with_clock(clock.clone(), 16);
+        let bus = EventBus::with_telemetry(tel);
+        let sub = bus.subscribe();
+        clock.advance(1_500);
+        bus.publish_correlated(
+            ServiceEvent::MemberKilled {
+                member: "rg0#0".into(),
+            },
+            Some(SpanId(42)),
+        );
+        let stamped = sub.try_next_stamped().unwrap();
+        assert_eq!(stamped.at_nanos, Some(1_500));
+        assert_eq!(stamped.span, Some(SpanId(42)));
+
+        // Telemetry disabled → no stamps, same event payload.
+        let bare = EventBus::new();
+        let sub = bare.subscribe();
+        bare.publish(ServiceEvent::MemberKilled {
+            member: "rg0#0".into(),
+        });
+        let stamped = sub.try_next_stamped().unwrap();
+        assert_eq!(stamped.at_nanos, None);
+        assert_eq!(stamped.span, None);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub use admission::{
 };
 pub use chaos::{ChaosPhase, ChaosPlan, PhaseKill};
 pub use config::{ConfigError, PoolConfig, ServiceConfig, ServiceConfigBuilder};
-pub use events::{EventSubscriber, ServiceEvent};
+pub use events::{EventSubscriber, ServiceEvent, StampedEvent};
 pub use handle::{JobHandle, JobOutcome};
 pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobSpecBuilder, JobStatus, Priority};
 pub use report::{LatencyStats, RouteStats, ServiceReport, TenantStats};

@@ -167,7 +167,10 @@ pub(crate) struct WorkerPool {
 impl WorkerPool {
     /// Spawns the pool and returns it together with the manager context the
     /// scheduler drives it through.
-    pub fn start(config: &PoolConfig) -> Result<(WorkerPool, ThreadContext<PctMessage>)> {
+    pub fn start(
+        config: &PoolConfig,
+        telemetry: telemetry::Telemetry,
+    ) -> Result<(WorkerPool, ThreadContext<PctMessage>)> {
         // Channel validation is off for the same reason as the resilient
         // pipeline: regenerated members introduce routing names a static
         // graph cannot anticipate.
@@ -191,7 +194,8 @@ impl WorkerPool {
             config.replication_level.max(1),
             config.detector,
             AttackPlan::none(),
-        )?;
+        )?
+        .with_telemetry(telemetry);
 
         let inline = InlineLane::start(&runtime, config.shared_memory_executors)?;
 
@@ -241,7 +245,7 @@ mod tests {
             shared_memory_executors: 2,
             ..PoolConfig::default()
         };
-        let (pool, mut ctx) = WorkerPool::start(&config).unwrap();
+        let (pool, mut ctx) = WorkerPool::start(&config, telemetry::Telemetry::disabled()).unwrap();
         assert_eq!(pool.standard, vec!["svc0", "svc1"]);
         assert_eq!(pool.groups, vec!["rg0", "rg1"]);
         assert_eq!(pool.inline.executors, vec!["shm0", "shm1"]);
@@ -261,7 +265,7 @@ mod tests {
             shared_memory_executors: 0,
             ..PoolConfig::default()
         };
-        let (pool, mut ctx) = WorkerPool::start(&config).unwrap();
+        let (pool, mut ctx) = WorkerPool::start(&config, telemetry::Telemetry::disabled()).unwrap();
         assert!(pool.groups.is_empty());
         assert!(pool.inline.executors.is_empty());
         assert!(pool.resilient.membership.all_members().is_empty());
@@ -271,12 +275,15 @@ mod tests {
 
     #[test]
     fn inline_lane_computes_the_sequential_reference() {
-        let (pool, mut ctx) = WorkerPool::start(&PoolConfig {
-            standard_workers: 1,
-            replica_groups: 0,
-            shared_memory_executors: 1,
-            ..PoolConfig::default()
-        })
+        let (pool, mut ctx) = WorkerPool::start(
+            &PoolConfig {
+                standard_workers: 1,
+                replica_groups: 0,
+                shared_memory_executors: 1,
+                ..PoolConfig::default()
+            },
+            telemetry::Telemetry::disabled(),
+        )
         .unwrap();
         let cube = Arc::new(
             SceneGenerator::new(SceneConfig::small(11))

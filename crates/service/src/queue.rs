@@ -25,6 +25,11 @@ pub(crate) struct QueuedJob {
     pub submitted: Instant,
     /// The full specification.
     pub spec: JobSpec,
+    /// The job's root telemetry span, opened at submission (`None` with
+    /// telemetry disabled).
+    pub span: Option<telemetry::SpanId>,
+    /// The `queued` child span, closed at admission to measure queue wait.
+    pub queued_span: Option<telemetry::SpanId>,
 }
 
 struct Inner {
@@ -155,6 +160,8 @@ mod tests {
             submitted: Instant::now(),
             spec: JobSpec::new(CubeSource::Synthetic(SceneConfig::small(id)))
                 .with_priority(priority),
+            span: None,
+            queued_span: None,
         }
     }
 
@@ -163,6 +170,8 @@ mod tests {
             id,
             submitted: Instant::now(),
             spec: JobSpec::new(CubeSource::Synthetic(SceneConfig::small(id))).with_tenant(tenant),
+            span: None,
+            queued_span: None,
         }
     }
 

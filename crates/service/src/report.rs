@@ -4,7 +4,7 @@
 use crate::admission::TenantId;
 use crate::job::{BackendKind, Priority};
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 /// Per-tenant admission accounting, kept by the
 /// [`crate::AdmissionGovernor`] and folded into the report at shutdown.
@@ -118,6 +118,14 @@ pub struct ServiceReport {
     pub members_attacked: Vec<String>,
     /// Wall-clock lifetime of the scheduler.
     pub elapsed: Duration,
+    /// Wall-clock time the scheduler thread started.
+    pub started_at: Option<SystemTime>,
+    /// Wall-clock time the scheduler finished (set at shutdown).
+    pub finished_at: Option<SystemTime>,
+    /// Total time jobs spent in each execution phase, keyed by phase name
+    /// (`screen`, `derive`, `transform`, `inline`) — sourced from telemetry
+    /// spans when enabled, from the scheduler's own clock otherwise.
+    pub phase_durations: BTreeMap<&'static str, Duration>,
     /// Submit-to-completion latency per priority class.
     pub latency: BTreeMap<Priority, LatencyStats>,
     /// Per-route accounting: jobs and tasks per execution lane, and how many
@@ -148,6 +156,11 @@ impl ServiceReport {
     /// Records one completed job's latency under its priority class.
     pub fn record_latency(&mut self, priority: Priority, latency: Duration) {
         self.latency.entry(priority).or_default().record(latency);
+    }
+
+    /// Accumulates one job's time spent in `phase`.
+    pub fn record_phase(&mut self, phase: &'static str, duration: Duration) {
+        *self.phase_durations.entry(phase).or_default() += duration;
     }
 
     /// Records one job's admission onto a lane.
@@ -250,6 +263,20 @@ impl ServiceReport {
             self.elapsed.as_secs_f64(),
             self.throughput_jobs_per_sec(),
         ));
+        if let (Some(started), Some(finished)) = (self.started_at, self.finished_at) {
+            out.push_str(&format!(
+                "  wall:   started {:.3}, finished {:.3} (unix)\n",
+                unix_secs(started),
+                unix_secs(finished),
+            ));
+        }
+        for (phase, duration) in &self.phase_durations {
+            out.push_str(&format!(
+                "  phase {:>9}: {:>8.3} s total\n",
+                phase,
+                duration.as_secs_f64(),
+            ));
+        }
         for priority in Priority::ALL {
             if let Some(stats) = self.latency.get(&priority) {
                 out.push_str(&format!(
@@ -263,6 +290,13 @@ impl ServiceReport {
         }
         out
     }
+}
+
+/// Seconds since the Unix epoch (0.0 for pre-epoch times).
+fn unix_secs(t: SystemTime) -> f64 {
+    t.duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -312,6 +346,26 @@ mod tests {
         assert!(text.contains("latency   high"));
         assert!(text.contains("route shared-memory: 1 jobs (1 auto-routed), 1 completed, 1 tasks"));
         assert!((report.throughput_jobs_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_and_phase_durations_render() {
+        let mut report = ServiceReport {
+            started_at: Some(SystemTime::UNIX_EPOCH + Duration::from_secs(100)),
+            finished_at: Some(SystemTime::UNIX_EPOCH + Duration::from_secs(103)),
+            ..Default::default()
+        };
+        report.record_phase("screen", Duration::from_millis(250));
+        report.record_phase("screen", Duration::from_millis(250));
+        report.record_phase("derive", Duration::from_millis(100));
+        assert_eq!(
+            report.phase_durations.get("screen"),
+            Some(&Duration::from_millis(500))
+        );
+        let text = report.render();
+        assert!(text.contains("started 100.000, finished 103.000"));
+        assert!(text.contains("phase    screen:    0.500 s total"));
+        assert!(text.contains("phase    derive:    0.100 s total"));
     }
 
     #[test]

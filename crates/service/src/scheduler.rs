@@ -50,7 +50,8 @@ use resilience::MemberId;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
+use telemetry::{SpanId, Telemetry};
 
 use scp::{Envelope, ScpError, ThreadContext};
 
@@ -106,6 +107,16 @@ struct JobRun {
     mean: Option<Vector>,
     transform: Option<Matrix>,
     scales: Vec<(f64, f64)>,
+    /// Root telemetry span of the job's phase tree (carried over from
+    /// submission; `None` when telemetry is disabled).
+    span: Option<SpanId>,
+    /// The currently open phase span, a child of `span`.
+    phase_span: Option<SpanId>,
+    /// Name of the current phase, labelling its histogram and report rows.
+    phase_name: &'static str,
+    /// When the current phase was entered — the report's duration source
+    /// when telemetry is disabled and spans return nothing.
+    phase_entered: Instant,
 }
 
 impl JobRun {
@@ -156,6 +167,33 @@ impl JobRun {
     }
 }
 
+/// Closes `job`'s open phase span, accounting its duration into the phase
+/// histogram and the report's per-phase totals, then opens the span of
+/// `next` (when the job is moving on rather than terminating).  A free
+/// function so it can run while `job` is borrowed out of the run table.
+fn roll_phase(
+    telemetry: &Telemetry,
+    report: &mut ServiceReport,
+    job: &mut JobRun,
+    id: JobId,
+    next: Option<&'static str>,
+) {
+    let ended = telemetry
+        .span_end(job.phase_span.take())
+        .unwrap_or_else(|| job.phase_entered.elapsed());
+    telemetry.observe(
+        "fusiond_phase_duration_seconds",
+        &[("phase", job.phase_name)],
+        ended,
+    );
+    report.record_phase(job.phase_name, ended);
+    if let Some(name) = next {
+        job.phase_span = telemetry.span_start(name, job.span, Some(id), "");
+        job.phase_name = name;
+        job.phase_entered = Instant::now();
+    }
+}
+
 /// What a consumed result means for its job, decided while the job is
 /// borrowed and acted on afterwards.
 enum Outcome {
@@ -199,6 +237,10 @@ pub(crate) struct Scheduler {
     chaos: ChaosPlan,
     chaos_fired: Vec<bool>,
     regenerations_seen: usize,
+    telemetry: Telemetry,
+    /// Open `recompute` spans: jobs whose group tasks were re-issued after a
+    /// regeneration, closed when the job next consumes a result (or ends).
+    recompute: HashMap<JobId, SpanId>,
 }
 
 impl Scheduler {
@@ -213,12 +255,17 @@ impl Scheduler {
         max_in_flight: usize,
         events: Arc<EventBus>,
         chaos: ChaosPlan,
+        telemetry: Telemetry,
     ) -> Self {
         let free_workers = pool.standard.iter().cloned().collect();
         let free_groups = pool.groups.iter().cloned().collect();
         let free_inline: VecDeque<String> = pool.inline.executors.iter().cloned().collect();
         let inline_names: HashSet<String> = pool.inline.executors.iter().cloned().collect();
         let chaos_fired = vec![false; chaos.kills.len()];
+        let report = ServiceReport {
+            started_at: Some(SystemTime::now()),
+            ..ServiceReport::default()
+        };
         Self {
             pool,
             ctx,
@@ -239,10 +286,12 @@ impl Scheduler {
             inline_names,
             next_task: 1,
             started: Instant::now(),
-            report: ServiceReport::default(),
+            report,
             chaos,
             chaos_fired,
             regenerations_seen: 0,
+            telemetry,
+            recompute: HashMap::new(),
         }
     }
 
@@ -345,6 +394,10 @@ impl Scheduler {
             self.report.jobs_submitted += 1;
             if self.cancelled_queued.remove(&queued.id) {
                 self.report.jobs_cancelled += 1;
+                self.telemetry
+                    .span_end_with_detail(queued.queued_span, Some("cancelled"));
+                self.telemetry
+                    .span_end_with_detail(queued.span, Some("cancelled"));
                 self.terminal_transition(queued.id, tenant, JobStatus::Cancelled, None, None);
                 continue;
             }
@@ -352,6 +405,10 @@ impl Scheduler {
                 Ok(cube) => cube,
                 Err(e) => {
                     self.report.jobs_failed += 1;
+                    self.telemetry
+                        .span_end_with_detail(queued.queued_span, Some("failed"));
+                    self.telemetry
+                        .span_end_with_detail(queued.span, Some("failed"));
                     self.terminal_transition(
                         queued.id,
                         tenant,
@@ -366,6 +423,10 @@ impl Scheduler {
                 Ok(shards) => shards,
                 Err(e) => {
                     self.report.jobs_failed += 1;
+                    self.telemetry
+                        .span_end_with_detail(queued.queued_span, Some("failed"));
+                    self.telemetry
+                        .span_end_with_detail(queued.span, Some("failed"));
                     self.terminal_transition(
                         queued.id,
                         tenant,
@@ -381,6 +442,20 @@ impl Scheduler {
                 self.governor
                     .resolve(queued.spec.route, &request, &self.lane_snapshot());
             self.report.route_admitted(backend, auto_routed);
+            // Close the `queued` span: its duration *is* the admission wait.
+            let wait = self
+                .telemetry
+                .span_end(queued.queued_span)
+                .unwrap_or_else(|| queued.submitted.elapsed());
+            self.telemetry
+                .observe("fusiond_admission_wait_seconds", &[], wait);
+            let phase_name = match backend {
+                BackendKind::SharedMemory => "inline",
+                _ => "screen",
+            };
+            let phase_span =
+                self.telemetry
+                    .span_start(phase_name, queued.span, Some(queued.id), "");
             let run = JobRun {
                 tenant,
                 priority: queued.spec.priority,
@@ -403,15 +478,22 @@ impl Scheduler {
                 mean: None,
                 transform: None,
                 scales: Vec::new(),
+                span: queued.span,
+                phase_span,
+                phase_name,
+                phase_entered: Instant::now(),
             };
             self.status
                 .transition(queued.id, JobStatus::Running, None, None);
-            self.events.publish(ServiceEvent::Admitted {
-                job: queued.id,
-                tenant,
-                route: backend,
-                auto: auto_routed,
-            });
+            self.events.publish_correlated(
+                ServiceEvent::Admitted {
+                    job: queued.id,
+                    tenant,
+                    route: backend,
+                    auto: auto_routed,
+                },
+                queued.span,
+            );
             self.running.insert(queued.id, run);
         }
     }
@@ -604,9 +686,14 @@ impl Scheduler {
         debug_assert!(matches!(job.backend, BackendKind::SharedMemory));
         match result.result {
             Ok(output) => {
-                let job = self.running.remove(&id).expect("present: checked above");
+                let mut job = self.running.remove(&id).expect("present: checked above");
+                roll_phase(&self.telemetry, &mut self.report, &mut job, id, None);
+                self.telemetry
+                    .span_end_with_detail(job.span, Some("completed"));
                 self.report.jobs_completed += 1;
                 self.report.route_completed(BackendKind::SharedMemory);
+                self.telemetry
+                    .observe("fusiond_job_latency_seconds", &[], job.submitted.elapsed());
                 self.report
                     .record_latency(job.priority, job.submitted.elapsed());
                 self.terminal_transition(id, job.tenant, JobStatus::Completed, Some(output), None);
@@ -648,6 +735,11 @@ impl Scheduler {
                 }
                 self.report.results_received += 1;
                 let id = inflight.job;
+                // A consumed result proves the post-regeneration pipeline is
+                // flowing again: close any open `recompute` span.
+                if let Some(span) = self.recompute.remove(&id) {
+                    self.telemetry.span_end(Some(span));
+                }
                 let Some(job) = self.running.get_mut(&id) else {
                     // Job already cancelled, timed out or failed.
                     return;
@@ -659,6 +751,7 @@ impl Scheduler {
                         job.screen_next += 1;
                         if job.screen_next >= job.shards.len() {
                             job.phase = Phase::Derive;
+                            roll_phase(&self.telemetry, &mut self.report, job, id, Some("derive"));
                         }
                         Outcome::InProgress
                     }
@@ -676,6 +769,13 @@ impl Scheduler {
                         job.transform = Some(transform);
                         job.eigenvalues = eigenvalues;
                         job.phase = Phase::Transform;
+                        roll_phase(
+                            &self.telemetry,
+                            &mut self.report,
+                            job,
+                            id,
+                            Some("transform"),
+                        );
                         Outcome::InProgress
                     }
                     PctMessage::RgbStrip {
@@ -707,9 +807,13 @@ impl Scheduler {
 
     /// Assembles and publishes a finished message-plane job.
     fn complete_job(&mut self, id: JobId) {
-        let Some(job) = self.running.remove(&id) else {
+        let Some(mut job) = self.running.remove(&id) else {
             return;
         };
+        if let Some(span) = self.recompute.remove(&id) {
+            self.telemetry.span_end(Some(span));
+        }
+        roll_phase(&self.telemetry, &mut self.report, &mut job, id, None);
         let tenant = job.tenant;
         match assemble_image(job.cube.width(), job.cube.height(), job.strips) {
             Ok(image) => {
@@ -719,15 +823,23 @@ impl Scheduler {
                     unique_count: job.unique_count,
                     pixels: job.cube.pixels(),
                 };
+                self.telemetry
+                    .span_end_with_detail(job.span, Some("completed"));
                 self.report.jobs_completed += 1;
                 self.report.route_completed(job.backend);
+                self.telemetry
+                    .observe("fusiond_job_latency_seconds", &[], job.submitted.elapsed());
                 self.report
                     .record_latency(job.priority, job.submitted.elapsed());
                 self.terminal_transition(id, tenant, JobStatus::Completed, Some(output), None);
             }
             Err(e) => {
+                let error = e.to_string();
+                self.telemetry
+                    .span_end_with_detail(job.span, Some("failed"));
+                self.telemetry.dump_failure(Some(id), &error);
                 self.report.jobs_failed += 1;
-                self.terminal_transition(id, tenant, JobStatus::Failed, None, Some(e.to_string()));
+                self.terminal_transition(id, tenant, JobStatus::Failed, None, Some(error));
             }
         }
     }
@@ -735,14 +847,27 @@ impl Scheduler {
     /// Removes a job with a non-success terminal status.  Its outstanding
     /// tasks stay in the table so their eventual results free the slots.
     fn fail_job(&mut self, id: JobId, status: JobStatus, error: String) {
-        let Some(job) = self.running.remove(&id) else {
+        let Some(mut job) = self.running.remove(&id) else {
             return;
         };
+        if let Some(span) = self.recompute.remove(&id) {
+            self.telemetry.span_end(Some(span));
+        }
+        roll_phase(&self.telemetry, &mut self.report, &mut job, id, None);
+        let label = match status {
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed-out",
+            _ => "failed",
+        };
+        self.telemetry.span_end_with_detail(job.span, Some(label));
         match status {
             JobStatus::Failed => self.report.jobs_failed += 1,
             JobStatus::Cancelled => self.report.jobs_cancelled += 1,
             JobStatus::TimedOut => self.report.jobs_timed_out += 1,
             _ => {}
+        }
+        if status == JobStatus::Failed {
+            self.telemetry.dump_failure(Some(id), &error);
         }
         let error = if error.is_empty() { None } else { Some(error) };
         self.terminal_transition(id, job.tenant, status, None, error);
@@ -761,12 +886,18 @@ impl Scheduler {
         for (kill, fired) in self.chaos.kills.iter().zip(self.chaos_fired.iter_mut()) {
             if !*fired && kill.job == job && kill.phase == phase {
                 self.pool.resilient.injector.attack(&kill.member);
+                // Stamp the kill time so the detection that eventually fires
+                // can report its latency and back-date the `detect` span.
+                self.telemetry.note_kill(&kill.member);
                 killed.push(kill.member.clone());
                 *fired = true;
             }
         }
+        let span = self.running.get(&job).and_then(|j| j.phase_span);
         for member in killed {
-            self.events.publish(ServiceEvent::MemberKilled { member });
+            self.telemetry.instant("kill", Some(job), span, &member);
+            self.events
+                .publish_correlated(ServiceEvent::MemberKilled { member }, span);
         }
     }
 
@@ -822,11 +953,17 @@ impl Scheduler {
             }
             self.report.tasks_retransmitted += 1;
             if let Some(job) = job {
-                self.events.publish(ServiceEvent::Retransmitted {
-                    job,
-                    task,
-                    group: group.clone(),
-                });
+                let span = self.running.get(&job).and_then(|j| j.phase_span);
+                self.telemetry
+                    .instant("retransmit", Some(job), span, &group);
+                self.events.publish_correlated(
+                    ServiceEvent::Retransmitted {
+                        job,
+                        task,
+                        group: group.clone(),
+                    },
+                    span,
+                );
             }
             for failed in dead {
                 self.recover_member(failed, now_ms);
@@ -867,6 +1004,30 @@ impl Scheduler {
     /// jobs whose tasks were riding on that group.
     fn recover_member(&mut self, failed: MemberId, now_ms: u64) {
         let mut outstanding = self.group_outstanding(&failed.group);
+        // The failure's telemetry hangs under the phase span of the job
+        // whose tasks were riding on the dead member's group (if any).
+        let affected = self.tasks.values().find_map(|inflight| {
+            matches!(&inflight.assignee, Assignee::Group(g) if *g == failed.group)
+                .then_some(inflight.job)
+        });
+        let parent = affected.and_then(|id| self.running.get(&id).and_then(|j| j.phase_span));
+        let member = failed.routing_name();
+        if let Some(kill_nanos) = self.telemetry.take_kill(&member) {
+            // Back-date the `detect` span to the kill; its width *is* the
+            // detection latency.
+            if let Some(now) = self.telemetry.now_nanos() {
+                self.telemetry.observe(
+                    "fusiond_detection_latency_seconds",
+                    &[],
+                    Duration::from_nanos(now.saturating_sub(kill_nanos)),
+                );
+            }
+            self.telemetry
+                .span_closed("detect", parent, affected, kill_nanos, &member);
+        }
+        let regen_span = self
+            .telemetry
+            .span_start("regenerate", parent, affected, &member);
         let result = self.pool.resilient.handle_member_failure(
             &mut self.ctx,
             &self.pool.runtime,
@@ -874,7 +1035,23 @@ impl Scheduler {
             now_ms,
             &failed,
         );
+        if let Some(regen_time) = self.telemetry.span_end(regen_span) {
+            self.telemetry
+                .observe("fusiond_regeneration_seconds", &[], regen_time);
+        }
         if result.is_ok() {
+            // The re-issued tasks now recompute lost work; the span closes
+            // when the job next consumes a result.
+            if let Some(id) = affected {
+                if !self.recompute.contains_key(&id) {
+                    if let Some(span) =
+                        self.telemetry
+                            .span_start("recompute", parent, Some(id), &failed.group)
+                    {
+                        self.recompute.insert(id, span);
+                    }
+                }
+            }
             // The re-issue just delivered these tasks afresh; restart their
             // retransmit timers so the next sweep does not re-send them.
             for inflight in self.tasks.values_mut() {
@@ -887,10 +1064,13 @@ impl Scheduler {
             // is the live log; the run report only folds it in at shutdown.
             let history = self.pool.resilient.regenerator.history();
             for regen in &history[self.regenerations_seen..] {
-                self.events.publish(ServiceEvent::MemberRegenerated {
-                    failed: regen.failed.routing_name(),
-                    replacement: regen.replacement.routing_name(),
-                });
+                self.events.publish_correlated(
+                    ServiceEvent::MemberRegenerated {
+                        failed: regen.failed.routing_name(),
+                        replacement: regen.replacement.routing_name(),
+                    },
+                    parent,
+                );
             }
             self.regenerations_seen = self.pool.resilient.regenerator.history().len();
         }
@@ -955,6 +1135,7 @@ impl Scheduler {
         self.report.members_attacked = resilient_report.members_attacked;
         self.report.queue_high_water = self.governor.queue_high_water();
         self.report.elapsed = self.started.elapsed();
+        self.report.finished_at = Some(SystemTime::now());
         self.report
     }
 }

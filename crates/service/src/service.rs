@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use telemetry::Telemetry;
 
 /// A running fusion service: one scheduler thread driving one long-lived
 /// three-lane worker pool, fed through a bounded admission queue.
@@ -53,28 +54,33 @@ pub struct FusionService {
     lane_totals: [usize; 3],
     next_job: AtomicU64,
     scheduler: Option<JoinHandle<ServiceReport>>,
+    telemetry: Telemetry,
 }
 
 impl FusionService {
     /// Starts the pool and the scheduler thread.
     pub fn start(config: ServiceConfig) -> Result<FusionService> {
         config.validate()?;
-        let (pool, ctx) = WorkerPool::start(&config.pool)?;
+        let telemetry = config.telemetry.clone();
+        let (pool, ctx) = WorkerPool::start(&config.pool, telemetry.clone())?;
         let injector = pool.injector();
         let lane_totals = [
             pool.standard.len(),
             pool.groups.len(),
             pool.inline.executors.len(),
         ];
-        let governor = Arc::new(AdmissionGovernor::new(
-            config.queue_capacity,
-            config.admission.clone(),
-            Arc::clone(&config.routing),
-        ));
+        let governor = Arc::new(
+            AdmissionGovernor::new(
+                config.queue_capacity,
+                config.admission.clone(),
+                Arc::clone(&config.routing),
+            )
+            .with_telemetry(telemetry.clone()),
+        );
         let status = Arc::new(StatusTable::new());
         let cancels = Arc::new(Mutex::new(Vec::new()));
         let shutdown_flag = Arc::new(AtomicBool::new(false));
-        let events = Arc::new(EventBus::new());
+        let events = Arc::new(EventBus::with_telemetry(telemetry.clone()));
         let scheduler = Scheduler::new(
             pool,
             ctx,
@@ -85,6 +91,7 @@ impl FusionService {
             config.max_in_flight,
             Arc::clone(&events),
             config.chaos.clone(),
+            telemetry.clone(),
         );
         let handle = std::thread::Builder::new()
             .name("fusiond-scheduler".to_string())
@@ -100,6 +107,7 @@ impl FusionService {
             lane_totals,
             next_job: AtomicU64::new(1),
             scheduler: Some(handle),
+            telemetry,
         })
     }
 
@@ -129,10 +137,18 @@ impl FusionService {
         let tenant = spec.tenant;
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         self.status.insert(id, JobRecord::queued());
+        // Root span of the job's phase tree, plus the `queued` child the
+        // scheduler closes at admission (both `None` if telemetry is off).
+        let span = self
+            .telemetry
+            .span_start("job", None, Some(id), &tenant.label());
+        let queued_span = self.telemetry.span_start("queued", span, Some(id), "");
         let queued = QueuedJob {
             id,
             submitted: Instant::now(),
             spec,
+            span,
+            queued_span,
         };
         match self.governor.submit(queued, blocking) {
             Ok(()) => Ok(JobHandle::new(
@@ -144,6 +160,9 @@ impl FusionService {
             )),
             Err(e) => {
                 self.status.remove(id);
+                self.telemetry
+                    .span_end_with_detail(queued_span, Some("rejected"));
+                self.telemetry.span_end_with_detail(span, Some("rejected"));
                 self.publish_rejection(id, tenant, &e);
                 Err(e)
             }
@@ -222,11 +241,28 @@ impl FusionService {
     pub fn inject_attack(&self, member: &str) -> bool {
         let hit = self.injector.attack(member);
         if hit {
+            // Stamp the kill time so the eventual detection can report its
+            // latency and back-date the `detect` span.
+            self.telemetry.note_kill(member);
+            self.telemetry.instant("kill", None, None, member);
             self.events.publish(ServiceEvent::MemberKilled {
                 member: member.to_string(),
             });
         }
         hit
+    }
+
+    /// Number of live event-stream subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.events.subscriber_count()
+    }
+
+    /// The service's telemetry handle: spans, metrics snapshot
+    /// ([`Telemetry::snapshot_prometheus`]) and the flight recorder
+    /// ([`Telemetry::chrome_trace`]).  Disabled unless the configuration
+    /// supplied an enabled handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Graceful shutdown: stops accepting jobs, drains the queue and every

@@ -1,0 +1,216 @@
+//! Flight recorder: a bounded ring of recent spans and instant events,
+//! dumpable as Chrome `trace_event` JSON.
+//!
+//! The ring keeps the last `capacity` records; older records are dropped
+//! (and counted) so a long-running service holds a recent window, not an
+//! unbounded log.  [`FlightRecorder::chrome_trace`] renders the window in
+//! the [Chrome trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! — load the file at `chrome://tracing` or <https://ui.perfetto.dev> to
+//! see the per-job span tree on a timeline.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::span::{Span, SpanId};
+
+/// One record in the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A completed span.
+    Span(Span),
+    /// A point-in-time event (retransmit, kill, shed, ...).
+    Instant {
+        /// Event name.
+        name: &'static str,
+        /// Clock nanoseconds at which it happened.
+        at_nanos: u64,
+        /// The job it belongs to, if any.
+        job: Option<u64>,
+        /// The correlated span, if any.
+        span: Option<SpanId>,
+        /// Freeform detail (member name, reason, ...).
+        detail: String,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of recent [`TraceRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(Ring::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: TraceRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+
+    /// Snapshot of the current window, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.ring.lock().unwrap().records.iter().cloned().collect()
+    }
+
+    /// How many records have been evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Renders the window as Chrome `trace_event` JSON.  Spans become
+    /// complete (`"ph":"X"`) events on a per-job row (`tid` = job id);
+    /// instants become `"ph":"i"` events.  Timestamps are microseconds,
+    /// as the format requires.
+    pub fn chrome_trace(&self) -> String {
+        let records = self.records();
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for record in &records {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match record {
+                TraceRecord::Span(span) => {
+                    out.push_str(&format!(
+                        "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"span\":{},{}\"detail\":{}}}}}",
+                        json_string(span.name),
+                        span.job.unwrap_or(0),
+                        span.start_nanos / 1_000,
+                        span.duration_nanos().div_ceil(1_000).max(1),
+                        span.id.0,
+                        match span.parent {
+                            Some(parent) => format!("\"parent\":{},", parent.0),
+                            None => String::new(),
+                        },
+                        json_string(&span.detail),
+                    ));
+                }
+                TraceRecord::Instant {
+                    name,
+                    at_nanos,
+                    job,
+                    span,
+                    detail,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{{}\"detail\":{}}}}}",
+                        json_string(name),
+                        job.unwrap_or(0),
+                        at_nanos / 1_000,
+                        match span {
+                            Some(span) => format!("\"span\":{},", span.0),
+                            None => String::new(),
+                        },
+                        json_string(detail),
+                    ));
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, start: u64, end: u64) -> TraceRecord {
+        TraceRecord::Span(Span {
+            id: SpanId(id),
+            parent: if id > 1 { Some(SpanId(1)) } else { None },
+            name: "phase",
+            job: Some(7),
+            start_nanos: start,
+            end_nanos: end,
+            detail: String::new(),
+        })
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..5 {
+            recorder.push(span(i, i * 10, i * 10 + 5));
+        }
+        let records = recorder.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(recorder.dropped(), 2);
+        // Oldest two evicted; window starts at id 2.
+        match &records[0] {
+            TraceRecord::Span(s) => assert_eq!(s.id, SpanId(2)),
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_json() {
+        let recorder = FlightRecorder::new(8);
+        recorder.push(span(1, 1_000, 9_000));
+        recorder.push(TraceRecord::Instant {
+            name: "retransmit",
+            at_nanos: 4_000,
+            job: Some(7),
+            span: Some(SpanId(1)),
+            detail: "rg0#1 \"late\"".into(),
+        });
+        let json = recorder.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"tid\":7"));
+        assert!(json.contains("\"ts\":1"));
+        assert!(json.contains("\"dur\":8"));
+        // Detail with quotes must be escaped.
+        assert!(json.contains("rg0#1 \\\"late\\\""));
+        // Balanced braces — cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn zero_length_span_renders_nonzero_duration() {
+        let recorder = FlightRecorder::new(2);
+        recorder.push(span(1, 5_000, 5_000));
+        assert!(recorder.chrome_trace().contains("\"dur\":1"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The telemetry plane end to end: run a small mixed workload (including a
+//! deterministic chaos kill) with spans, metrics and the flight recorder
+//! all on, then print the Prometheus exposition snapshot, the span tree of
+//! the attacked job, and dump the whole run as a Chrome `trace_event` JSON
+//! file loadable in `chrome://tracing` or Perfetto.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use hsi::{CubeDims, SceneConfig, SceneGenerator};
+use service::{
+    BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobSpec, Route, ServiceConfig,
+};
+use std::sync::Arc;
+use telemetry::Telemetry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry = Telemetry::enabled();
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(2)
+            .replica_groups(1)
+            .replication_level(2)
+            .shared_memory_executors(1)
+            // When the scheduler dispatches the first screening task of
+            // job 1, member rg0#0 dies — and the trace shows the recovery.
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#0"))
+            .telemetry(telemetry.clone())
+            .build()?,
+    )?;
+
+    let mut config = SceneConfig::small(77);
+    config.dims = CubeDims::new(24, 24, 12);
+    let cube = Arc::new(SceneGenerator::new(config)?.generate());
+
+    // Job 1 rides the resilient lane into the chaos kill; the others fan
+    // out over the standard and shared-memory lanes.
+    let mut handles = Vec::new();
+    for route in [
+        Route::Pinned(BackendKind::Resilient),
+        Route::Pinned(BackendKind::Standard),
+        Route::Auto,
+    ] {
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .route(route)
+            .shards(3)
+            .build()?;
+        handles.push(service.submit(spec)?);
+    }
+    for handle in &mut handles {
+        handle.wait()?;
+    }
+    let report = service.shutdown();
+    print!("{}", report.render());
+
+    // The metrics registry, in Prometheus exposition format.
+    println!("\n--- prometheus snapshot ---");
+    print!("{}", telemetry.snapshot_prometheus().expect("enabled"));
+
+    // The attacked job's span tree, reconstructed from the flight recorder.
+    println!("--- span tree (job 1) ---");
+    let spans = telemetry.spans();
+    fn print_tree(spans: &[telemetry::Span], parent: Option<telemetry::SpanId>, depth: usize) {
+        for span in spans.iter().filter(|s| s.parent == parent) {
+            println!(
+                "{:indent$}{} [{:.3} ms]{}{}",
+                "",
+                span.name,
+                span.duration_nanos() as f64 / 1e6,
+                if span.detail.is_empty() { "" } else { " — " },
+                span.detail,
+                indent = depth * 2
+            );
+            print_tree(spans, Some(span.id), depth + 1);
+        }
+    }
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|s| s.parent.is_none() && s.job == Some(1))
+        .collect();
+    for root in roots {
+        print_tree(&spans, Some(root.id), 1);
+        println!("(root: {} — {})", root.name, root.detail);
+    }
+
+    // The whole run as a Chrome trace, for chrome://tracing or Perfetto.
+    let path = std::env::temp_dir().join("fusiond_observability_trace.json");
+    std::fs::write(&path, telemetry.chrome_trace().expect("enabled"))?;
+    println!("\nwrote Chrome trace to {}", path.display());
+    Ok(())
+}

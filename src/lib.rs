@@ -15,3 +15,4 @@ pub use pct;
 pub use resilience;
 pub use scp;
 pub use service;
+pub use telemetry;

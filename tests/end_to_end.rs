@@ -923,3 +923,136 @@ fn screening_threshold_trades_unique_set_size_for_work() {
     assert!(tight.variance_fraction(3) > 0.9);
     assert!(loose.variance_fraction(3) > 0.9);
 }
+
+/// The telemetry acceptance criterion: a chaos run with the flight recorder
+/// on yields a span tree in which detection, regeneration and recompute all
+/// nest inside the affected job's lifetime with intact parent links and
+/// causal ordering — while the output stays byte-identical to the
+/// sequential reference — and the Chrome-trace JSON artifact written from
+/// the recorder renders the whole story.
+#[test]
+fn chaos_trace_nests_detect_regenerate_recompute_under_the_affected_job() {
+    let telemetry = telemetry::Telemetry::enabled();
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(1)
+            .replica_groups(1)
+            .replication_level(2)
+            .shared_memory_executors(0)
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "rg0#1"))
+            .telemetry(telemetry.clone())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+
+    let cube = Arc::new(
+        SceneGenerator::new(small_job_scene(140))
+            .unwrap()
+            .generate(),
+    );
+    let mut handle = service
+        .submit(
+            JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                .pinned(BackendKind::Resilient)
+                .shards(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let id = handle.id();
+    let outcome = handle.wait().unwrap();
+
+    // Byte-identity survives the kill: telemetry observes, never perturbs.
+    let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+    assert_eq!(
+        outcome.output().expect("job completed"),
+        &reference,
+        "chaos run diverged from sequential"
+    );
+    let report = service.shutdown();
+    assert!(report.regenerations >= 1, "kill never regenerated");
+
+    // The span tree, as the flight recorder kept it.
+    let spans = telemetry.spans();
+    let find = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name && s.job == Some(id))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no {name} span for job {id}; recorded: {:?}",
+                    spans.iter().map(|s| s.name).collect::<Vec<_>>()
+                )
+            })
+    };
+    let job = find("job");
+    let queued = find("queued");
+    let screen = find("screen");
+    let detect = find("detect");
+    let regenerate = find("regenerate");
+    let recompute = find("recompute");
+
+    // Parent links: queued and the first phase hang off the job root; the
+    // resilience spans are parented into the tree (at the attacked phase).
+    assert_eq!(job.parent, None, "job root must be unparented");
+    assert_eq!(queued.parent, Some(job.id));
+    assert_eq!(screen.parent, Some(job.id));
+    assert_eq!(
+        detect.parent,
+        Some(screen.id),
+        "detect hangs off the attacked phase"
+    );
+    for (name, span) in [("regenerate", regenerate), ("recompute", recompute)] {
+        assert!(span.parent.is_some(), "{name} span unparented");
+    }
+
+    // Nesting: everything lies inside the job's lifetime, and the terminal
+    // detail on the root records the outcome.
+    for (name, span) in [
+        ("queued", queued),
+        ("screen", screen),
+        ("detect", detect),
+        ("regenerate", regenerate),
+        ("recompute", recompute),
+    ] {
+        assert!(
+            job.encloses(span),
+            "{name} span [{}, {}] escapes job [{}, {}]",
+            span.start_nanos,
+            span.end_nanos,
+            job.start_nanos,
+            job.end_nanos
+        );
+    }
+    assert_eq!(job.detail, "completed");
+
+    // Causal order: the kill is detected before the member is regenerated,
+    // and lost work is recomputed only after regeneration begins.  The
+    // detect span is back-dated to the kill instant, so it starts at or
+    // before the regeneration that reacts to it.
+    assert!(detect.start_nanos <= regenerate.start_nanos);
+    assert!(detect.end_nanos <= regenerate.end_nanos);
+    assert!(regenerate.start_nanos <= recompute.start_nanos);
+
+    // The Chrome-trace artifact: written where CI can pick it up, and it
+    // renders the resilience story (span + instant names survive export).
+    let trace = telemetry.chrome_trace().expect("enabled telemetry");
+    let path = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("chaos_trace.json");
+    std::fs::write(&path, &trace).expect("trace artifact written");
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(written.contains("\"traceEvents\""));
+    for name in [
+        "\"job\"",
+        "\"screen\"",
+        "\"detect\"",
+        "\"regenerate\"",
+        "\"recompute\"",
+        "\"kill\"",
+    ] {
+        assert!(
+            written.contains(name),
+            "trace artifact missing {name} events"
+        );
+    }
+}
