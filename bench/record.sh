@@ -30,12 +30,14 @@
 #     (both drive fixed tenant mixes through service::admission); all four
 #     counters per tenant are deterministic, so any drift means admission
 #     behaviour changed.
-#   * {service,ingest}_telemetry_overhead_pct — wall-clock cost of running
-#     the same workload with the telemetry plane fully on (spans + metrics
-#     + flight recorder) versus disabled; both benchmarks run their
-#     workload twice, disabled first (so every other row stays comparable
-#     with the pre-telemetry history).  Wall-clock and trend-only; the
-#     budget is <5%.
+#   * {service,ingest}_telemetry_overhead_pct — wall-clock cost of the
+#     telemetry plane fully on (spans + metrics + flight recorder) versus
+#     disabled, measured on a compute-dominated serial probe (submit ->
+#     wait one job at a time / replay-plus-drain passes) so scheduler
+#     jitter cannot dominate; min-of-5 per configuration, alternating and
+#     order-flipped, after a warm-up.  The deterministic rows always come
+#     from a disabled run, so they stay comparable with the pre-telemetry
+#     history.  Wall-clock and trend-only; the budget is <5%.
 #   * service_latency_{p50,p95,p99}_ms — submit-to-completion latency
 #     percentiles estimated from the enabled run's
 #     fusiond_job_latency_seconds histogram.  Wall-clock and trend-only.
