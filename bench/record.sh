@@ -41,6 +41,11 @@
 #   * service_latency_{p50,p95,p99}_ms — submit-to-completion latency
 #     percentiles estimated from the enabled run's
 #     fusiond_job_latency_seconds histogram.  Wall-clock and trend-only.
+#   * service_worker_{lost,reassigned,failover} — standard-lane failover
+#     counters from two deterministic chaos probes (worker kill on a
+#     two-worker lane; lane-drain kill on a one-worker lane backed by an
+#     inline executor).  Exact by construction (expected 2 / 1 / 1): any
+#     drift means detection or re-dispatch behaviour changed.
 #
 # After appending, the committed trend chart bench/BENCH_trends.svg is
 # regenerated from the full history by `bench --bin plot_history`.

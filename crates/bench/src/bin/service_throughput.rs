@@ -27,11 +27,17 @@
 //! measured min-of-`REPS` per configuration in alternation — because the
 //! concurrent run's wall clock is dominated by scheduler jitter, not by
 //! the cost being measured.
+//!
+//! Failover counters: two deterministic chaos probes (a standard-worker
+//! kill on a two-worker lane, and on a one-worker lane backed by an
+//! inline executor) feed the `service_worker_{lost,reassigned,failover}`
+//! rows — exact counts, not load-dependent rates.
 
 use hsi::{CubeDims, SceneConfig, SceneGenerator};
+use resilience::DetectorConfig;
 use service::{
-    BackendKind, CubeSource, FusionService, JobSpec, Route, ServiceConfig, ServiceReport, TenantId,
-    TenantQuota,
+    BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobSpec, Route, ServiceConfig,
+    ServiceReport, TenantId, TenantQuota,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -150,6 +156,52 @@ fn overhead_probe(telemetry: Telemetry) -> Duration {
     elapsed
 }
 
+/// One deterministic failover probe: a chaos kill takes `svc0` down at the
+/// first screening dispatch of the (single) job.  The screening chain is
+/// serial, so the dead worker holds exactly one in-flight task — with a
+/// surviving worker the run yields exactly one reassignment, and with no
+/// survivor it yields exactly one lane failover (to the shared-memory
+/// executor).  The counters are exact, so the CSV rows alarm on any change
+/// to detection or re-dispatch behaviour rather than drifting with load.
+fn failover_probe(standard_workers: usize, shm_executors: usize) -> ServiceReport {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .standard_workers(standard_workers)
+            .replica_groups(0)
+            .shared_memory_executors(shm_executors)
+            .standard_detector(DetectorConfig {
+                heartbeat_period_ms: 10,
+                miss_threshold: 3,
+            })
+            .queue_capacity(4)
+            .max_in_flight(2)
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "svc0"))
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+    let cube = Arc::new(
+        SceneGenerator::new(scene(99))
+            .expect("valid scene")
+            .generate(),
+    );
+    let spec = JobSpec::builder(CubeSource::InMemory(cube))
+        .pinned(BackendKind::Standard)
+        .shards(3)
+        .build()
+        .expect("valid spec");
+    let outcome = service
+        .submit(spec)
+        .expect("submission accepted")
+        .wait()
+        .expect("job reaches a terminal state");
+    assert!(
+        outcome.output().is_some(),
+        "failover probe job must survive the kill"
+    );
+    service.shutdown()
+}
+
 fn main() {
     // Untimed warm-up so neither measured pass below absorbs the
     // cold-start costs (thread spawning, allocator, page faults) alone.
@@ -249,6 +301,22 @@ fn main() {
     let overhead_pct =
         (enabled_wall.as_secs_f64() / disabled_wall.as_secs_f64().max(1e-9) - 1.0) * 100.0;
     println!("CSV service_telemetry_overhead_pct {overhead_pct:.2}");
+    // The standard-lane failover counters, from two deterministic probes:
+    // a two-worker lane (the kill costs one worker and exactly one task
+    // reassignment) and a one-worker lane backed by an inline executor
+    // (the kill drains the lane and fails the job over).  Expected rows:
+    // lost 2, reassigned 1, failover 1.
+    let reassign = failover_probe(2, 0);
+    let drain = failover_probe(1, 1);
+    println!(
+        "CSV service_worker_lost {}",
+        reassign.workers_lost + drain.workers_lost
+    );
+    println!(
+        "CSV service_worker_reassigned {}",
+        reassign.tasks_reassigned
+    );
+    println!("CSV service_worker_failover {}", drain.lane_failovers);
     // End-to-end submit-to-completion latency percentiles from the enabled
     // run's histogram (linear interpolation within fixed buckets, the same
     // estimate Prometheus' `histogram_quantile` makes).

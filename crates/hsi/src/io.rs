@@ -328,7 +328,10 @@ fn parse_ppm(bytes: &[u8]) -> Result<RgbImage> {
         if start == pos {
             return Err(bad("unexpected end of header"));
         }
-        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+        // A lossy conversion here would silently mangle a corrupt header
+        // token into U+FFFD and then fail later with a misleading "bad
+        // width"-style message; report the real defect instead.
+        String::from_utf8(bytes[start..pos].to_vec()).map_err(|_| bad("non-UTF-8 header token"))
     };
 
     if next_token(bytes)? != "P6" {
@@ -442,6 +445,18 @@ mod tests {
         assert!(parse_ppm(b"not an image").is_err());
         assert!(parse_ppm(b"P6\n2 2\n255\n\x00").is_err()); // truncated
         assert!(parse_ppm(b"P6\n2 2\n65535\n").is_err()); // unsupported depth
+    }
+
+    #[test]
+    fn parse_ppm_reports_non_utf8_header_instead_of_mangling_it() {
+        // A corrupt width token must surface as a header error, not be
+        // lossily replaced with U+FFFD and misreported downstream.
+        let err = parse_ppm(b"P6\n\xff\xfe 2\n255\n").unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("non-UTF-8 header token"),
+            "unexpected error: {text}"
+        );
     }
 
     #[test]

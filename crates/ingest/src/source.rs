@@ -59,10 +59,7 @@ struct FileStream {
 
 impl FileStream {
     fn open(path: &Path) -> Result<Self> {
-        let tag = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| path.display().to_string());
+        let tag = Self::tag_for(path);
         let file = std::fs::File::open(path)?;
         Ok(Self {
             tag,
@@ -71,6 +68,27 @@ impl FileStream {
             started: false,
             done: false,
         })
+    }
+
+    /// A stable display tag for an arrival, unique per file name.
+    ///
+    /// Valid UTF-8 names are used verbatim.  A lossy conversion would map
+    /// every invalid byte to U+FFFD, so two distinct non-UTF-8 names could
+    /// collide on the same tag (and downstream consumers keyed by tag would
+    /// conflate the arrivals); a hash of the raw name keeps them apart.
+    fn tag_for(path: &Path) -> String {
+        use std::hash::{Hash, Hasher};
+        let Some(name) = path.file_name() else {
+            return path.display().to_string();
+        };
+        match name.to_str() {
+            Some(utf8) => utf8.to_owned(),
+            None => {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                name.hash(&mut hasher);
+                format!("{}#{:016x}", name.to_string_lossy(), hasher.finish())
+            }
+        }
     }
 
     fn next_event(&mut self, chunk_bytes: usize) -> Option<Result<SourceEvent>> {
@@ -445,6 +463,29 @@ mod tests {
         assert_eq!(errors, 1, "corrupt header is one error");
         assert_eq!(cubes.len(), 1, "the good file still ingests");
         assert_eq!(*cubes[0].1, cube);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_file_names_get_distinct_tags() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+        let dir = temp_dir("nonutf8");
+        let cube = SceneGenerator::new(scene(9, 8, 4)).unwrap().generate();
+        // Two names that differ only in their invalid bytes: a lossy
+        // conversion maps both to "cube_\u{FFFD}.hsif".
+        for raw in [&b"cube_\xff.hsif"[..], &b"cube_\xfe.hsif"[..]] {
+            write_cube_as(&cube, Interleave::Bip, dir.join(OsStr::from_bytes(raw))).unwrap();
+        }
+        let mut source = DirectorySource::new(&dir);
+        let (cubes, errors) = drain(&mut source);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(errors, 0);
+        assert_eq!(cubes.len(), 2);
+        assert_ne!(cubes[0].0, cubes[1].0, "tags must not collide");
+        for (_, decoded) in &cubes {
+            assert_eq!(**decoded, cube);
+        }
     }
 
     #[test]

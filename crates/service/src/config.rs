@@ -102,19 +102,27 @@ pub struct PoolConfig {
     pub shared_memory_executors: usize,
     /// Failure-detector tuning for the resilient lane.
     pub detector: DetectorConfig,
+    /// Failure-detector tuning for the standard lane's worker watchdog
+    /// (heartbeat-silence plus mailbox probe, the same detection the
+    /// resilient lane runs per member).  Kept separate from
+    /// [`PoolConfig::detector`] so the two lanes can trade detection
+    /// latency independently.
+    pub standard_detector: DetectorConfig,
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
+        let detector = DetectorConfig {
+            heartbeat_period_ms: 50,
+            miss_threshold: 8,
+        };
         Self {
             standard_workers: 4,
             replica_groups: 2,
             replication_level: 2,
             shared_memory_executors: 2,
-            detector: DetectorConfig {
-                heartbeat_period_ms: 50,
-                miss_threshold: 8,
-            },
+            detector,
+            standard_detector: detector,
         }
     }
 }
@@ -229,6 +237,12 @@ impl ServiceConfigBuilder {
     /// Failure-detector tuning for the resilient lane.
     pub fn detector(mut self, detector: DetectorConfig) -> Self {
         self.config.pool.detector = detector;
+        self
+    }
+
+    /// Failure-detector tuning for the standard lane's worker watchdog.
+    pub fn standard_detector(mut self, detector: DetectorConfig) -> Self {
+        self.config.pool.standard_detector = detector;
         self
     }
 

@@ -5,7 +5,8 @@
 //! was doing by polling `status()` in a loop.  The scheduler now publishes a
 //! typed event at every interesting lifecycle point — admission (with the
 //! resolved route), task dispatch, retransmission, member kill, member
-//! regeneration, and every terminal transition — to every live subscriber.
+//! regeneration, standard-worker loss (with each task reassignment and any
+//! lane failover), and every terminal transition — to every live subscriber.
 //!
 //! When the service runs with an enabled [`telemetry::Telemetry`], every
 //! event is stamped with the telemetry clock and, where one applies, the
@@ -94,10 +95,40 @@ pub enum ServiceEvent {
         /// The replica group that owes the result.
         group: String,
     },
-    /// A resilient-lane member was killed (chaos plan or attack drill).
+    /// A resilient-lane member or standard worker was killed (chaos plan or
+    /// attack drill).
     MemberKilled {
-        /// Routing name of the victim (e.g. `rg0#1`).
+        /// Routing name of the victim (e.g. `rg0#1` or `svc0`).
         member: String,
+    },
+    /// The standard-lane watchdog confirmed a worker lost (heartbeat
+    /// silence plus a dead mailbox probe).  Its in-flight tasks are
+    /// re-dispatched, not failed.
+    WorkerLost {
+        /// Name of the lost worker (e.g. `svc0`).
+        worker: String,
+    },
+    /// An in-flight task of a lost standard worker was re-dispatched.
+    TaskReassigned {
+        /// The job the task belongs to.
+        job: JobId,
+        /// The task identifier (re-dispatch is idempotent by task id).
+        task: TaskId,
+        /// The worker that was lost holding the task.
+        from: String,
+        /// The execution slot that took it over (a surviving worker, or a
+        /// replica group after a lane failover).
+        to: String,
+    },
+    /// A running job was moved off a drained lane onto another enabled
+    /// lane (resolved through the routing policy).
+    LaneFailover {
+        /// The job that moved.
+        job: JobId,
+        /// The lane it was running on.
+        from: BackendKind,
+        /// The lane it continues on.
+        to: BackendKind,
     },
     /// The regeneration protocol replaced a failed member.
     MemberRegenerated {

@@ -2,8 +2,11 @@
 //!
 //! Three lanes:
 //!
-//! * **standard** — plain worker threads running the distributed
-//!   implementation's reactive `worker_loop` over one `scp` runtime;
+//! * **standard** — plain worker threads running a reactive task loop over
+//!   one `scp` runtime.  Each worker registers a kill switch in the pool's
+//!   shared [`AttackInjector`] and heartbeats the manager (idle and after
+//!   every reply), so the scheduler's watchdog can *detect* a lost worker
+//!   instead of discovering the dead mailbox at send time;
 //! * **resilient** — replica groups owned by a [`pct::ResilientManagerState`]
 //!   (kill switches, heartbeat detector, regenerator), the same machinery the
 //!   resilient pipeline uses per run, here owned for the pool's lifetime;
@@ -22,15 +25,16 @@ use crate::config::PoolConfig;
 use crate::job::JobId;
 use crate::Result;
 use hsi::HyperCube;
-use pct::distributed::{worker_loop, MANAGER};
+use pct::distributed::{handle_task, MANAGER};
 use pct::messages::PctMessage;
 use pct::resilient::{AttackPlan, ResilientManagerState, ResilientRunReport};
 use pct::{FusionOutput, PctConfig, SequentialPct};
-use resilience::attack::AttackInjector;
-use scp::{Runtime, RuntimeConfig, ThreadContext, ThreadHandle};
+use resilience::attack::{AttackInjector, KillSwitch};
+use scp::{Runtime, RuntimeConfig, ScpError, ThreadContext, ThreadHandle};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One whole job handed to a shared-memory executor.
 pub(crate) struct InlineJob {
@@ -44,6 +48,43 @@ pub(crate) struct InlineResult {
     pub executor: String,
     pub job: JobId,
     pub result: std::result::Result<FusionOutput, String>,
+}
+
+/// The standard-lane worker loop: `pct::distributed::worker_loop` plus the
+/// two liveness hooks the resilient lane's `member_loop` proves out — a
+/// [`KillSwitch`] polled at every timeout boundary (so chaos drills can take
+/// a standard worker down mid-job) and heartbeats to the manager (idle and
+/// after every reply) that feed the scheduler's standard-lane watchdog.
+/// Dying silently — no goodbye message — is the point: the watchdog must
+/// detect the silence, not be told.
+fn standard_worker_loop(mut ctx: ThreadContext<PctMessage>, kill: KillSwitch) {
+    loop {
+        if kill.is_killed() {
+            return;
+        }
+        match ctx.recv_timeout(Duration::from_millis(25)) {
+            Ok(envelope) => match envelope.payload {
+                PctMessage::Shutdown => return,
+                msg => {
+                    if let Some(reply) = handle_task(msg) {
+                        if kill.is_killed() {
+                            return;
+                        }
+                        if ctx.send(MANAGER, reply).is_err() {
+                            return;
+                        }
+                        let _ = ctx.send(MANAGER, PctMessage::Heartbeat);
+                    }
+                }
+            },
+            Err(ScpError::Timeout) => {
+                if ctx.send(MANAGER, PctMessage::Heartbeat).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
 }
 
 /// Best-effort rendering of a caught panic payload.
@@ -177,14 +218,6 @@ impl WorkerPool {
         let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
         let ctx = runtime.context(MANAGER)?;
 
-        let standard: Vec<String> = (0..config.standard_workers)
-            .map(|i| format!("svc{i}"))
-            .collect();
-        let standard_handles = standard
-            .iter()
-            .map(|name| runtime.spawn(name.clone(), worker_loop))
-            .collect::<scp::Result<Vec<_>>>()?;
-
         let groups: Vec<String> = (0..config.replica_groups)
             .map(|i| format!("rg{i}"))
             .collect();
@@ -196,6 +229,20 @@ impl WorkerPool {
             AttackPlan::none(),
         )?
         .with_telemetry(telemetry);
+
+        // Standard workers register kill switches in the *same* injector as
+        // the replica members, so one attack surface (`inject_attack`,
+        // `ChaosPlan`) covers both message-plane lanes.
+        let standard: Vec<String> = (0..config.standard_workers)
+            .map(|i| format!("svc{i}"))
+            .collect();
+        let standard_handles = standard
+            .iter()
+            .map(|name| {
+                let kill = resilient.injector.register(name.clone());
+                runtime.spawn(name.clone(), move |ctx| standard_worker_loop(ctx, kill))
+            })
+            .collect::<scp::Result<Vec<_>>>()?;
 
         let inline = InlineLane::start(&runtime, config.shared_memory_executors)?;
 
@@ -212,7 +259,8 @@ impl WorkerPool {
         ))
     }
 
-    /// The kill-switch registry of the resilient lane (for attack drills).
+    /// The shared kill-switch registry covering both message-plane lanes —
+    /// replica members *and* standard workers (for attack drills).
     pub fn injector(&self) -> AttackInjector {
         self.resilient.injector.clone()
     }
@@ -252,7 +300,11 @@ mod tests {
         assert_eq!(pool.resilient.membership.all_members().len(), 4);
         let mut targets = pool.injector().targets();
         targets.sort();
-        assert_eq!(targets, vec!["rg0#0", "rg0#1", "rg1#0", "rg1#1"]);
+        assert_eq!(
+            targets,
+            vec!["rg0#0", "rg0#1", "rg1#0", "rg1#1", "svc0", "svc1"],
+            "standard workers share the replica members' kill registry"
+        );
         let report = pool.shutdown(&mut ctx);
         assert!(report.regenerations.is_empty());
     }

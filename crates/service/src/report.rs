@@ -97,8 +97,16 @@ pub struct ServiceReport {
     /// unanswered past the retransmit timeout (covers lost sends to
     /// members that never acked).
     pub tasks_retransmitted: u64,
-    /// Heartbeats consumed from resilient-lane members.
+    /// Heartbeats consumed from pool members (replica members and standard
+    /// workers alike).
     pub heartbeats: u64,
+    /// Standard workers confirmed lost by the lane watchdog.
+    pub workers_lost: u64,
+    /// In-flight tasks of lost standard workers re-dispatched to surviving
+    /// slots (idempotent by task id, like group retransmits).
+    pub tasks_reassigned: u64,
+    /// Running jobs moved off a drained lane onto another enabled lane.
+    pub lane_failovers: u64,
     /// Sub-cube payload bytes deep-copied while building screening-phase
     /// task messages (clone-ledger delta): 0 on the view-based message
     /// plane.
@@ -258,6 +266,12 @@ impl ServiceReport {
             "  pool:   {} regenerations, attacked members: {:?}\n",
             self.regenerations, self.members_attacked
         ));
+        if self.workers_lost > 0 || self.tasks_reassigned > 0 || self.lane_failovers > 0 {
+            out.push_str(&format!(
+                "  failover: {} workers lost, {} tasks reassigned, {} lane failovers\n",
+                self.workers_lost, self.tasks_reassigned, self.lane_failovers,
+            ));
+        }
         out.push_str(&format!(
             "  time:   {:.3} s elapsed -> {:.1} jobs/s throughput\n",
             self.elapsed.as_secs_f64(),
@@ -332,6 +346,9 @@ mod tests {
         };
         report.bytes_cloned_screen = 7;
         report.payload_bytes_shipped = 99;
+        report.workers_lost = 1;
+        report.tasks_reassigned = 2;
+        report.lane_failovers = 1;
         report.record_latency(Priority::High, Duration::from_millis(12));
         report.route_admitted(BackendKind::SharedMemory, true);
         report.route_task(BackendKind::SharedMemory);
@@ -345,6 +362,7 @@ mod tests {
         assert!(text.contains("99 shipped by view"));
         assert!(text.contains("latency   high"));
         assert!(text.contains("route shared-memory: 1 jobs (1 auto-routed), 1 completed, 1 tasks"));
+        assert!(text.contains("1 workers lost, 2 tasks reassigned, 1 lane failovers"));
         assert!((report.throughput_jobs_per_sec() - 2.0).abs() < 1e-9);
     }
 

@@ -29,6 +29,19 @@
 //! regenerated and their groups' outstanding tasks re-issued, and duplicate
 //! replica results are discarded by task id — all without disturbing job
 //! outputs.
+//!
+//! The standard lane gets the same *detection* without the replication: a
+//! [`resilience::FailureDetector`] watches every worker's heartbeats
+//! (silence is confirmed with a mailbox probe, exactly the
+//! `sweep_and_probe` pattern).  A confirmed loss orphans the worker's
+//! in-flight tasks, which are re-dispatched to surviving workers —
+//! idempotent by task id, byte-identical because every task message is
+//! deterministic in its inputs.  If the lane drains to zero workers, each
+//! running standard job *fails over* through the routing policy to another
+//! enabled lane (replica groups re-run the orphaned tasks; the shared-memory
+//! lane recomputes the whole job inline) instead of failing.  Queued jobs
+//! need no special handling: admission resolves routes against the live
+//! lane snapshot, which now reads the drained lane as disabled.
 
 use crate::admission::{AdmissionGovernor, TenantId};
 use crate::chaos::{ChaosPhase, ChaosPlan};
@@ -36,7 +49,7 @@ use crate::events::{EventBus, ServiceEvent};
 use crate::job::{BackendKind, JobId, JobStatus, Priority};
 use crate::pool::{InlineJob, InlineResult, WorkerPool};
 use crate::report::ServiceReport;
-use crate::routing::{LaneLoad, LaneSnapshot, RoutingRequest};
+use crate::routing::{LaneLoad, LaneSnapshot, Route, RoutingRequest};
 use crate::status::StatusTable;
 use hsi::partition::{partition_rows, SubCubeSpec};
 use hsi::{CloneLedger, HyperCube};
@@ -46,7 +59,7 @@ use pct::distributed::assemble_image;
 use pct::messages::{PctMessage, TaskId};
 use pct::resilient::OutstandingTask;
 use pct::{FusionOutput, PctConfig};
-use resilience::MemberId;
+use resilience::{DetectorConfig, FailureDetector, MemberId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -73,6 +86,23 @@ struct InFlight {
     sent_at: Instant,
     /// Retransmissions so far (drives [`OutstandingTask::backoff`]).
     attempts: u32,
+}
+
+/// A task pulled off a lost (or never-reached) execution slot, waiting to
+/// be re-dispatched by [`Scheduler::dispatch_orphans`].  Re-dispatch is
+/// idempotent by task id: whichever copy answers first wins, later copies
+/// are discarded as duplicates.
+struct Orphan {
+    task: TaskId,
+    job: JobId,
+    message: PctMessage,
+    /// Deliveries so far (carried into the new [`InFlight`] so group
+    /// retransmit backoff keeps compounding across reassignments).
+    attempts: u32,
+    /// The worker that was lost holding the task; empty for a task that
+    /// was never sent (a loss landed between the lane check and the pop),
+    /// which re-dispatches as a plain first delivery.
+    from: String,
 }
 
 /// Job execution phases (see module docs).
@@ -232,6 +262,12 @@ pub(crate) struct Scheduler {
     /// happen to be called.
     inline_names: HashSet<String>,
     next_task: TaskId,
+    /// The standard lane's worker watchdog: heartbeat-silence flags a
+    /// suspect, a mailbox probe confirms (workers are keyed as
+    /// incarnation-0 [`MemberId`]s so the shared detector fits unchanged).
+    standard_watch: FailureDetector,
+    /// Tasks of lost workers awaiting re-dispatch, oldest first.
+    orphans: VecDeque<Orphan>,
     started: Instant,
     report: ServiceReport,
     chaos: ChaosPlan,
@@ -255,8 +291,13 @@ impl Scheduler {
         max_in_flight: usize,
         events: Arc<EventBus>,
         chaos: ChaosPlan,
+        standard_detector: DetectorConfig,
         telemetry: Telemetry,
     ) -> Self {
+        let mut standard_watch = FailureDetector::new(standard_detector);
+        for name in &pool.standard {
+            standard_watch.watch(MemberId::new(name.clone(), 0), 0);
+        }
         let free_workers = pool.standard.iter().cloned().collect();
         let free_groups = pool.groups.iter().cloned().collect();
         let free_inline: VecDeque<String> = pool.inline.executors.iter().cloned().collect();
@@ -285,6 +326,8 @@ impl Scheduler {
             free_inline,
             inline_names,
             next_task: 1,
+            standard_watch,
+            orphans: VecDeque::new(),
             started: Instant::now(),
             report,
             chaos,
@@ -337,6 +380,7 @@ impl Scheduler {
                 self.on_inline_result(result);
             }
             self.maintain_resilient();
+            self.maintain_standard();
             self.enforce_deadlines();
             if self.shutdown.load(Ordering::Acquire)
                 && self.running.is_empty()
@@ -599,7 +643,20 @@ impl Scheduler {
             let kind = message.kind();
             match backend {
                 BackendKind::Standard => {
-                    let worker = self.free_workers.pop_front().expect("lane checked");
+                    let Some(worker) = self.free_workers.pop_front() else {
+                        // A loss landed between the lane check and the pop;
+                        // the task message is already built (and its phase
+                        // bookkeeping advanced), so park it for re-dispatch
+                        // instead of panicking.
+                        self.orphans.push_back(Orphan {
+                            task,
+                            job: id,
+                            message,
+                            attempts: 0,
+                            from: String::new(),
+                        });
+                        return;
+                    };
                     self.tasks.insert(
                         task,
                         InFlight {
@@ -611,14 +668,11 @@ impl Scheduler {
                         },
                     );
                     if self.ctx.send(&worker, message).is_err() {
-                        // A standard worker's mailbox is gone: unrecoverable
-                        // for this lane (no replication) — fail the job.
-                        self.tasks.remove(&task);
-                        self.fail_job(
-                            id,
-                            JobStatus::Failed,
-                            format!("standard worker '{worker}' lost"),
-                        );
+                        // Dead mailbox discovered at send time — the watchdog
+                        // would confirm it next sweep, but the task is
+                        // already recorded in flight, so confirm the loss now
+                        // and let the orphan queue re-dispatch it.
+                        self.on_worker_lost(&worker);
                         return;
                     }
                     self.report.tasks_dispatched += 1;
@@ -631,7 +685,16 @@ impl Scheduler {
                     });
                 }
                 BackendKind::Resilient => {
-                    let group = self.free_groups.pop_front().expect("lane checked");
+                    let Some(group) = self.free_groups.pop_front() else {
+                        self.orphans.push_back(Orphan {
+                            task,
+                            job: id,
+                            message,
+                            attempts: 0,
+                            from: String::new(),
+                        });
+                        return;
+                    };
                     // Record the task before sending so a failure-triggered
                     // re-issue covers it.
                     self.tasks.insert(
@@ -713,28 +776,49 @@ impl Scheduler {
                 // results themselves are drained right after this match.
                 if !self.inline_names.contains(&from) {
                     self.report.heartbeats += 1;
-                    self.pool.resilient.heartbeat_from(&from, now_ms);
+                    self.note_liveness(&from, now_ms);
                 }
             }
             msg => {
                 // Any traffic from a member is proof of life.
-                self.pool.resilient.heartbeat_from(&from, now_ms);
+                self.note_liveness(&from, now_ms);
                 let Some(task) = msg.task() else { return };
-                let Some(inflight) = self.tasks.remove(&task) else {
+                // A reply from a worker the task has been reassigned away
+                // from (it got its answer out just before dying, after the
+                // watchdog re-dispatched): the live assignment stands, the
+                // stale copy is a duplicate.
+                if let Some(InFlight {
+                    assignee: Assignee::Worker(name),
+                    ..
+                }) = self.tasks.get(&task)
+                {
+                    if *name != from {
+                        self.report.duplicates_ignored += 1;
+                        return;
+                    }
+                }
+                let id = if let Some(inflight) = self.tasks.remove(&task) {
+                    match inflight.assignee {
+                        Assignee::Worker(name) => self.free_workers.push_back(name),
+                        Assignee::Group(name) => {
+                            self.free_groups.push_back(name);
+                            self.remember_completed_group_task(task);
+                        }
+                    }
+                    inflight.job
+                } else if let Some(pos) = self.orphans.iter().position(|o| o.task == task) {
+                    // The lost worker got its reply out before dying:
+                    // consume it and drop the pending re-dispatch (there is
+                    // no slot to return — the worker is gone).
+                    let orphan = self.orphans.remove(pos).expect("position just found");
+                    orphan.job
+                } else {
                     if self.completed_group_tasks.contains(&task) {
                         self.report.duplicates_ignored += 1;
                     }
                     return;
                 };
-                match inflight.assignee {
-                    Assignee::Worker(name) => self.free_workers.push_back(name),
-                    Assignee::Group(name) => {
-                        self.free_groups.push_back(name);
-                        self.remember_completed_group_task(task);
-                    }
-                }
                 self.report.results_received += 1;
-                let id = inflight.job;
                 // A consumed result proves the post-regeneration pipeline is
                 // flowing again: close any open `recompute` span.
                 if let Some(span) = self.recompute.remove(&id) {
@@ -912,6 +996,286 @@ impl Scheduler {
             self.recover_member(failed, now_ms);
         }
         self.retransmit_overdue_group_tasks();
+    }
+
+    /// Refreshes the failure-detector lease of whichever lane `from`
+    /// belongs to.  `heartbeat_from` parses `group#incarnation` routing
+    /// names and ignores everything else, so plain worker names never
+    /// collide with it.
+    fn note_liveness(&mut self, from: &str, now_ms: u64) {
+        self.pool.resilient.heartbeat_from(from, now_ms);
+        if self.pool.standard.iter().any(|w| w == from) {
+            self.standard_watch
+                .heartbeat(&MemberId::new(from, 0), now_ms);
+        }
+    }
+
+    /// Periodic standard-lane upkeep: sweep the worker watchdog, probe the
+    /// suspects' mailboxes (only a dead mailbox confirms a loss — anything
+    /// else refreshes the lease, the `sweep_and_probe` pattern), then
+    /// re-dispatch any orphaned tasks.
+    fn maintain_standard(&mut self) {
+        if !self.pool.standard.is_empty() {
+            let now_ms = self.now_ms();
+            for suspect in self.standard_watch.sweep(now_ms) {
+                match self.ctx.send(&suspect.group, PctMessage::Heartbeat) {
+                    Err(ScpError::Disconnected(_)) => {
+                        let worker = suspect.group.clone();
+                        self.on_worker_lost(&worker);
+                    }
+                    _ => self.standard_watch.heartbeat(&suspect, now_ms),
+                }
+            }
+        }
+        self.dispatch_orphans();
+    }
+
+    /// Handles one confirmed standard-worker loss: retire the worker,
+    /// orphan its in-flight tasks for re-dispatch, and fail the lane over
+    /// if it just drained to zero workers.
+    fn on_worker_lost(&mut self, worker: &str) {
+        if !self.pool.standard.iter().any(|w| w == worker) {
+            // Already retired (a send failure and the watchdog can both
+            // report the same loss).
+            return;
+        }
+        self.pool.standard.retain(|w| w != worker);
+        self.free_workers.retain(|w| w != worker);
+        self.standard_watch.unwatch(&MemberId::new(worker, 0));
+        self.report.workers_lost += 1;
+        // The loss's telemetry hangs under the phase span of the job whose
+        // tasks were riding on the dead worker (if any).
+        let affected = self.tasks.values().find_map(|inflight| {
+            matches!(&inflight.assignee, Assignee::Worker(w) if w == worker).then_some(inflight.job)
+        });
+        let parent = affected.and_then(|id| self.running.get(&id).and_then(|j| j.phase_span));
+        if let Some(kill_nanos) = self.telemetry.take_kill(worker) {
+            // Back-date the `detect` span to the kill; its width *is* the
+            // detection latency.
+            if let Some(now) = self.telemetry.now_nanos() {
+                self.telemetry.observe(
+                    "fusiond_detection_latency_seconds",
+                    &[],
+                    Duration::from_nanos(now.saturating_sub(kill_nanos)),
+                );
+            }
+            self.telemetry
+                .span_closed("detect", parent, affected, kill_nanos, worker);
+        }
+        self.telemetry
+            .instant("worker-lost", affected, parent, worker);
+        self.events.publish_correlated(
+            ServiceEvent::WorkerLost {
+                worker: worker.to_string(),
+            },
+            parent,
+        );
+        // Orphan every task the dead worker was holding; dropping tasks of
+        // already-terminal jobs on the floor.
+        let orphaned: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter_map(|(task, inflight)| {
+                matches!(&inflight.assignee, Assignee::Worker(w) if w == worker).then_some(*task)
+            })
+            .collect();
+        for task in orphaned {
+            let inflight = self.tasks.remove(&task).expect("key just listed");
+            if self.running.contains_key(&inflight.job) {
+                self.orphans.push_back(Orphan {
+                    task,
+                    job: inflight.job,
+                    message: inflight.message,
+                    attempts: inflight.attempts.saturating_add(1),
+                    from: worker.to_string(),
+                });
+            }
+        }
+        if self.pool.standard.is_empty() {
+            self.fail_over_standard_jobs();
+        }
+    }
+
+    /// Re-dispatches orphaned tasks to free slots of their job's (possibly
+    /// failed-over) lane.  Orphans whose lane has no free slot right now
+    /// stay queued for the next tick; orphans of finished jobs are dropped.
+    fn dispatch_orphans(&mut self) {
+        if self.orphans.is_empty() {
+            return;
+        }
+        let mut deferred: VecDeque<Orphan> = VecDeque::new();
+        while let Some(orphan) = self.orphans.pop_front() {
+            let Some(job) = self.running.get(&orphan.job) else {
+                continue;
+            };
+            match job.backend {
+                BackendKind::Standard => {
+                    let Some(worker) = self.free_workers.pop_front() else {
+                        deferred.push_back(orphan);
+                        continue;
+                    };
+                    self.tasks.insert(
+                        orphan.task,
+                        InFlight {
+                            job: orphan.job,
+                            assignee: Assignee::Worker(worker.clone()),
+                            message: orphan.message.clone(),
+                            sent_at: Instant::now(),
+                            attempts: orphan.attempts,
+                        },
+                    );
+                    if self.ctx.send(&worker, orphan.message.clone()).is_err() {
+                        // This worker is gone too: re-park the orphan and
+                        // retire the worker (which may orphan more tasks
+                        // onto the queue we are draining — they get their
+                        // turn in this same loop).
+                        self.tasks.remove(&orphan.task);
+                        deferred.push_back(orphan);
+                        self.on_worker_lost(&worker);
+                        continue;
+                    }
+                    self.note_reassigned(&orphan, &worker);
+                }
+                BackendKind::Resilient => {
+                    let Some(group) = self.free_groups.pop_front() else {
+                        deferred.push_back(orphan);
+                        continue;
+                    };
+                    self.tasks.insert(
+                        orphan.task,
+                        InFlight {
+                            job: orphan.job,
+                            assignee: Assignee::Group(group.clone()),
+                            message: orphan.message.clone(),
+                            sent_at: Instant::now(),
+                            attempts: orphan.attempts,
+                        },
+                    );
+                    let dead =
+                        match self
+                            .pool
+                            .resilient
+                            .group_send(&mut self.ctx, &group, &orphan.message)
+                        {
+                            Ok(dead) => dead,
+                            Err(e) => {
+                                self.tasks.remove(&orphan.task);
+                                self.fail_job(orphan.job, JobStatus::Failed, e.to_string());
+                                continue;
+                            }
+                        };
+                    self.note_reassigned(&orphan, &group);
+                    let now_ms = self.now_ms();
+                    for failed in dead {
+                        self.recover_member(failed, now_ms);
+                    }
+                }
+                // The whole job was failed over to an inline executor; its
+                // message-plane tasks are moot (the executor recomputes the
+                // job start to finish, byte-identical by construction).
+                BackendKind::SharedMemory => continue,
+            }
+        }
+        self.orphans = deferred;
+    }
+
+    /// Accounts and publishes one orphan landing on a new slot: a
+    /// reassignment if it was ever delivered to a lost worker, a plain
+    /// (deferred) first dispatch otherwise.
+    fn note_reassigned(&mut self, orphan: &Orphan, to: &str) {
+        let span = self.running.get(&orphan.job).and_then(|j| j.phase_span);
+        let route = self
+            .running
+            .get(&orphan.job)
+            .map(|j| j.backend)
+            .unwrap_or(BackendKind::Standard);
+        if orphan.from.is_empty() {
+            self.report.tasks_dispatched += 1;
+            self.report.route_task(route);
+            self.events.publish_correlated(
+                ServiceEvent::Dispatched {
+                    job: orphan.job,
+                    route,
+                    task: orphan.task,
+                    kind: orphan.message.kind(),
+                },
+                span,
+            );
+        } else {
+            self.report.tasks_reassigned += 1;
+            self.telemetry
+                .count("fusiond_worker_reassignments_total", &[]);
+            self.telemetry
+                .instant("reassign", Some(orphan.job), span, to);
+            self.events.publish_correlated(
+                ServiceEvent::TaskReassigned {
+                    job: orphan.job,
+                    task: orphan.task,
+                    from: orphan.from.clone(),
+                    to: to.to_string(),
+                },
+                span,
+            );
+        }
+    }
+
+    /// The standard lane drained to zero workers: move every running
+    /// standard job to another enabled lane through the routing policy
+    /// (honouring its lane clamps) instead of failing it.  Queued jobs need
+    /// nothing — admission resolves against the live snapshot, which now
+    /// reads the lane as disabled.
+    fn fail_over_standard_jobs(&mut self) {
+        let stranded: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|(_, job)| matches!(job.backend, BackendKind::Standard))
+            .map(|(id, _)| *id)
+            .collect();
+        if stranded.is_empty() {
+            return;
+        }
+        let snapshot = self.lane_snapshot();
+        for id in stranded {
+            let Some(job) = self.running.get(&id) else {
+                continue;
+            };
+            let request = RoutingRequest::for_dims(job.cube.dims(), job.shards.len());
+            let (target, _) = self.governor.resolve(Route::Auto, &request, &snapshot);
+            if target == BackendKind::Standard {
+                // The clamp found no other enabled lane.
+                self.fail_job(
+                    id,
+                    JobStatus::Failed,
+                    "standard lane drained and no other lane is configured".to_string(),
+                );
+                continue;
+            }
+            let job = self.running.get_mut(&id).expect("present: checked above");
+            job.backend = target;
+            if target == BackendKind::SharedMemory {
+                // The inline lane recomputes the whole job from the shared
+                // cube; partial message-plane progress (strips, orphans) is
+                // discarded rather than merged, and the phase tree rolls to
+                // `inline` like a natively-routed inline job's.
+                job.inline_dispatched = false;
+                job.strips.clear();
+                roll_phase(&self.telemetry, &mut self.report, job, id, Some("inline"));
+                self.orphans.retain(|o| o.job != id);
+            }
+            self.report.lane_failovers += 1;
+            self.telemetry.count("fusiond_lane_failovers_total", &[]);
+            let span = self.running.get(&id).and_then(|j| j.phase_span);
+            self.telemetry
+                .instant("lane-failover", Some(id), span, target.label());
+            self.events.publish_correlated(
+                ServiceEvent::LaneFailover {
+                    job: id,
+                    from: BackendKind::Standard,
+                    to: target,
+                },
+                span,
+            );
+        }
     }
 
     /// Re-sends group-lane tasks that have gone unanswered past their

@@ -91,6 +91,7 @@ impl FusionService {
             config.max_in_flight,
             Arc::clone(&events),
             config.chaos.clone(),
+            config.pool.standard_detector,
             telemetry.clone(),
         );
         let handle = std::thread::Builder::new()
@@ -236,8 +237,9 @@ impl FusionService {
         self.injector.targets()
     }
 
-    /// Kills a resilient-lane member by routing name (attack drill).
-    /// Returns whether the member was a registered target.
+    /// Kills a pool member by routing name — a replica member (`rg0#1`) or
+    /// a standard worker (`svc0`) — as an attack drill.  Returns whether
+    /// the member was a registered target.
     pub fn inject_attack(&self, member: &str) -> bool {
         let hit = self.injector.attack(member);
         if hit {

@@ -81,6 +81,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 seen_regen = true;
                 println!("RECOVERY: {failed} regenerated as {replacement}");
             }
+            ServiceEvent::WorkerLost { worker } => {
+                println!("CHAOS: standard worker {worker} lost");
+            }
+            ServiceEvent::TaskReassigned {
+                job,
+                task,
+                from,
+                to,
+            } => {
+                println!("job {job}: task {task} reassigned {from} -> {to}");
+            }
+            ServiceEvent::LaneFailover { job, from, to } => {
+                println!(
+                    "job {job}: lane failover {} -> {}",
+                    from.label(),
+                    to.label()
+                );
+            }
             ServiceEvent::Terminal { job, status, .. } => {
                 println!("job {job} terminal: {status:?}");
                 break;

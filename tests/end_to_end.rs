@@ -8,10 +8,12 @@ use ingest::{DirectorySource, IngestConfig, IngestPump, ShedReason, SheddingPoli
 use pct::distributed_sim::{simulate_fusion, SimParams};
 use pct::resilient::{AttackPlan, ResilientPct};
 use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
+use resilience::DetectorConfig;
 use service::{
     BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobHandle, JobOutcome, JobSpec,
-    JobStatus, LeastLoadedPolicy, PoolConfig, Priority, RoundRobinPolicy, Route, ServiceConfig,
-    ServiceError, ServiceEvent, SharedRoutingPolicy, SizeThresholdPolicy, TenantId, TenantQuota,
+    JobStatus, LeastLoadedPolicy, PhaseKill, PoolConfig, Priority, RoundRobinPolicy, Route,
+    ServiceConfig, ServiceError, ServiceEvent, SharedRoutingPolicy, SizeThresholdPolicy, TenantId,
+    TenantQuota,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -798,6 +800,259 @@ fn chaos_kill_matrix_every_surviving_output_is_byte_identical_to_sequential() {
             );
         }
     }
+}
+
+/// A pool tuned for the standard-lane failover tests: the worker watchdog
+/// confirms a suspect after ~30 ms of heartbeat silence (plus the mailbox
+/// probe), so a kill is detected well inside the test window.
+fn failover_pool(standard: usize, groups: usize, shm: usize) -> PoolConfig {
+    PoolConfig {
+        standard_workers: standard,
+        replica_groups: groups,
+        replication_level: 2,
+        shared_memory_executors: shm,
+        standard_detector: DetectorConfig {
+            heartbeat_period_ms: 10,
+            miss_threshold: 3,
+        },
+        ..PoolConfig::default()
+    }
+}
+
+/// Submits `count` standard-pinned jobs and returns (handle, cube) pairs.
+fn submit_standard_jobs(
+    service: &FusionService,
+    count: u64,
+    seed_base: u64,
+) -> Vec<(JobHandle, Arc<hsi::HyperCube>)> {
+    (0..count)
+        .map(|i| {
+            let cube = Arc::new(
+                SceneGenerator::new(small_job_scene(seed_base + i))
+                    .unwrap()
+                    .generate(),
+            );
+            let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+                .pinned(BackendKind::Standard)
+                .shards(3)
+                .build()
+                .unwrap();
+            (service.submit(spec).unwrap(), cube)
+        })
+        .collect()
+}
+
+/// Blocks until `count` [`ServiceEvent::WorkerLost`] events have appeared
+/// on the subscription (the watchdog runs on its own clock, so the jobs
+/// can finish before the loss is confirmed).
+fn await_worker_losses(events: &service::EventSubscriber, count: usize, label: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut seen = 0usize;
+    while seen < count {
+        assert!(
+            Instant::now() < deadline,
+            "{label}: only {seen}/{count} worker losses observed"
+        );
+        if let Some(ServiceEvent::WorkerLost { .. }) =
+            events.next_timeout(Duration::from_millis(100))
+        {
+            seen += 1;
+        }
+    }
+}
+
+/// The standard-lane kill matrix (worker index × phase): killing either
+/// worker of a two-worker lane at any phase of job 1 must lose **zero**
+/// jobs — the watchdog confirms the silence, the dead worker's in-flight
+/// tasks are re-dispatched to the survivor, and every output stays
+/// byte-identical to the sequential reference.
+#[test]
+fn standard_kill_matrix_every_job_survives_and_is_byte_identical_to_sequential() {
+    let mut total_reassigned = 0u64;
+    for worker_index in 0..2usize {
+        for phase in [
+            ChaosPhase::Screen,
+            ChaosPhase::Derive,
+            ChaosPhase::Transform,
+        ] {
+            let victim = format!("svc{worker_index}");
+            let label = format!("kill {victim} at {}", phase.label());
+            let service = FusionService::start(
+                ServiceConfig::builder()
+                    .pool(failover_pool(2, 0, 0))
+                    .queue_capacity(8)
+                    .max_in_flight(4)
+                    .chaos(ChaosPlan::kill_at(1, phase, victim.clone()))
+                    .build()
+                    .expect("config validates"),
+            )
+            .expect("service starts");
+            let events = service.subscribe();
+
+            for (mut handle, cube) in submit_standard_jobs(&service, 3, 150) {
+                let outcome = handle.wait().unwrap();
+                let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+                assert_eq!(
+                    outcome.output().expect("job completes"),
+                    &reference,
+                    "{label}: job {} diverged",
+                    handle.id()
+                );
+            }
+            await_worker_losses(&events, 1, &label);
+
+            let report = service.shutdown();
+            assert_eq!(report.jobs_completed, 3, "{label}: jobs lost");
+            assert_eq!(report.jobs_failed, 0, "{label}: a job failed");
+            assert_eq!(
+                report.members_attacked,
+                vec![victim.clone()],
+                "{label}: kill never fired"
+            );
+            assert_eq!(report.workers_lost, 1, "{label}: loss not confirmed");
+            total_reassigned += report.tasks_reassigned;
+        }
+    }
+    // At least the (svc0, screen) cell is deterministic: job 1's first
+    // screening task lands on svc0 (free-list order), the kill anchors to
+    // that dispatch, and the task must be re-issued to svc1.
+    assert!(
+        total_reassigned >= 1,
+        "no task was ever reassigned across the matrix"
+    );
+}
+
+/// Kill-during-reassignment: both svc0 and svc1 die at job 1's first
+/// screening dispatch, so the re-dispatch of svc0's task lands on (or is
+/// attempted at) the also-dead svc1 and must hop again to svc2 — the
+/// orphan queue survives losing its new assignee.
+#[test]
+fn standard_kill_during_reassignment_still_completes_byte_identical() {
+    let chaos = ChaosPlan {
+        kills: vec![
+            PhaseKill {
+                job: 1,
+                phase: ChaosPhase::Screen,
+                member: "svc0".to_string(),
+            },
+            PhaseKill {
+                job: 1,
+                phase: ChaosPhase::Screen,
+                member: "svc1".to_string(),
+            },
+        ],
+    };
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .pool(failover_pool(3, 0, 0))
+            .queue_capacity(8)
+            .max_in_flight(4)
+            .chaos(chaos)
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+    let events = service.subscribe();
+
+    for (mut handle, cube) in submit_standard_jobs(&service, 2, 170) {
+        let outcome = handle.wait().unwrap();
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(
+            outcome.output().expect("job completes"),
+            &reference,
+            "job {} diverged",
+            handle.id()
+        );
+    }
+    await_worker_losses(&events, 2, "double kill");
+
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, 2);
+    assert_eq!(report.jobs_failed, 0);
+    assert_eq!(report.workers_lost, 2);
+    assert!(
+        report.tasks_reassigned >= 1,
+        "the orphaned screening task was never re-issued: {report:?}"
+    );
+}
+
+/// Losing the *last* standard worker drains the lane: running standard
+/// jobs must fail over to a surviving lane through the routing policy
+/// (resilient when only replica groups remain, shared-memory when only
+/// inline executors remain) and still finish byte-identical — and when no
+/// other lane exists, the job fails with a diagnosis instead of hanging.
+#[test]
+fn standard_lane_drain_fails_over_running_jobs_to_surviving_lanes() {
+    for (groups, shm, expect_lane) in [
+        (1usize, 0usize, BackendKind::Resilient),
+        (0, 1, BackendKind::SharedMemory),
+    ] {
+        let label = format!("failover to {}", expect_lane.label());
+        let service = FusionService::start(
+            ServiceConfig::builder()
+                .pool(failover_pool(1, groups, shm))
+                .queue_capacity(8)
+                .max_in_flight(4)
+                .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "svc0"))
+                .build()
+                .expect("config validates"),
+        )
+        .expect("service starts");
+        let events = service.subscribe();
+
+        let mut jobs = submit_standard_jobs(&service, 1, 180);
+        let (handle, cube) = &mut jobs[0];
+        let outcome = handle.wait().unwrap();
+        let reference = SequentialPct::new(PctConfig::paper()).run(cube).unwrap();
+        assert_eq!(
+            outcome.output().expect("job completes"),
+            &reference,
+            "{label}: output diverged"
+        );
+
+        // The failover must have been announced with the expected target.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let observed = loop {
+            assert!(Instant::now() < deadline, "{label}: no LaneFailover event");
+            match events.next_timeout(Duration::from_millis(100)) {
+                Some(ServiceEvent::LaneFailover { from, to, .. }) => {
+                    assert_eq!(from, BackendKind::Standard, "{label}");
+                    break to;
+                }
+                _ => continue,
+            }
+        };
+        assert_eq!(observed, expect_lane, "{label}: wrong target lane");
+
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 1, "{label}: job lost");
+        assert_eq!(report.jobs_failed, 0, "{label}: job failed");
+        assert_eq!(report.workers_lost, 1, "{label}: loss not confirmed");
+        assert_eq!(report.lane_failovers, 1, "{label}: failover not counted");
+    }
+
+    // No surviving lane at all: the job must fail with a diagnosis.
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .pool(failover_pool(1, 0, 0))
+            .queue_capacity(8)
+            .max_in_flight(4)
+            .chaos(ChaosPlan::kill_at(1, ChaosPhase::Screen, "svc0"))
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+    let mut jobs = submit_standard_jobs(&service, 1, 185);
+    match jobs[0].0.wait().unwrap() {
+        JobOutcome::Failed(cause) => assert!(
+            cause.contains("standard lane drained"),
+            "unexpected failure cause: {cause}"
+        ),
+        other => panic!("expected a failed job, got {:?}", other.status()),
+    }
+    let report = service.shutdown();
+    assert_eq!(report.jobs_failed, 1);
+    assert_eq!(report.workers_lost, 1);
 }
 
 /// The ingest-under-pressure chaos scenario: a folder of cube files is
