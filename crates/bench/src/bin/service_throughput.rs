@@ -33,7 +33,9 @@
 //! inline executor) feed the `service_worker_{lost,reassigned,failover}`
 //! rows — exact counts, not load-dependent rates.
 
-use hsi::{CubeDims, SceneConfig, SceneGenerator};
+use hsi::{CloneLedger, CubeDims, SceneConfig, SceneGenerator};
+use linalg::{Matrix, Vector};
+use pct::messages::PctMessage;
 use resilience::DetectorConfig;
 use service::{
     BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobSpec, Route, ServiceConfig,
@@ -42,6 +44,7 @@ use service::{
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use telemetry::Telemetry;
+use wire::{decode_body, encode_message, FrameReader, WireMessage};
 
 const JOBS: u64 = 32;
 
@@ -202,6 +205,91 @@ fn failover_probe(standard_workers: usize, shm_executors: usize) -> ServiceRepor
     service.shutdown()
 }
 
+/// Wire-codec probe: the fixed message set of a three-shard fusion
+/// exchange (handshake, screening and transform tasks per shard, a
+/// unique-set reply, heartbeat, shutdown), encoded and decoded min-of-`REPS`
+/// times.  The frame and byte counts are deterministic layout witnesses —
+/// any codec change moves them; the per-MB timings are trend rows.
+///
+/// The probe also *asserts* the wire invariant in release mode: the
+/// clone-ledger delta across one encode pass equals exactly the payload
+/// bytes of the views embedded in the set, because the codec materializes
+/// views straight into frame bodies and copies pixel data nowhere else.
+fn wire_probe() -> (usize, usize, f64, f64) {
+    let cube = Arc::new(SceneGenerator::new(scene(0)).unwrap().generate());
+    let views = hsi::partition::partition_views(&cube, 3).expect("three shards");
+    let bands = cube.dims().bands;
+    let mean = Vector::from_vec(vec![0.5; bands]);
+    let transform =
+        Matrix::from_row_major(3, bands, (0..3 * bands).map(|i| i as f64 * 0.01).collect())
+            .expect("dims consistent");
+    let unique: Vec<Vector> = (0..17)
+        .map(|i| Vector::from_vec((0..bands).map(|k| (i * bands + k) as f64).collect()))
+        .collect();
+
+    let mut messages = vec![WireMessage::hello()];
+    for (i, view) in views.iter().enumerate() {
+        messages.push(WireMessage::Pct(PctMessage::ScreenTask {
+            task: i,
+            view: view.clone(),
+            threshold_rad: 0.0874,
+        }));
+        messages.push(WireMessage::Pct(PctMessage::TransformTask {
+            task: 100 + i,
+            view: view.clone(),
+            mean: mean.clone(),
+            transform: transform.clone(),
+            scales: vec![(0.0, 1.0); 3],
+        }));
+    }
+    messages.push(WireMessage::Pct(PctMessage::UniqueSet { task: 7, unique }));
+    messages.push(WireMessage::Pct(PctMessage::Heartbeat));
+    messages.push(WireMessage::Pct(PctMessage::Shutdown));
+
+    // One counted pass, reconciled against the clone ledger: each view is
+    // embedded in two messages, and nothing else may copy payload.
+    let ledger = CloneLedger::snapshot();
+    let encoded: Vec<Vec<u8>> = messages.iter().map(encode_message).collect();
+    let view_payload: u64 = views.iter().map(|v| 2 * v.payload_bytes() as u64).sum();
+    assert_eq!(
+        ledger.delta(),
+        view_payload,
+        "wire bytes do not reconcile with the clone ledger"
+    );
+
+    let frames = encoded.len();
+    let bytes: usize = encoded.iter().map(Vec::len).sum();
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+
+    let mut encode_wall = Duration::MAX;
+    let mut decode_wall = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let pass: Vec<Vec<u8>> = messages.iter().map(encode_message).collect();
+        encode_wall = encode_wall.min(start.elapsed());
+        assert_eq!(pass.iter().map(Vec::len).sum::<usize>(), bytes);
+
+        let start = Instant::now();
+        let mut reader = FrameReader::new();
+        let mut decoded = 0usize;
+        for frame in &encoded {
+            reader.push(frame);
+            while let Some(body) = reader.next_frame().expect("frames are well-formed") {
+                decode_body(&body).expect("bodies decode");
+                decoded += 1;
+            }
+        }
+        decode_wall = decode_wall.min(start.elapsed());
+        assert_eq!(decoded, frames, "frame count drifted during decode");
+    }
+    (
+        frames,
+        bytes,
+        encode_wall.as_nanos() as f64 / mb,
+        decode_wall.as_nanos() as f64 / mb,
+    )
+}
+
 fn main() {
     // Untimed warm-up so neither measured pass below absorbs the
     // cold-start costs (thread spawning, allocator, page faults) alone.
@@ -273,6 +361,16 @@ fn main() {
         "CSV service_payload_bytes_shipped {}",
         report.payload_bytes_shipped
     );
+    // The wire codec, from its own deterministic probe: frame and byte
+    // counts pin the binary layout (any codec change moves them and is
+    // bisectable here), the per-MB timings track codec cost.  The probe
+    // asserts en route that the encoded view bytes reconcile exactly with
+    // the clone-ledger delta — the wire invariant, checked in release mode.
+    let (wire_frames, wire_bytes, encode_ns_per_mb, decode_ns_per_mb) = wire_probe();
+    println!("CSV wire_frames {wire_frames}");
+    println!("CSV wire_bytes {wire_bytes}");
+    println!("CSV wire_encode_ns_per_mb {encode_ns_per_mb:.0}");
+    println!("CSV wire_decode_ns_per_mb {decode_ns_per_mb:.0}");
     // Per-tenant admission-plane attribution: 24 jobs for t1, 8 for t2, all
     // admitted (the queue is sized for the burst, so shed/rejected stay 0 —
     // a drift here means the admission plane changed behaviour).

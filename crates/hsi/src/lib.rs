@@ -43,7 +43,8 @@ pub use partition::{GranularityPolicy, SubCube, SubCubeSpec};
 pub use rgb::RgbImage;
 pub use synthetic::{Material, SceneConfig, SceneGenerator};
 pub use view::{
-    assembled_bytes_total, charge_assembled_bytes, cloned_bytes_total, CloneLedger, CubeView,
+    assembled_bytes_total, charge_assembled_bytes, cloned_bytes_total, thread_cloned_bytes_total,
+    CloneLedger, CubeView,
 };
 
 /// Errors produced by the hyper-spectral imagery substrate.

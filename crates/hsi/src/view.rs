@@ -29,6 +29,16 @@ use std::sync::Arc;
 /// Process-wide count of sub-cube payload bytes that were deep-copied.
 static CLONE_LEDGER: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Per-thread mirror of [`CLONE_LEDGER`].  Serialization boundaries
+    /// (the `wire` codec) assert "encode copied payload only via
+    /// [`CubeView::materialize`]" by comparing a before/after delta of this
+    /// counter against the encoded views' payload bytes; the thread-local
+    /// mirror makes that exact equality race-free even while other threads
+    /// materialize concurrently.
+    static THREAD_CLONE_LEDGER: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Process-wide count of payload bytes streamed *directly into* shared cube
 /// storage by an ingestion path (decoded in place, never copied again).
 static ASSEMBLY_LEDGER: AtomicU64 = AtomicU64::new(0);
@@ -36,11 +46,20 @@ static ASSEMBLY_LEDGER: AtomicU64 = AtomicU64::new(0);
 /// Charges `bytes` of deep-copied sub-cube payload to the clone ledger.
 pub(crate) fn charge_cloned_bytes(bytes: usize) {
     CLONE_LEDGER.fetch_add(bytes as u64, Ordering::Relaxed);
+    THREAD_CLONE_LEDGER.with(|c| c.set(c.get() + bytes as u64));
 }
 
 /// Total sub-cube payload bytes deep-copied by this process so far.
 pub fn cloned_bytes_total() -> u64 {
     CLONE_LEDGER.load(Ordering::Relaxed)
+}
+
+/// Sub-cube payload bytes deep-copied *by the calling thread* so far.  The
+/// wire codec's encode path snapshots this around serialization to
+/// `debug_assert` that materializing the message's views is the only copy
+/// it performed — see the wire-invariant note on [`CubeView`].
+pub fn thread_cloned_bytes_total() -> u64 {
+    THREAD_CLONE_LEDGER.with(|c| c.get())
 }
 
 /// Charges `bytes` of streamed payload that were decoded directly into
@@ -92,6 +111,23 @@ impl CloneLedger {
 /// Cloning a view is an `Arc` reference-count bump; the pixel data is never
 /// duplicated until [`CubeView::materialize`] is called (which charges the
 /// clone ledger).
+///
+/// # The wire invariant
+///
+/// [`CubeView::materialize`] is the **only** path by which view payload
+/// leaves the shared storage.  The `wire` codec relies on this: encoding a
+/// message materializes each embedded view straight into the frame body, so
+/// the clone-ledger delta across an encode equals exactly the sum of the
+/// encoded views' [`CubeView::payload_bytes`] — no hidden copy is possible
+/// without moving the ledger.  The encode path `debug_assert`s this
+/// reconciliation, turning "zero-copy except at the serialization boundary"
+/// from a convention into a checked invariant.
+///
+/// On the decode side a view is rebuilt over its own freshly-owned shard
+/// cube with [`CubeView::standalone`], which preserves the window's original
+/// scene coordinates ([`CubeView::x0`] / [`CubeView::row_start`]) so workers
+/// across a process boundary label results — e.g. `RgbStrip::row_start` —
+/// identically to in-process workers sharing the full cube.
 #[derive(Debug, Clone)]
 pub struct CubeView {
     storage: Arc<HyperCube>,
@@ -101,6 +137,13 @@ pub struct CubeView {
     height: usize,
     band0: usize,
     bands: usize,
+    /// Scene coordinates the window originally described.  Equal to
+    /// `(x0, y0)` for views into the full scene cube; a decoded standalone
+    /// view has `x0 == y0 == 0` (its storage *is* the shard) but keeps the
+    /// scene origin here so coordinate-dependent results stay identical
+    /// across the wire.
+    origin_x: usize,
+    origin_y: usize,
 }
 
 impl CubeView {
@@ -115,6 +158,30 @@ impl CubeView {
             height: dims.height,
             band0: 0,
             bands: dims.bands,
+            origin_x: 0,
+            origin_y: 0,
+        }
+    }
+
+    /// A full view over an owned shard cube that reports the scene
+    /// coordinates `(origin_x, origin_y)` the shard was cut from.  This is
+    /// the decode-side constructor of the wire codec: the shard's samples
+    /// were materialized into the frame on the sending side, so the
+    /// receiver owns a standalone cube but must still answer
+    /// [`CubeView::x0`] / [`CubeView::row_start`] with the original window
+    /// position for results to be byte-identical to in-process execution.
+    pub fn standalone(storage: Arc<HyperCube>, origin_x: usize, origin_y: usize) -> Self {
+        let dims = storage.dims();
+        Self {
+            storage,
+            x0: 0,
+            y0: 0,
+            width: dims.width,
+            height: dims.height,
+            band0: 0,
+            bands: dims.bands,
+            origin_x,
+            origin_y,
         }
     }
 
@@ -150,6 +217,8 @@ impl CubeView {
             height,
             band0: 0,
             bands,
+            origin_x: x0,
+            origin_y: y0,
         })
     }
 
@@ -193,14 +262,22 @@ impl CubeView {
         self.bands
     }
 
-    /// First backing-cube column of the window.
+    /// First *scene* column of the window.  For views into the scene cube
+    /// this is the backing-cube column; for a decoded [`CubeView::standalone`]
+    /// view it is the column the shard was originally cut from.
+    // Deliberately not the `x0` *field* (the storage offset): the public
+    // coordinate system is the scene's, which `origin_x` tracks across a
+    // wire trip.
+    #[allow(clippy::misnamed_getters)]
     pub fn x0(&self) -> usize {
-        self.x0
+        self.origin_x
     }
 
-    /// First backing-cube row of the window (the sub-cube's `row_start`).
+    /// First *scene* row of the window (the sub-cube's `row_start`).  Like
+    /// [`CubeView::x0`], this survives a trip across the wire even though
+    /// the decoded view's backing storage starts at row zero.
     pub fn row_start(&self) -> usize {
-        self.y0
+        self.origin_y
     }
 
     /// Number of pixels in the window.
@@ -456,6 +533,22 @@ mod tests {
         let cloned_before = before.delta();
         CubeView::full(cube).materialize();
         assert!(before.delta() >= cloned_before + 2 * 2 * 2 * 8);
+    }
+
+    #[test]
+    fn standalone_view_preserves_scene_origin() {
+        let cube = coded_cube(5, 4, 3);
+        let window = CubeView::window(Arc::clone(&cube), 1, 2, 3, 2).unwrap();
+        // Simulate the wire: materialize the window, rebuild a standalone
+        // view over the owned shard with the original scene coordinates.
+        let shard = Arc::new(window.materialize());
+        let decoded = CubeView::standalone(shard, window.x0(), window.row_start());
+        assert_eq!(decoded.x0(), 1);
+        assert_eq!(decoded.row_start(), 2);
+        assert_eq!(decoded.dims(), window.dims());
+        // Content-equal to the original window even though the storage and
+        // internal offsets differ.
+        assert_eq!(decoded, window);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod link;
 pub mod node;
 pub mod time;
 pub mod trace;
+pub mod wirecost;
 
 pub use cluster::{Actor, ActorContext, ActorId, ClusterSim, SimConfig, SimOutcome};
 pub use cost::{CostModel, WorkstationClass};

@@ -39,7 +39,7 @@ pub enum ConfigError {
     /// `queue_capacity` was zero: no submission could ever be accepted.
     ZeroQueueCapacity,
     /// The pool has no execution lane at all (no standard workers, no
-    /// replica groups, no shared-memory executors).
+    /// replica groups, no shared-memory executors, no remote workers).
     NoLanes,
     /// `replica_groups` is non-zero but `replication_level` is zero.
     ZeroReplicationLevel,
@@ -63,7 +63,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be at least 1"),
             ConfigError::NoLanes => write!(
                 f,
-                "the pool needs at least one lane (standard workers, replica groups or shared-memory executors)"
+                "the pool needs at least one lane (standard workers, replica groups, shared-memory executors or remote workers)"
             ),
             ConfigError::ZeroReplicationLevel => {
                 write!(f, "replica groups need a replication level of at least 1")
@@ -88,8 +88,38 @@ impl From<ConfigError> for ServiceError {
     }
 }
 
+/// How one remote-lane worker comes into existence.
+///
+/// Whatever the variant, the worker ends up on the far side of a framed,
+/// CRC-checked, version-handshaken [`wire`] connection and is driven by the
+/// exact task loop the standard lane runs in-process — same heartbeat
+/// cadence, same failure detection, same re-dispatch on loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteWorkerSpec {
+    /// Spawn a worker *process* (typically the `fusiond-worker` binary) and
+    /// have it dial back into the service over loopback TCP.  The service
+    /// appends its listener address as the final argument.
+    Spawn {
+        /// Program to execute.
+        command: String,
+        /// Arguments before the appended listener address.
+        args: Vec<String>,
+    },
+    /// Connect out to a worker already listening at `addr`
+    /// (`fusiond-worker --listen <addr>`).
+    Connect {
+        /// `host:port` the worker listens on.
+        addr: String,
+    },
+    /// An in-process thread speaking the full wire protocol over real
+    /// loopback TCP — every byte is framed, checksummed and handshaken
+    /// exactly as with a separate process.  Meant for tests and benches
+    /// that want the protocol path without process management.
+    Thread,
+}
+
 /// Sizing of the shared worker pool.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Plain worker threads of the standard lane (0 disables the lane).
     pub standard_workers: usize,
@@ -108,6 +138,10 @@ pub struct PoolConfig {
     /// [`PoolConfig::detector`] so the two lanes can trade detection
     /// latency independently.
     pub standard_detector: DetectorConfig,
+    /// Remote-lane workers, one per spec (empty disables the lane).  Each
+    /// worker lives across a process boundary behind the versioned wire
+    /// protocol and is watched by the same watchdog as the standard lane.
+    pub remote_workers: Vec<RemoteWorkerSpec>,
 }
 
 impl Default for PoolConfig {
@@ -123,6 +157,7 @@ impl Default for PoolConfig {
             shared_memory_executors: 2,
             detector,
             standard_detector: detector,
+            remote_workers: Vec::new(),
         }
     }
 }
@@ -186,6 +221,7 @@ impl ServiceConfig {
         if pool.standard_workers == 0
             && pool.replica_groups == 0
             && pool.shared_memory_executors == 0
+            && pool.remote_workers.is_empty()
         {
             return Err(ConfigError::NoLanes);
         }
@@ -243,6 +279,18 @@ impl ServiceConfigBuilder {
     /// Failure-detector tuning for the standard lane's worker watchdog.
     pub fn standard_detector(mut self, detector: DetectorConfig) -> Self {
         self.config.pool.standard_detector = detector;
+        self
+    }
+
+    /// Replaces the remote-lane worker specs (empty disables the lane).
+    pub fn remote_workers(mut self, specs: Vec<RemoteWorkerSpec>) -> Self {
+        self.config.pool.remote_workers = specs;
+        self
+    }
+
+    /// Appends one remote-lane worker.
+    pub fn remote_worker(mut self, spec: RemoteWorkerSpec) -> Self {
+        self.config.pool.remote_workers.push(spec);
         self
     }
 
@@ -355,6 +403,15 @@ mod tests {
                 .unwrap_err(),
             ConfigError::NoLanes
         );
+        // A remote worker alone is a lane: the same shape passes with one.
+        let remote_only = ServiceConfig::builder()
+            .standard_workers(0)
+            .replica_groups(0)
+            .shared_memory_executors(0)
+            .remote_worker(RemoteWorkerSpec::Thread)
+            .build()
+            .unwrap();
+        assert_eq!(remote_only.pool.remote_workers.len(), 1);
         assert_eq!(
             ServiceConfig::builder()
                 .replica_groups(1)

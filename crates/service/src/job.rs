@@ -58,14 +58,22 @@ pub enum BackendKind {
     /// the whole job runs start-to-finish against the shared cube with zero
     /// protocol messages — the cheapest path for small cubes.
     SharedMemory,
+    /// Worker processes outside the service's address space, spoken to over
+    /// the versioned `wire` protocol (framed, CRC-checked TCP).  Same task
+    /// loop and liveness contract as the standard lane, across a process
+    /// boundary.
+    Remote,
 }
 
 impl BackendKind {
-    /// Every lane, in the scheduler's preference order.
-    pub const ALL: [BackendKind; 3] = [
+    /// Every lane, in the scheduler's preference order.  Remote comes last:
+    /// it is the only lane that pays serialisation and a process boundary
+    /// per task, so the clamp never prefers it over an in-process lane.
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Standard,
         BackendKind::Resilient,
         BackendKind::SharedMemory,
+        BackendKind::Remote,
     ];
 
     /// A short label for reports.
@@ -74,6 +82,7 @@ impl BackendKind {
             BackendKind::Standard => "standard",
             BackendKind::Resilient => "resilient",
             BackendKind::SharedMemory => "shared-memory",
+            BackendKind::Remote => "remote",
         }
     }
 }
@@ -432,7 +441,8 @@ mod tests {
         assert_eq!(Priority::High.label(), "high");
         assert_eq!(BackendKind::Resilient.label(), "resilient");
         assert_eq!(BackendKind::SharedMemory.label(), "shared-memory");
-        assert_eq!(BackendKind::ALL.len(), 3);
+        assert_eq!(BackendKind::Remote.label(), "remote");
+        assert_eq!(BackendKind::ALL.len(), 4);
     }
 
     #[test]

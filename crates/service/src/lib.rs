@@ -16,9 +16,10 @@
 //! * **Policy-driven routing** — a job's [`Route`] is either pinned to a
 //!   lane or [`Route::Auto`], resolved at admission by the service's
 //!   pluggable [`RoutingPolicy`] (by cube size, lane load, round-robin, or
-//!   [`pct::FusionBackend::cost_hint`]) over three real lanes: *standard*
-//!   workers, *resilient* replica groups, and in-process *shared-memory*
-//!   executors for small cubes.
+//!   [`pct::FusionBackend::cost_hint`]) over four real lanes: *standard*
+//!   workers, *resilient* replica groups, in-process *shared-memory*
+//!   executors for small cubes, and *remote* worker processes spoken to
+//!   over the versioned [`wire`] protocol.
 //! * **Batch scheduler** — admitted jobs are sharded via `hsi::partition`,
 //!   and their tasks are batch-dispatched in priority order onto a shared
 //!   pool of long-lived `scp` workers: a *standard* lane of plain worker
@@ -76,6 +77,7 @@ pub mod service;
 
 mod pool;
 mod queue;
+mod remote;
 mod scheduler;
 mod status;
 
@@ -84,7 +86,7 @@ pub use admission::{
     PressureGauge, PressurePolicy, RetryAfter, ShedReason, TenantId, TenantQuota,
 };
 pub use chaos::{ChaosPhase, ChaosPlan, PhaseKill};
-pub use config::{ConfigError, PoolConfig, ServiceConfig, ServiceConfigBuilder};
+pub use config::{ConfigError, PoolConfig, RemoteWorkerSpec, ServiceConfig, ServiceConfigBuilder};
 pub use events::{EventSubscriber, ServiceEvent, StampedEvent};
 pub use handle::{JobHandle, JobOutcome};
 pub use job::{BackendKind, CubeSource, JobId, JobSpec, JobSpecBuilder, JobStatus, Priority};
@@ -202,6 +204,12 @@ impl From<resilience::ResilienceError> for ServiceError {
 impl From<hsi::HsiError> for ServiceError {
     fn from(e: hsi::HsiError) -> Self {
         ServiceError::Internal(format!("imagery: {e}"))
+    }
+}
+
+impl From<wire::WireError> for ServiceError {
+    fn from(e: wire::WireError) -> Self {
+        ServiceError::Internal(format!("wire protocol: {e}"))
     }
 }
 

@@ -1,6 +1,6 @@
 //! The long-lived worker pool shared by every job.
 //!
-//! Three lanes:
+//! Four lanes:
 //!
 //! * **standard** — plain worker threads running a reactive task loop over
 //!   one `scp` runtime.  Each worker registers a kill switch in the pool's
@@ -14,7 +14,11 @@
 //!   start-to-finish against the shared `Arc` cube with **zero protocol
 //!   messages**: work arrives over a plain channel and the pipeline is the
 //!   sequential reference (`SequentialPct::run_shared`), which *is* the
-//!   service's byte-identity contract.  The cheapest path for small cubes.
+//!   service's byte-identity contract.  The cheapest path for small cubes;
+//! * **remote** — worker *processes* behind the versioned [`wire`] protocol,
+//!   each fronted by a [`crate::remote::RemoteLane`] bridge thread so the
+//!   scheduler addresses them like any standard worker.  Same task loop,
+//!   same heartbeat cadence, same watchdog — across a process boundary.
 //!
 //! The scheduler addresses the message-plane lanes through the manager
 //! [`ThreadContext`] and the shared-memory lane through [`InlineLane`];
@@ -23,6 +27,7 @@
 
 use crate::config::PoolConfig;
 use crate::job::JobId;
+use crate::remote::RemoteLane;
 use crate::Result;
 use hsi::HyperCube;
 use pct::distributed::{handle_task, MANAGER};
@@ -203,6 +208,8 @@ pub(crate) struct WorkerPool {
     pub resilient: ResilientManagerState,
     /// The in-process shared-memory executor lane.
     pub inline: InlineLane,
+    /// The remote worker-process lane (wire protocol over TCP).
+    pub remote: RemoteLane,
 }
 
 impl WorkerPool {
@@ -245,6 +252,7 @@ impl WorkerPool {
             .collect::<scp::Result<Vec<_>>>()?;
 
         let inline = InlineLane::start(&runtime, config.shared_memory_executors)?;
+        let remote = RemoteLane::start(&runtime, &config.remote_workers)?;
 
         Ok((
             WorkerPool {
@@ -254,6 +262,7 @@ impl WorkerPool {
                 standard_handles,
                 resilient,
                 inline,
+                remote,
             },
             ctx,
         ))
@@ -265,16 +274,22 @@ impl WorkerPool {
         self.resilient.injector.clone()
     }
 
-    /// Shuts all three lanes down and returns the resilient lane's run
+    /// Shuts all four lanes down and returns the resilient lane's run
     /// report.
     pub fn shutdown(mut self, ctx: &mut ThreadContext<PctMessage>) -> ResilientRunReport {
         for name in &self.standard {
+            let _ = ctx.send(name, PctMessage::Shutdown);
+        }
+        // Remote workers get Shutdown through their bridge mailboxes; a
+        // worker lost earlier has a dead mailbox and the send just fails.
+        for name in &self.remote.workers {
             let _ = ctx.send(name, PctMessage::Shutdown);
         }
         for handle in self.standard_handles.drain(..) {
             handle.join();
         }
         self.inline.shutdown();
+        self.remote.shutdown();
         self.resilient.shutdown(ctx)
     }
 }
@@ -297,6 +312,7 @@ mod tests {
         assert_eq!(pool.standard, vec!["svc0", "svc1"]);
         assert_eq!(pool.groups, vec!["rg0", "rg1"]);
         assert_eq!(pool.inline.executors, vec!["shm0", "shm1"]);
+        assert!(pool.remote.workers.is_empty());
         assert_eq!(pool.resilient.membership.all_members().len(), 4);
         let mut targets = pool.injector().targets();
         targets.sort();

@@ -1,0 +1,330 @@
+//! The remote worker-process lane: `fusiond` crossing the process boundary.
+//!
+//! Every other lane shares the service's address space; this one does not.
+//! Each remote worker is a separate endpoint — usually a separate OS
+//! process — reached over a [`wire::Transport`] carrying framed,
+//! CRC-checked, version-handshaken messages.  The scheduler stays oblivious:
+//! it addresses remote workers by routing name (`rw0`, `rw1`, ...) through
+//! the same `scp` message plane it uses for the standard lane, and a
+//! *bridge thread* per worker relays between the mailbox and the socket:
+//!
+//! ```text
+//!  scheduler ──ctx.send("rw0")──▶ bridge ──wire frames──▶ worker process
+//!  scheduler ◀──send(MANAGER)─── bridge ◀──wire frames── (heartbeats,
+//!                                                          replies)
+//! ```
+//!
+//! Failure detection needs no new machinery.  The bridge exits on any
+//! transport error — a `kill -9`'d worker closes its socket — and takes its
+//! mailbox receiver with it, so the scheduler's existing watchdog probe gets
+//! `ScpError::Disconnected` on the next send: exactly the signal a lost
+//! standard-lane *thread* produces.  From there the established loss path
+//! runs unchanged: confirm → orphan in-flight tasks → re-dispatch → lane
+//! failover if the lane is empty.
+//!
+//! Connection establishment is synchronous in [`RemoteLane::start`]
+//! (including the protocol-version handshake), so a mismatched or absent
+//! worker fails service start with a typed error instead of a dead lane.
+
+use crate::config::RemoteWorkerSpec;
+use crate::{Result, ServiceError};
+use pct::distributed::MANAGER;
+use pct::messages::PctMessage;
+use scp::{Runtime, ScpError, ThreadContext};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+use wire::worker::HANDSHAKE_TIMEOUT;
+use wire::{handshake, TcpTransport, Transport, WireMessage};
+
+/// How long the service waits for a spawned worker to dial back in.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Bridge relay tick: how long each side of the relay is polled before the
+/// other gets a turn.  Small, so neither direction starves the other.
+const RELAY_TICK: Duration = Duration::from_millis(5);
+
+/// One remote worker: its routing name, how to observe the process (when
+/// there is one), and the bridge thread relaying its traffic.
+struct RemoteWorkerHandle {
+    name: String,
+    pid: Option<u32>,
+    child: Option<std::process::Child>,
+    bridge: Option<std::thread::JoinHandle<()>>,
+    /// In-process protocol thread of [`RemoteWorkerSpec::Thread`] workers.
+    worker_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The remote lane: all workers, started together, shut down together.
+pub(crate) struct RemoteLane {
+    /// Routing names of the remote workers (`rw0`, `rw1`, ...).
+    pub workers: Vec<String>,
+    handles: Vec<RemoteWorkerHandle>,
+}
+
+impl RemoteLane {
+    /// Establishes every configured worker — spawning processes or threads,
+    /// accepting their connections, running the version handshake — and
+    /// starts one bridge thread per worker.
+    pub fn start(runtime: &Runtime<PctMessage>, specs: &[RemoteWorkerSpec]) -> Result<RemoteLane> {
+        let mut workers = Vec::new();
+        let mut handles = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let name = format!("rw{i}");
+            let ctx = runtime.context(name.clone())?;
+            let (mut transport, child, worker_thread) = establish(&name, spec)?;
+            handshake(&mut transport, HANDSHAKE_TIMEOUT)?;
+            let pid = child.as_ref().map(|c| c.id());
+            let bridge = std::thread::Builder::new()
+                .name(format!("fusiond-bridge-{name}"))
+                .spawn(move || bridge_loop(ctx, transport))
+                .map_err(|e| ServiceError::Internal(format!("spawning bridge thread: {e}")))?;
+            workers.push(name.clone());
+            handles.push(RemoteWorkerHandle {
+                name,
+                pid,
+                child,
+                bridge: Some(bridge),
+                worker_thread,
+            });
+        }
+        Ok(RemoteLane { workers, handles })
+    }
+
+    /// `(routing name, OS pid)` of every worker; the pid is `None` for
+    /// workers that are not separate processes ([`RemoteWorkerSpec::Thread`]
+    /// and [`RemoteWorkerSpec::Connect`]).
+    pub fn worker_pids(&self) -> Vec<(String, Option<u32>)> {
+        self.handles
+            .iter()
+            .map(|h| (h.name.clone(), h.pid))
+            .collect()
+    }
+
+    /// Joins the bridges and reaps worker processes.  The scheduler has
+    /// already sent `Shutdown` through each worker's mailbox by the time
+    /// this runs; a worker that died earlier (chaos) has a dead bridge and
+    /// a zombie child, both of which this collects.
+    pub fn shutdown(&mut self) {
+        for handle in &mut self.handles {
+            if let Some(bridge) = handle.bridge.take() {
+                let _ = bridge.join();
+            }
+            if let Some(worker) = handle.worker_thread.take() {
+                let _ = worker.join();
+            }
+            if let Some(mut child) = handle.child.take() {
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Brings one worker endpoint up per its spec and returns the connected
+/// transport plus whatever owns the far side (a child process, an
+/// in-process thread, or nothing for `Connect`).
+#[allow(clippy::type_complexity)]
+fn establish(
+    name: &str,
+    spec: &RemoteWorkerSpec,
+) -> Result<(
+    TcpTransport,
+    Option<std::process::Child>,
+    Option<std::thread::JoinHandle<()>>,
+)> {
+    match spec {
+        RemoteWorkerSpec::Spawn { command, args } => {
+            let (listener, addr) = bind_loopback(name)?;
+            let child = std::process::Command::new(command)
+                .args(args)
+                .arg(&addr)
+                .spawn()
+                .map_err(|e| {
+                    ServiceError::Internal(format!(
+                        "spawning remote worker {name} ({command}): {e}"
+                    ))
+                })?;
+            let stream = accept_with_deadline(&listener, name)?;
+            Ok((TcpTransport::new(stream)?, Some(child), None))
+        }
+        RemoteWorkerSpec::Connect { addr } => {
+            let transport = TcpTransport::connect(addr).map_err(|e| {
+                ServiceError::Internal(format!("connecting to remote worker {name} at {addr}: {e}"))
+            })?;
+            Ok((transport, None, None))
+        }
+        RemoteWorkerSpec::Thread => {
+            let (listener, addr) = bind_loopback(name)?;
+            let thread_name = format!("fusiond-remote-{name}");
+            let worker = std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || {
+                    // The full protocol path — real TCP, real frames, real
+                    // handshake — only the process boundary is elided.
+                    if let Ok(mut transport) = TcpTransport::connect(&addr) {
+                        let _ = wire::worker::run_worker(&mut transport);
+                    }
+                })
+                .map_err(|e| ServiceError::Internal(format!("spawning worker thread: {e}")))?;
+            let stream = accept_with_deadline(&listener, name)?;
+            Ok((TcpTransport::new(stream)?, None, Some(worker)))
+        }
+    }
+}
+
+/// Binds an ephemeral loopback listener for one worker to dial into.
+fn bind_loopback(name: &str) -> Result<(TcpListener, String)> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| ServiceError::Internal(format!("binding listener for {name}: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServiceError::Internal(format!("listener address for {name}: {e}")))?
+        .to_string();
+    Ok((listener, addr))
+}
+
+/// Accepts one connection, polling so a worker that never dials in fails
+/// service start with a typed error instead of hanging it.
+fn accept_with_deadline(listener: &TcpListener, name: &str) -> Result<TcpStream> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServiceError::Internal(format!("listener mode for {name}: {e}")))?;
+    let deadline = Instant::now() + ACCEPT_TIMEOUT;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| ServiceError::Internal(format!("stream mode for {name}: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(ServiceError::Internal(format!(
+                        "remote worker {name} never connected within {ACCEPT_TIMEOUT:?}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                return Err(ServiceError::Internal(format!(
+                    "accepting remote worker {name}: {e}"
+                )))
+            }
+        }
+    }
+}
+
+/// Relays between one worker's mailbox and its transport until either side
+/// goes away.
+///
+/// Exiting drops `ctx`, which drops the mailbox receiver: the scheduler's
+/// next send to this worker gets `ScpError::Disconnected`, the exact signal
+/// its loss-confirmation probe looks for.  That makes a socket failure
+/// indistinguishable from a dead thread — deliberately, so one watchdog
+/// covers both.
+fn bridge_loop(mut ctx: ThreadContext<PctMessage>, mut transport: TcpTransport) {
+    loop {
+        // Outbound: scheduler → worker.  Shutdown is forwarded (so the
+        // worker process exits cleanly) and then ends the bridge.
+        match ctx.recv_timeout(RELAY_TICK) {
+            Ok(envelope) => {
+                let is_shutdown = matches!(envelope.payload, PctMessage::Shutdown);
+                if transport.send(&WireMessage::Pct(envelope.payload)).is_err() {
+                    return;
+                }
+                if is_shutdown {
+                    return;
+                }
+            }
+            Err(ScpError::Timeout) => {}
+            Err(_) => return,
+        }
+        // Inbound: worker → scheduler (replies and heartbeats).  Drain
+        // everything already buffered before yielding to the outbound side.
+        loop {
+            match transport.recv_timeout(RELAY_TICK) {
+                Ok(Some(WireMessage::Pct(msg))) => {
+                    if ctx.send(MANAGER, msg).is_err() {
+                        return;
+                    }
+                }
+                // A stray Hello after the handshake is a protocol violation;
+                // drop the connection and let the watchdog reclaim the lane
+                // slot rather than guessing at the peer's state.
+                Ok(Some(WireMessage::Hello { .. })) => return,
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scp::RuntimeConfig;
+
+    #[test]
+    fn thread_worker_round_trips_a_task_over_real_tcp() {
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
+        let mut manager = runtime.context(MANAGER).unwrap();
+        let mut lane = RemoteLane::start(&runtime, &[RemoteWorkerSpec::Thread]).unwrap();
+        assert_eq!(lane.workers, vec!["rw0"]);
+        assert_eq!(lane.worker_pids(), vec![("rw0".to_string(), None)]);
+
+        let mut cube = hsi::HyperCube::zeros(hsi::CubeDims::new(2, 1, 2));
+        cube.set_pixel(0, 0, &[1.0, 0.0]).unwrap();
+        cube.set_pixel(1, 0, &[0.0, 1.0]).unwrap();
+        let view = hsi::CubeView::full(std::sync::Arc::new(cube));
+        manager
+            .send(
+                "rw0",
+                PctMessage::ScreenTask {
+                    task: 7,
+                    view,
+                    threshold_rad: 0.1,
+                },
+            )
+            .unwrap();
+        let reply = loop {
+            let envelope = manager.recv_timeout(Duration::from_secs(5)).unwrap();
+            match envelope.payload {
+                PctMessage::Heartbeat => continue,
+                msg => break msg,
+            }
+        };
+        let PctMessage::UniqueSet { task, unique } = reply else {
+            panic!("expected a unique set, got {reply:?}");
+        };
+        assert_eq!(task, 7);
+        assert_eq!(unique.len(), 2);
+
+        manager.send("rw0", PctMessage::Shutdown).unwrap();
+        lane.shutdown();
+    }
+
+    #[test]
+    fn dead_worker_surfaces_as_a_disconnected_mailbox() {
+        let runtime: Runtime<PctMessage> = Runtime::new(RuntimeConfig::default());
+        let mut manager = runtime.context(MANAGER).unwrap();
+        let mut lane = RemoteLane::start(&runtime, &[RemoteWorkerSpec::Thread]).unwrap();
+        // A clean worker exit (Shutdown) ends the bridge the same way a
+        // crash does: the mailbox dies and sends report Disconnected.
+        manager.send("rw0", PctMessage::Shutdown).unwrap();
+        let mut saw_disconnect = false;
+        for _ in 0..400 {
+            match manager.send("rw0", PctMessage::Heartbeat) {
+                Err(ScpError::Disconnected(_)) => {
+                    saw_disconnect = true;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        assert!(
+            saw_disconnect,
+            "dead bridge never surfaced as Disconnected to the sender"
+        );
+        lane.shutdown();
+    }
+}

@@ -25,8 +25,8 @@
 //!
 //! Every policy only ever returns an *enabled* lane; the scheduler
 //! additionally clamps the answer (falling back to the first *enabled* lane
-//! in preference order — standard, then resilient, then shared-memory) so a
-//! misbehaving custom policy cannot strand a job.
+//! in preference order — standard, then resilient, then shared-memory, then
+//! remote) so a misbehaving custom policy cannot strand a job.
 
 use crate::job::BackendKind;
 use hsi::CubeDims;
@@ -118,6 +118,8 @@ pub struct LaneSnapshot {
     pub resilient: LaneLoad,
     /// The in-process shared-memory executor lane.
     pub shared_memory: LaneLoad,
+    /// The remote worker-process lane (wire protocol over TCP).
+    pub remote: LaneLoad,
 }
 
 impl LaneSnapshot {
@@ -127,6 +129,7 @@ impl LaneSnapshot {
             BackendKind::Standard => self.standard,
             BackendKind::Resilient => self.resilient,
             BackendKind::SharedMemory => self.shared_memory,
+            BackendKind::Remote => self.remote,
         }
     }
 
@@ -144,7 +147,7 @@ impl LaneSnapshot {
 /// Implementations must be cheap (called on the scheduler thread once per
 /// admitted job) and must return an enabled lane from the snapshot; the
 /// scheduler clamps anything else to the first enabled lane in preference
-/// order (standard, then resilient, then shared-memory).
+/// order (standard, then resilient, then shared-memory, then remote).
 ///
 /// ```
 /// use service::{BackendKind, LaneSnapshot, RoutingPolicy, RoutingRequest};
@@ -218,7 +221,9 @@ impl RoutingPolicy for SizeThresholdPolicy {
 }
 
 /// Routes to the enabled lane with the highest free-slot fraction; ties are
-/// broken in the order standard, shared-memory, resilient (cheapest first).
+/// broken in the order standard, shared-memory, resilient, remote (cheapest
+/// first — remote last because it alone pays serialisation and a process
+/// boundary per task).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeastLoadedPolicy;
 
@@ -234,6 +239,7 @@ impl RoutingPolicy for LeastLoadedPolicy {
             BackendKind::Standard,
             BackendKind::SharedMemory,
             BackendKind::Resilient,
+            BackendKind::Remote,
         ] {
             let lane = lanes.lane(kind);
             if lane.enabled() && lane.free_fraction() > best_free {
@@ -290,11 +296,13 @@ impl CostHintPolicy {
         Self { lanes }
     }
 
-    /// Exemplars mirroring the service's three lanes: the sequential
-    /// in-process path, a distributed pipeline sized like the standard lane,
+    /// Exemplars mirroring the service's three in-process lanes: the
+    /// sequential path, a distributed pipeline sized like the standard lane,
     /// and a resilient pipeline sized like the replica-group lane — each
     /// lane's exemplar must mirror *that* lane's parallelism or the cost
-    /// ordering between lanes is wrong.
+    /// ordering between lanes is wrong.  The remote lane carries no
+    /// exemplar, so this policy never routes to it: reach it by pinning
+    /// [`crate::Route::Pinned`] or with a custom policy.
     pub fn for_pool(
         standard_workers: usize,
         replica_groups: usize,
@@ -371,6 +379,7 @@ mod tests {
                 total: shm,
                 free: shm,
             },
+            ..Default::default()
         }
     }
 
@@ -475,6 +484,30 @@ mod tests {
             policy.route(&request(8, 4), &snapshot(4, 2, 0)),
             BackendKind::Standard
         );
+    }
+
+    #[test]
+    fn remote_lane_is_routable_but_least_preferred() {
+        let mut lanes = snapshot(4, 0, 0);
+        lanes.remote = LaneLoad { total: 2, free: 2 };
+        // A tie on free fraction keeps the in-process lane.
+        assert_eq!(
+            LeastLoadedPolicy.route(&request(16, 8), &lanes),
+            BackendKind::Standard
+        );
+        // A strictly freer remote lane wins.
+        lanes.standard.free = 1;
+        assert_eq!(
+            LeastLoadedPolicy.route(&request(16, 8), &lanes),
+            BackendKind::Remote
+        );
+        assert_eq!(
+            lanes.enabled_lanes(),
+            vec![BackendKind::Standard, BackendKind::Remote]
+        );
+        // The cost-hint policy carries no remote exemplar and never picks it.
+        let policy = CostHintPolicy::for_pool(4, 2, 2);
+        assert_ne!(policy.route(&request(8, 4), &lanes), BackendKind::Remote);
     }
 
     #[test]

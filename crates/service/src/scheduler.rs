@@ -3,9 +3,9 @@
 //!
 //! Each scheduler tick forms a dispatch batch: every runnable task of every
 //! admitted job, ordered by priority then submission, is matched against the
-//! free execution slots of its lane (standard workers, replica groups, or
-//! shared-memory executors).  Message-plane jobs advance through three
-//! phases:
+//! free execution slots of its lane (standard workers, replica groups,
+//! shared-memory executors, or remote worker processes).  Message-plane jobs
+//! advance through three phases:
 //!
 //! 1. **Screen** — a chain of seeded screening tasks, one shard at a time,
 //!    so the accumulated unique set is bit-for-bit the whole-image greedy
@@ -42,6 +42,12 @@
 //! lane recomputes the whole job inline) instead of failing.  Queued jobs
 //! need no special handling: admission resolves routes against the live
 //! lane snapshot, which now reads the drained lane as disabled.
+//!
+//! The remote lane rides the same watchdog.  Remote workers are plain
+//! routing names behind bridge threads (see [`crate::remote`]); a killed
+//! worker *process* closes its socket, its bridge exits, and the probe's
+//! `Disconnected` confirms the loss exactly as for a dead thread — the
+//! orphan/re-dispatch/failover path is shared code, not a parallel copy.
 
 use crate::admission::{AdmissionGovernor, TenantId};
 use crate::chaos::{ChaosPhase, ChaosPlan};
@@ -257,14 +263,17 @@ pub(crate) struct Scheduler {
     free_workers: VecDeque<String>,
     free_groups: VecDeque<String>,
     free_inline: VecDeque<String>,
+    free_remote: VecDeque<String>,
     /// Routing names of the shared-memory executors, to tell their wake-up
     /// doorbells apart from real member heartbeats whatever the executors
     /// happen to be called.
     inline_names: HashSet<String>,
     next_task: TaskId,
-    /// The standard lane's worker watchdog: heartbeat-silence flags a
-    /// suspect, a mailbox probe confirms (workers are keyed as
-    /// incarnation-0 [`MemberId`]s so the shared detector fits unchanged).
+    /// The worker watchdog of the standard *and* remote lanes: heartbeat
+    /// silence flags a suspect, a mailbox probe confirms (workers are keyed
+    /// as incarnation-0 [`MemberId`]s so the shared detector fits
+    /// unchanged).  Remote workers heartbeat over the wire through their
+    /// bridges, so one detector covers both sides of the process boundary.
     standard_watch: FailureDetector,
     /// Tasks of lost workers awaiting re-dispatch, oldest first.
     orphans: VecDeque<Orphan>,
@@ -295,10 +304,11 @@ impl Scheduler {
         telemetry: Telemetry,
     ) -> Self {
         let mut standard_watch = FailureDetector::new(standard_detector);
-        for name in &pool.standard {
+        for name in pool.standard.iter().chain(&pool.remote.workers) {
             standard_watch.watch(MemberId::new(name.clone(), 0), 0);
         }
         let free_workers = pool.standard.iter().cloned().collect();
+        let free_remote = pool.remote.workers.iter().cloned().collect();
         let free_groups = pool.groups.iter().cloned().collect();
         let free_inline: VecDeque<String> = pool.inline.executors.iter().cloned().collect();
         let inline_names: HashSet<String> = pool.inline.executors.iter().cloned().collect();
@@ -324,6 +334,7 @@ impl Scheduler {
             free_workers,
             free_groups,
             free_inline,
+            free_remote,
             inline_names,
             next_task: 1,
             standard_watch,
@@ -356,6 +367,10 @@ impl Scheduler {
             shared_memory: LaneLoad {
                 total: self.pool.inline.executors.len(),
                 free: self.free_inline.len(),
+            },
+            remote: LaneLoad {
+                total: self.pool.remote.workers.len(),
+                free: self.free_remote.len(),
             },
         }
     }
@@ -614,6 +629,7 @@ impl Scheduler {
             let lane_free = match job.backend {
                 BackendKind::Standard => !self.free_workers.is_empty(),
                 BackendKind::Resilient => !self.free_groups.is_empty(),
+                BackendKind::Remote => !self.free_remote.is_empty(),
                 BackendKind::SharedMemory => unreachable!("handled by dispatch_inline"),
             };
             if !lane_free {
@@ -642,8 +658,12 @@ impl Scheduler {
             let backend = job.backend;
             let kind = message.kind();
             match backend {
-                BackendKind::Standard => {
-                    let Some(worker) = self.free_workers.pop_front() else {
+                BackendKind::Standard | BackendKind::Remote => {
+                    let free = match backend {
+                        BackendKind::Standard => &mut self.free_workers,
+                        _ => &mut self.free_remote,
+                    };
+                    let Some(worker) = free.pop_front() else {
                         // A loss landed between the lane check and the pop;
                         // the task message is already built (and its phase
                         // bookkeeping advanced), so park it for re-dispatch
@@ -676,10 +696,10 @@ impl Scheduler {
                         return;
                     }
                     self.report.tasks_dispatched += 1;
-                    self.report.route_task(BackendKind::Standard);
+                    self.report.route_task(backend);
                     self.events.publish(ServiceEvent::Dispatched {
                         job: id,
-                        route: BackendKind::Standard,
+                        route: backend,
                         task,
                         kind,
                     });
@@ -799,7 +819,13 @@ impl Scheduler {
                 }
                 let id = if let Some(inflight) = self.tasks.remove(&task) {
                     match inflight.assignee {
-                        Assignee::Worker(name) => self.free_workers.push_back(name),
+                        Assignee::Worker(name) => {
+                            if self.pool.remote.workers.contains(&name) {
+                                self.free_remote.push_back(name);
+                            } else {
+                                self.free_workers.push_back(name);
+                            }
+                        }
                         Assignee::Group(name) => {
                             self.free_groups.push_back(name);
                             self.remember_completed_group_task(task);
@@ -1004,18 +1030,23 @@ impl Scheduler {
     /// collide with it.
     fn note_liveness(&mut self, from: &str, now_ms: u64) {
         self.pool.resilient.heartbeat_from(from, now_ms);
-        if self.pool.standard.iter().any(|w| w == from) {
+        if self.pool.standard.iter().any(|w| w == from)
+            || self.pool.remote.workers.iter().any(|w| w == from)
+        {
             self.standard_watch
                 .heartbeat(&MemberId::new(from, 0), now_ms);
         }
     }
 
-    /// Periodic standard-lane upkeep: sweep the worker watchdog, probe the
-    /// suspects' mailboxes (only a dead mailbox confirms a loss — anything
-    /// else refreshes the lease, the `sweep_and_probe` pattern), then
-    /// re-dispatch any orphaned tasks.
+    /// Periodic standard/remote-lane upkeep: sweep the worker watchdog,
+    /// probe the suspects' mailboxes (only a dead mailbox confirms a loss —
+    /// anything else refreshes the lease, the `sweep_and_probe` pattern),
+    /// then re-dispatch any orphaned tasks.  Probing a remote worker rings
+    /// its bridge mailbox: a bridge that lost its socket has exited and
+    /// dropped the mailbox, so the probe reports `Disconnected` exactly as
+    /// a dead thread's would.
     fn maintain_standard(&mut self) {
-        if !self.pool.standard.is_empty() {
+        if !self.pool.standard.is_empty() || !self.pool.remote.workers.is_empty() {
             let now_ms = self.now_ms();
             for suspect in self.standard_watch.sweep(now_ms) {
                 match self.ctx.send(&suspect.group, PctMessage::Heartbeat) {
@@ -1030,17 +1061,27 @@ impl Scheduler {
         self.dispatch_orphans();
     }
 
-    /// Handles one confirmed standard-worker loss: retire the worker,
-    /// orphan its in-flight tasks for re-dispatch, and fail the lane over
-    /// if it just drained to zero workers.
+    /// Handles one confirmed worker loss (standard thread or remote
+    /// process): retire the worker, orphan its in-flight tasks for
+    /// re-dispatch, and fail the lane over if it just drained to zero
+    /// workers.
     fn on_worker_lost(&mut self, worker: &str) {
-        if !self.pool.standard.iter().any(|w| w == worker) {
+        let lane = if self.pool.standard.iter().any(|w| w == worker) {
+            BackendKind::Standard
+        } else if self.pool.remote.workers.iter().any(|w| w == worker) {
+            BackendKind::Remote
+        } else {
             // Already retired (a send failure and the watchdog can both
             // report the same loss).
             return;
+        };
+        if lane == BackendKind::Standard {
+            self.pool.standard.retain(|w| w != worker);
+            self.free_workers.retain(|w| w != worker);
+        } else {
+            self.pool.remote.workers.retain(|w| w != worker);
+            self.free_remote.retain(|w| w != worker);
         }
-        self.pool.standard.retain(|w| w != worker);
-        self.free_workers.retain(|w| w != worker);
         self.standard_watch.unwatch(&MemberId::new(worker, 0));
         self.report.workers_lost += 1;
         // The loss's telemetry hangs under the phase span of the job whose
@@ -1091,8 +1132,12 @@ impl Scheduler {
                 });
             }
         }
-        if self.pool.standard.is_empty() {
-            self.fail_over_standard_jobs();
+        let lane_empty = match lane {
+            BackendKind::Standard => self.pool.standard.is_empty(),
+            _ => self.pool.remote.workers.is_empty(),
+        };
+        if lane_empty {
+            self.fail_over_jobs(lane);
         }
     }
 
@@ -1109,8 +1154,12 @@ impl Scheduler {
                 continue;
             };
             match job.backend {
-                BackendKind::Standard => {
-                    let Some(worker) = self.free_workers.pop_front() else {
+                BackendKind::Standard | BackendKind::Remote => {
+                    let free = match job.backend {
+                        BackendKind::Standard => &mut self.free_workers,
+                        _ => &mut self.free_remote,
+                    };
+                    let Some(worker) = free.pop_front() else {
                         deferred.push_back(orphan);
                         continue;
                     };
@@ -1219,16 +1268,16 @@ impl Scheduler {
         }
     }
 
-    /// The standard lane drained to zero workers: move every running
-    /// standard job to another enabled lane through the routing policy
-    /// (honouring its lane clamps) instead of failing it.  Queued jobs need
-    /// nothing — admission resolves against the live snapshot, which now
-    /// reads the lane as disabled.
-    fn fail_over_standard_jobs(&mut self) {
+    /// A worker lane (`Standard` or `Remote`) drained to zero workers: move
+    /// every running job of that lane to another enabled lane through the
+    /// routing policy (honouring its lane clamps) instead of failing it.
+    /// Queued jobs need nothing — admission resolves against the live
+    /// snapshot, which now reads the lane as disabled.
+    fn fail_over_jobs(&mut self, lane: BackendKind) {
         let stranded: Vec<JobId> = self
             .running
             .iter()
-            .filter(|(_, job)| matches!(job.backend, BackendKind::Standard))
+            .filter(|(_, job)| job.backend == lane)
             .map(|(id, _)| *id)
             .collect();
         if stranded.is_empty() {
@@ -1241,12 +1290,15 @@ impl Scheduler {
             };
             let request = RoutingRequest::for_dims(job.cube.dims(), job.shards.len());
             let (target, _) = self.governor.resolve(Route::Auto, &request, &snapshot);
-            if target == BackendKind::Standard {
+            if target == lane || !snapshot.lane(target).enabled() {
                 // The clamp found no other enabled lane.
                 self.fail_job(
                     id,
                     JobStatus::Failed,
-                    "standard lane drained and no other lane is configured".to_string(),
+                    format!(
+                        "{} lane drained and no other lane is configured",
+                        lane.label()
+                    ),
                 );
                 continue;
             }
@@ -1270,7 +1322,7 @@ impl Scheduler {
             self.events.publish_correlated(
                 ServiceEvent::LaneFailover {
                     job: id,
-                    from: BackendKind::Standard,
+                    from: lane,
                     to: target,
                 },
                 span,

@@ -24,7 +24,7 @@ use std::time::Instant;
 use telemetry::Telemetry;
 
 /// A running fusion service: one scheduler thread driving one long-lived
-/// three-lane worker pool, fed through a bounded admission queue.
+/// four-lane worker pool, fed through a bounded admission queue.
 ///
 /// ```no_run
 /// use hsi::SceneConfig;
@@ -51,7 +51,9 @@ pub struct FusionService {
     shutdown_flag: Arc<AtomicBool>,
     events: Arc<EventBus>,
     injector: resilience::attack::AttackInjector,
-    lane_totals: [usize; 3],
+    lane_totals: [usize; 4],
+    /// `(routing name, OS pid)` of every remote worker, captured at start.
+    remote_workers: Vec<(String, Option<u32>)>,
     next_job: AtomicU64,
     scheduler: Option<JoinHandle<ServiceReport>>,
     telemetry: Telemetry,
@@ -68,7 +70,9 @@ impl FusionService {
             pool.standard.len(),
             pool.groups.len(),
             pool.inline.executors.len(),
+            pool.remote.workers.len(),
         ];
+        let remote_workers = pool.remote.worker_pids();
         let governor = Arc::new(
             AdmissionGovernor::new(
                 config.queue_capacity,
@@ -106,6 +110,7 @@ impl FusionService {
             events,
             injector,
             lane_totals,
+            remote_workers,
             next_job: AtomicU64::new(1),
             scheduler: Some(handle),
             telemetry,
@@ -114,12 +119,22 @@ impl FusionService {
 
     /// Whether the pool has the lane a pinned route asks for.
     fn lane_exists(&self, kind: BackendKind) -> bool {
-        let [standard, resilient, shared_memory] = self.lane_totals;
+        let [standard, resilient, shared_memory, remote] = self.lane_totals;
         match kind {
             BackendKind::Standard => standard > 0,
             BackendKind::Resilient => resilient > 0,
             BackendKind::SharedMemory => shared_memory > 0,
+            BackendKind::Remote => remote > 0,
         }
+    }
+
+    /// `(routing name, OS pid)` of every remote-lane worker.  The pid is
+    /// `None` for workers that are not separate processes
+    /// ([`crate::RemoteWorkerSpec::Thread`] and
+    /// [`crate::RemoteWorkerSpec::Connect`]); chaos drills use the pid to
+    /// kill a real worker process from outside.
+    pub fn remote_workers(&self) -> &[(String, Option<u32>)] {
+        &self.remote_workers
     }
 
     fn enqueue(&self, spec: JobSpec, blocking: bool) -> Result<JobHandle> {
@@ -296,7 +311,7 @@ impl Drop for FusionService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PoolConfig;
+    use crate::config::{PoolConfig, RemoteWorkerSpec};
     use crate::handle::JobOutcome;
     use crate::job::{CubeSource, JobStatus, Priority};
     use hsi::{CubeDims, SceneConfig, SceneGenerator};
@@ -311,6 +326,7 @@ mod tests {
                 replica_groups: 1,
                 replication_level: 2,
                 shared_memory_executors: 1,
+                remote_workers: vec![RemoteWorkerSpec::Thread],
                 ..PoolConfig::default()
             })
             .queue_capacity(16)
@@ -328,6 +344,8 @@ mod tests {
     #[test]
     fn jobs_complete_byte_identical_to_sequential_on_every_lane() {
         let service = FusionService::start(tiny_pool()).unwrap();
+        // The Thread remote worker is a worker without a process of its own.
+        assert_eq!(service.remote_workers(), &[("rw0".to_string(), None)]);
         let mut jobs = Vec::new();
         for (i, kind) in BackendKind::ALL.iter().enumerate() {
             let config = scene(40 + i as u64, 16, 8);
@@ -354,7 +372,7 @@ mod tests {
             assert_eq!(handle.status().unwrap(), JobStatus::Completed);
         }
         let report = service.shutdown();
-        assert_eq!(report.jobs_completed, 3);
+        assert_eq!(report.jobs_completed, 4);
         assert_eq!(report.jobs_failed, 0);
         for kind in BackendKind::ALL {
             assert_eq!(report.route(kind).jobs_completed, 1, "{}", kind.label());

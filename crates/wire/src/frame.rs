@@ -1,0 +1,201 @@
+//! Length-prefixed, CRC-checked frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! ┌──────────┬──────────┬──────────┬──────────────────────┐
+//! │ magic    │ body len │ CRC-32   │ body (codec payload) │
+//! │ u32 LE   │ u32 LE   │ u32 LE   │ `len` bytes          │
+//! └──────────┴──────────┴──────────┴──────────────────────┘
+//! ```
+//!
+//! The magic resynchronizes nothing — a stream that loses sync is dead —
+//! but it turns "connected to the wrong service" into a typed
+//! [`WireError::BadMagic`] instead of garbage decoding.  The CRC-32
+//! (IEEE polynomial, the zlib/ethernet one) covers the body only; a length
+//! beyond [`MAX_FRAME_BYTES`] is rejected *before* any allocation, so a
+//! corrupted or hostile length prefix cannot OOM the receiver.
+
+use crate::{Result, WireError};
+
+/// `"FUS1"` little-endian: the frame magic.
+pub const MAGIC: u32 = 0x3153_5546;
+
+/// Bytes of the fixed frame header (magic + body length + CRC).
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Ceiling on a frame body.  The largest legitimate message — a transform
+/// task carrying a full 320×320×105 scene as f64 plus the transform matrix
+/// — is ≈ 86 MB; 256 MiB leaves generous headroom while still bounding a
+/// corrupt length prefix.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024 * 1024;
+
+/// CRC-32 (IEEE) lookup table, computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Wraps a codec body into a complete frame (header + body).
+pub fn frame(body: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        body.len() <= MAX_FRAME_BYTES,
+        "encoder produced an oversized frame"
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Incremental frame parser over an arbitrary byte stream.
+///
+/// Transports push whatever bytes arrive — partial frames, several frames
+/// at once — and pop complete, CRC-verified bodies.  Any header-level
+/// violation (bad magic, oversized length, CRC mismatch) is a typed error;
+/// a partial frame simply waits for more bytes.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes received from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` if more bytes are
+    /// needed, or a typed error if the buffered header is invalid.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::OversizedFrame {
+                len: len as u64,
+                max: MAX_FRAME_BYTES as u64,
+            });
+        }
+        let expected = u32::from_le_bytes(self.buf[8..12].try_into().expect("4 bytes"));
+        if self.buf.len() < FRAME_HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let body: Vec<u8> = self.buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len].to_vec();
+        let found = crc32(&body);
+        if found != expected {
+            return Err(WireError::CrcMismatch { expected, found });
+        }
+        self.buf.drain(..FRAME_HEADER_BYTES + len);
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE polynomial's classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_reader() {
+        let mut reader = FrameReader::new();
+        reader.push(&frame(b"alpha"));
+        reader.push(&frame(b""));
+        reader.push(&frame(b"bravo"));
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"alpha");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"bravo");
+        assert_eq!(reader.next_frame().unwrap(), None);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let full = frame(b"split me");
+        let mut reader = FrameReader::new();
+        for chunk in full.chunks(3) {
+            assert!(matches!(reader.next_frame(), Ok(None) | Ok(Some(_))));
+            reader.push(chunk);
+        }
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"split me");
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_error() {
+        let mut reader = FrameReader::new();
+        reader.push(b"NOTAFRAMEHDR");
+        assert!(matches!(reader.next_frame(), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn corrupted_crc_is_a_typed_error() {
+        let mut bytes = frame(b"payload");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(WireError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = frame(b"x");
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new();
+        reader.push(&bytes);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(WireError::OversizedFrame { .. })
+        ));
+    }
+}

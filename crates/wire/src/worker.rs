@@ -1,0 +1,116 @@
+//! The remote worker loop: what a `fusiond-worker` process runs after
+//! connecting back to the service.
+//!
+//! The loop mirrors the in-process standard worker
+//! (`service`'s `standard_worker_loop`) beat for beat so the scheduler's
+//! failure detector sees identical liveness behaviour from both lanes:
+//! a 25 ms receive tick, a heartbeat after every reply, and a heartbeat
+//! on every idle tick.  Tasks are computed by
+//! [`pct::distributed::handle_task`] — the same function the in-process
+//! distributed pipeline uses — so results are byte-identical by
+//! construction.
+
+use crate::codec::WireMessage;
+use crate::transport::{handshake, Transport};
+use crate::{Result, WireError};
+use pct::distributed::handle_task;
+use pct::messages::PctMessage;
+use std::time::Duration;
+
+/// Receive-tick / heartbeat cadence, matching the in-process lane.
+pub const TICK: Duration = Duration::from_millis(25);
+
+/// Handshake deadline for a fresh connection.
+pub const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Runs the worker protocol over an established transport until the
+/// manager sends `Shutdown` (clean exit) or the connection fails.
+///
+/// The handshake runs first; a version-mismatched manager is rejected with
+/// a typed error before any task is accepted.
+pub fn run_worker(transport: &mut dyn Transport) -> Result<()> {
+    handshake(transport, HANDSHAKE_TIMEOUT)?;
+    serve(transport)
+}
+
+/// The post-handshake serve loop (split out for tests that have already
+/// shaken hands).
+pub fn serve(transport: &mut dyn Transport) -> Result<()> {
+    loop {
+        match transport.recv_timeout(TICK)? {
+            Some(WireMessage::Pct(PctMessage::Shutdown)) => return Ok(()),
+            Some(WireMessage::Pct(msg)) => {
+                if let Some(reply) = handle_task(msg) {
+                    transport.send(&WireMessage::Pct(reply))?;
+                }
+                transport.send(&WireMessage::Pct(PctMessage::Heartbeat))?;
+            }
+            Some(WireMessage::Hello { .. }) => {
+                return Err(WireError::Malformed("unexpected Hello after handshake"))
+            }
+            // Idle tick: prove liveness, exactly like the thread lane.
+            None => transport.send(&WireMessage::Pct(PctMessage::Heartbeat))?,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::loopback_pair;
+    use hsi::{CubeDims, CubeView, HyperCube};
+    use std::sync::Arc;
+
+    #[test]
+    fn worker_computes_screen_tasks_and_heartbeats() {
+        let (mut manager, mut worker) = loopback_pair();
+        let t = std::thread::spawn(move || run_worker(&mut worker));
+        handshake(&mut manager, HANDSHAKE_TIMEOUT).unwrap();
+
+        let mut cube = HyperCube::zeros(CubeDims::new(2, 2, 2));
+        cube.set_pixel(0, 0, &[1.0, 0.0]).unwrap();
+        cube.set_pixel(1, 0, &[0.0, 1.0]).unwrap();
+        cube.set_pixel(0, 1, &[1.0, 0.05]).unwrap();
+        cube.set_pixel(1, 1, &[0.05, 1.0]).unwrap();
+        let view = CubeView::full(Arc::new(cube));
+        manager
+            .send(&WireMessage::Pct(PctMessage::ScreenTask {
+                task: 4,
+                view,
+                threshold_rad: 0.1,
+            }))
+            .unwrap();
+
+        // First non-heartbeat reply is the unique set.
+        let reply = loop {
+            match manager.recv_timeout(Duration::from_secs(2)).unwrap() {
+                Some(WireMessage::Pct(PctMessage::Heartbeat)) => continue,
+                Some(msg) => break msg,
+                None => continue,
+            }
+        };
+        let WireMessage::Pct(PctMessage::UniqueSet { task, unique }) = reply else {
+            panic!("expected a unique set, got {reply:?}");
+        };
+        assert_eq!(task, 4);
+        assert_eq!(unique.len(), 2);
+
+        manager
+            .send(&WireMessage::Pct(PctMessage::Shutdown))
+            .unwrap();
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_worker_heartbeats() {
+        let (mut manager, mut worker) = loopback_pair();
+        let t = std::thread::spawn(move || run_worker(&mut worker));
+        handshake(&mut manager, HANDSHAKE_TIMEOUT).unwrap();
+        let beat = manager.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(beat, Some(WireMessage::Pct(PctMessage::Heartbeat)));
+        manager
+            .send(&WireMessage::Pct(PctMessage::Shutdown))
+            .unwrap();
+        t.join().unwrap().unwrap();
+    }
+}

@@ -81,6 +81,36 @@ impl Strategy for Range<usize> {
     }
 }
 
+impl Strategy for Range<u8> {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut TestRng) -> u8 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty u8 strategy range");
+        self.start + (rng.next_u64() % span) as u8
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "empty u32 strategy range");
+        self.start + (rng.next_u64() % span) as u32
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let span = self.end - self.start;
+        assert!(span > 0, "empty u64 strategy range");
+        self.start + rng.next_u64() % span
+    }
+}
+
 /// Strategy produced by [`collection::vec`].
 pub struct VecStrategy<S> {
     element: S,
@@ -144,7 +174,8 @@ pub mod prop {
 /// One-stop import mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        collection, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy,
+        collection, prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig,
+        Strategy,
     };
 }
 
@@ -152,6 +183,19 @@ pub mod prelude {
 #[macro_export]
 macro_rules! prop_assert {
     ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.  Expands to
+/// a `continue` of the per-case loop [`proptest!`] generates, so rejected
+/// cases still count against `cases` (no resampling, unlike real proptest
+/// — keep rejection rates low).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
 }
 
 /// Asserts two expressions are equal for the current case.

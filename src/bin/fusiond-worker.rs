@@ -1,0 +1,49 @@
+//! `fusiond-worker` — a fusion worker as a separate OS process.
+//!
+//! Two modes:
+//!
+//! * `fusiond-worker <addr>` — dial into a service listening at `addr`
+//!   (the mode `RemoteWorkerSpec::Spawn` uses: the service appends its
+//!   listener address as the final argument);
+//! * `fusiond-worker --listen <addr>` — listen at `addr` and serve the
+//!   first connection (the mode `RemoteWorkerSpec::Connect` pairs with).
+//!
+//! Either way the process runs `wire::worker::run_worker`: protocol-version
+//! handshake first, then the task/heartbeat loop until the service sends
+//! `Shutdown` (exit 0) or the connection fails (exit 1).
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use wire::worker::run_worker;
+use wire::TcpTransport;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fusiond-worker <addr> | fusiond-worker --listen <addr>");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [addr] => TcpTransport::connect(addr).and_then(|mut transport| run_worker(&mut transport)),
+        [flag, addr] if flag == "--listen" => {
+            match TcpListener::bind(addr).and_then(|l| l.accept()) {
+                Ok((stream, _)) => {
+                    TcpTransport::new(stream).and_then(|mut transport| run_worker(&mut transport))
+                }
+                Err(e) => {
+                    eprintln!("fusiond-worker: listening at {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fusiond-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

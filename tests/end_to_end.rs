@@ -11,9 +11,9 @@ use pct::{DistributedPct, PctConfig, SequentialPct, SharedMemoryPct};
 use resilience::DetectorConfig;
 use service::{
     BackendKind, ChaosPhase, ChaosPlan, CubeSource, FusionService, JobHandle, JobOutcome, JobSpec,
-    JobStatus, LeastLoadedPolicy, PhaseKill, PoolConfig, Priority, RoundRobinPolicy, Route,
-    ServiceConfig, ServiceError, ServiceEvent, SharedRoutingPolicy, SizeThresholdPolicy, TenantId,
-    TenantQuota,
+    JobStatus, LeastLoadedPolicy, PhaseKill, PoolConfig, Priority, RemoteWorkerSpec,
+    RoundRobinPolicy, Route, ServiceConfig, ServiceError, ServiceEvent, SharedRoutingPolicy,
+    SizeThresholdPolicy, TenantId, TenantQuota,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -237,7 +237,13 @@ fn service_concurrent_jobs_are_byte_identical_to_sequential() {
     assert_eq!(report.jobs_completed, 12);
     assert_eq!(report.jobs_failed, 0);
     assert!(report.duplicates_ignored > 0, "replica lane never deduped");
-    for kind in BackendKind::ALL {
+    // The three in-process lanes the jobs were pinned across; the remote
+    // lane is not configured here.
+    for kind in [
+        BackendKind::Standard,
+        BackendKind::Resilient,
+        BackendKind::SharedMemory,
+    ] {
         assert_eq!(
             report.route(kind).jobs_completed,
             4,
@@ -1053,6 +1059,163 @@ fn standard_lane_drain_fails_over_running_jobs_to_surviving_lanes() {
     let report = service.shutdown();
     assert_eq!(report.jobs_failed, 1);
     assert_eq!(report.workers_lost, 1);
+}
+
+/// A remote-worker spec that spawns the `fusiond-worker` binary built by
+/// this workspace; the service appends its listener address as the final
+/// argument.
+fn spawn_worker_spec() -> RemoteWorkerSpec {
+    RemoteWorkerSpec::Spawn {
+        command: env!("CARGO_BIN_EXE_fusiond-worker").to_string(),
+        args: Vec::new(),
+    }
+}
+
+/// A pool whose only lane is remote worker *processes*, with the fast
+/// watchdog from [`failover_pool`] so a killed process is confirmed lost
+/// well inside the test window.
+fn remote_pool(workers: usize) -> PoolConfig {
+    PoolConfig {
+        standard_workers: 0,
+        replica_groups: 0,
+        shared_memory_executors: 0,
+        remote_workers: (0..workers).map(|_| spawn_worker_spec()).collect(),
+        standard_detector: DetectorConfig {
+            heartbeat_period_ms: 10,
+            miss_threshold: 3,
+        },
+        ..PoolConfig::default()
+    }
+}
+
+/// The wire-protocol acceptance criterion: a fusion job whose workers are
+/// separate OS processes — spawned `fusiond-worker` binaries spoken to over
+/// TCP with the versioned `wire` codec — produces output **byte-identical**
+/// to `SequentialPct`.  The remote lane is the *only* lane configured, so
+/// every task provably crossed the process boundary.
+#[test]
+fn remote_worker_processes_produce_byte_identical_output_over_tcp() {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .pool(remote_pool(2))
+            .queue_capacity(8)
+            .max_in_flight(4)
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+    // Spawned workers are real child processes with observable pids.
+    let workers = service.remote_workers().to_vec();
+    assert_eq!(workers.len(), 2);
+    for (name, pid) in &workers {
+        assert!(
+            pid.is_some(),
+            "spawned worker {name} has no pid: {workers:?}"
+        );
+    }
+
+    let mut jobs = Vec::new();
+    for i in 0..3u64 {
+        let cube = Arc::new(
+            SceneGenerator::new(small_job_scene(200 + i))
+                .unwrap()
+                .generate(),
+        );
+        let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+            .pinned(BackendKind::Remote)
+            .shards(3)
+            .build()
+            .unwrap();
+        jobs.push((service.submit(spec).unwrap(), cube));
+    }
+    for (mut handle, cube) in jobs {
+        let outcome = handle.wait().unwrap();
+        let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+        assert_eq!(
+            outcome.output().expect("job completes"),
+            &reference,
+            "job {} diverged from sequential across the process boundary",
+            handle.id()
+        );
+    }
+
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, 3);
+    assert_eq!(report.jobs_failed, 0);
+    assert_eq!(report.route(BackendKind::Remote).jobs_routed, 3);
+}
+
+/// The remote-lane chaos drill: `kill -9` one of two worker *processes*
+/// mid-screen.  The process cannot flush, warn, or clean up — its socket
+/// just dies — yet the bridge's exit surfaces through the same watchdog
+/// that covers standard threads: the loss is confirmed, the in-flight task
+/// is orphaned and re-dispatched to the surviving process, and the output
+/// stays byte-identical to `SequentialPct` with zero job failures.
+#[test]
+fn remote_worker_sigkill_mid_screen_reassigns_tasks_and_stays_byte_identical() {
+    let service = FusionService::start(
+        ServiceConfig::builder()
+            .pool(remote_pool(2))
+            .queue_capacity(8)
+            .max_in_flight(4)
+            .build()
+            .expect("config validates"),
+    )
+    .expect("service starts");
+    let events = service.subscribe();
+
+    // A slow cube so the first screening task is still running on rw0 when
+    // the kill lands (free-deque order guarantees rw0 gets it).
+    let cube = Arc::new(SceneGenerator::new(slow_job_scene(210)).unwrap().generate());
+    let spec = JobSpec::builder(CubeSource::InMemory(Arc::clone(&cube)))
+        .pinned(BackendKind::Remote)
+        .shards(3)
+        .build()
+        .unwrap();
+    let mut handle = service.submit(spec).unwrap();
+
+    // Wait for the first remote dispatch, then SIGKILL the worker process
+    // it went to.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(Instant::now() < deadline, "no remote dispatch observed");
+        match events.next_timeout(Duration::from_millis(100)) {
+            Some(ServiceEvent::Dispatched {
+                route: BackendKind::Remote,
+                ..
+            }) => break,
+            _ => continue,
+        }
+    }
+    let victim_pid = service
+        .remote_workers()
+        .iter()
+        .find(|(name, _)| name == "rw0")
+        .and_then(|(_, pid)| *pid)
+        .expect("rw0 has a pid");
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success(), "kill -9 {victim_pid} failed");
+
+    let outcome = handle.wait().unwrap();
+    let reference = SequentialPct::new(PctConfig::paper()).run(&cube).unwrap();
+    assert_eq!(
+        outcome.output().expect("job completes"),
+        &reference,
+        "output diverged after SIGKILL of a worker process"
+    );
+    await_worker_losses(&events, 1, "remote sigkill");
+
+    let report = service.shutdown();
+    assert_eq!(report.jobs_completed, 1, "job lost: {report:?}");
+    assert_eq!(report.jobs_failed, 0, "job failed: {report:?}");
+    assert_eq!(report.workers_lost, 1, "loss not confirmed: {report:?}");
+    assert!(
+        report.tasks_reassigned >= 1,
+        "the killed worker's task was never re-dispatched: {report:?}"
+    );
 }
 
 /// The ingest-under-pressure chaos scenario: a folder of cube files is
