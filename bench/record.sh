@@ -41,6 +41,12 @@
 #   * service_latency_{p50,p95,p99}_ms — submit-to-completion latency
 #     percentiles estimated from the enabled run's
 #     fusiond_job_latency_seconds histogram.  Wall-clock and trend-only.
+#   * sim_* — the deterministic cluster simulator's 1000-scenario fault
+#     sweep (fixed seed): sim_scenarios_per_sec is wall-clock and
+#     trend-only; sim_detection_latency_p{50,99}_virtual_ms are measured
+#     on *virtual* time and sim_sweep_{passed,detections} are counters —
+#     all three are pure functions of the sweep seed, so any drift means
+#     detector or protocol behaviour changed.
 #   * service_worker_{lost,reassigned,failover} — standard-lane failover
 #     counters from two deterministic chaos probes (worker kill on a
 #     two-worker lane; lane-drain kill on a one-worker lane backed by an
@@ -73,6 +79,7 @@ G16X2=$(echo "$FIG5" | awk '$1=="16" && $2!="sub-cubes:" {print $3; exit}')
 
 SVC=$(cargo run --release -q -p bench --bin service_throughput 2>/dev/null)
 ING=$(cargo run --release -q -p bench --bin ingest_throughput 2>/dev/null)
+SIM=$(cargo run --release -q -p bench --bin sim_throughput 2>/dev/null)
 
 {
     echo "$STAMP,$REV,fig4_p16_plain_secs,$PLAIN16"
@@ -80,6 +87,7 @@ ING=$(cargo run --release -q -p bench --bin ingest_throughput 2>/dev/null)
     echo "$STAMP,$REV,fig5_p16_x2_secs,$G16X2"
     echo "$SVC" | awk -v s="$STAMP" -v r="$REV" '$1=="CSV" {print s "," r "," $2 "," $3}'
     echo "$ING" | awk -v s="$STAMP" -v r="$REV" '$1=="CSV" {print s "," r "," $2 "," $3}'
+    echo "$SIM" | awk -v s="$STAMP" -v r="$REV" '$1=="CSV" {print s "," r "," $2 "," $3}'
 } >> "$CSV"
 
 echo "recorded $(grep -c "^$STAMP,$REV," "$CSV") metrics for $REV into $CSV:"

@@ -1,10 +1,12 @@
 //! Renders `bench/BENCH_history.csv` into a committed SVG trend chart.
 //!
-//! Three panels: wall-clock throughput (`service_jobs_per_sec`,
+//! Up to four panels: wall-clock throughput (`service_jobs_per_sec`,
 //! `ingest_cubes_per_sec`), shed/reject pressure (`ingest_shed` plus
 //! every per-tenant `*_shed` / `*_rejected` counter), and — once the
 //! history contains them — the telemetry latency percentiles (every
-//! `*_p50_ms` / `*_p95_ms` / `*_p99_ms` row).  The x-axis is the
+//! `*_p50_ms` / `*_p95_ms` / `*_p99_ms` row) and the cluster simulator's
+//! virtual-time detection-latency quantiles (`sim_*_virtual_ms`,
+//! deterministic functions of the sweep seed).  The x-axis is the
 //! sequence of recorded snapshots (one per `bench/record.sh` run, labelled
 //! by short rev); y-axes auto-scale from zero.  The SVG is hand-rolled —
 //! no plotting dependency — and deterministic for a given CSV, so the
@@ -184,7 +186,8 @@ fn render_panel(
 }
 
 /// Renders the whole document: throughput panel on top, shedding below,
-/// and a latency-percentile panel when the history has telemetry rows.
+/// then (when the history has the rows) the telemetry latency-percentile
+/// panel and the simulator virtual-latency panel.
 fn render_svg(history: &History) -> String {
     let throughput: Vec<(&str, &[(usize, f64)])> = ["service_jobs_per_sec", "ingest_cubes_per_sec"]
         .iter()
@@ -204,8 +207,16 @@ fn render_svg(history: &History) -> String {
         .filter(|(m, _)| m.ends_with("_p50_ms") || m.ends_with("_p95_ms") || m.ends_with("_p99_ms"))
         .map(|(m, pts)| (m.as_str(), pts.as_slice()))
         .collect();
+    let simulator: Vec<(&str, &[(usize, f64)])> = history
+        .series
+        .iter()
+        .filter(|(m, _)| m.starts_with("sim_") && m.ends_with("_virtual_ms"))
+        .map(|(m, pts)| (m.as_str(), pts.as_slice()))
+        .collect();
 
-    let panels = if latency.is_empty() { 2.0 } else { 3.0 };
+    let panels = 2.0
+        + if latency.is_empty() { 0.0 } else { 1.0 }
+        + if simulator.is_empty() { 0.0 } else { 1.0 };
     let height = panels * PANEL_HEIGHT + 10.0 * (panels - 1.0);
     let mut svg = String::new();
     let _ = writeln!(
@@ -230,13 +241,24 @@ fn render_svg(history: &History) -> String {
         &history.snapshots,
         &shedding,
     );
+    let mut next_panel = 2.0;
     if !latency.is_empty() {
         render_panel(
             &mut svg,
             "latency percentiles (telemetry, ms, trend-only)",
-            2.0 * (PANEL_HEIGHT + 10.0),
+            next_panel * (PANEL_HEIGHT + 10.0),
             &history.snapshots,
             &latency,
+        );
+        next_panel += 1.0;
+    }
+    if !simulator.is_empty() {
+        render_panel(
+            &mut svg,
+            "simulator detection latency (virtual ms, deterministic)",
+            next_panel * (PANEL_HEIGHT + 10.0),
+            &history.snapshots,
+            &simulator,
         );
     }
     svg.push_str("</svg>\n");

@@ -1,0 +1,45 @@
+//! Cluster-simulator throughput: how many seeded fault scenarios per
+//! second the deterministic simulator sustains, and the virtual-time
+//! detection-latency quantiles it measures across the sweep.
+//!
+//! Lines starting with `CSV` are parsed by `bench/record.sh`:
+//! `sim_scenarios_per_sec` is wall-clock and trend-only;
+//! `sim_detection_latency_p{50,99}_virtual_ms` are *virtual-time*
+//! quantities — deterministic functions of the fixed sweep seed, so any
+//! drift means detector or protocol behaviour changed.  The same is true
+//! of `sim_sweep_passed` (out of 1000) and `sim_sweep_detections`.
+
+use sim::Sweep;
+use std::time::Instant;
+
+fn main() {
+    let sweep = Sweep::new(0xF05E, 1000);
+    let started = Instant::now();
+    let report = sweep.run().expect("every scenario converges");
+    let wall = started.elapsed();
+
+    println!(
+        "cluster simulator: {} scenarios in {:.2} s wall",
+        report.rows.len(),
+        wall.as_secs_f64()
+    );
+    println!("{}", report.pass_table());
+
+    let p50 = report
+        .detection_latency_quantile_ns(0.5)
+        .map_or(0.0, |ns| ns as f64 / 1e6);
+    let p99 = report
+        .detection_latency_quantile_ns(0.99)
+        .map_or(0.0, |ns| ns as f64 / 1e6);
+    println!(
+        "CSV sim_scenarios_per_sec {:.0}",
+        report.rows.len() as f64 / wall.as_secs_f64()
+    );
+    println!("CSV sim_detection_latency_p50_virtual_ms {p50:.3}");
+    println!("CSV sim_detection_latency_p99_virtual_ms {p99:.3}");
+    println!("CSV sim_sweep_passed {}", report.passed());
+    println!(
+        "CSV sim_sweep_detections {}",
+        report.rows.iter().map(|r| r.detections).sum::<u32>()
+    );
+}

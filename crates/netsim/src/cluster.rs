@@ -15,6 +15,8 @@ use crate::trace::SimMetrics;
 use crate::{Result, SimError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of an actor registered with the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,6 +44,10 @@ pub trait Actor<M> {
     /// Called when a compute block previously requested with
     /// [`ActorContext::compute`] finishes.  `tag` is the caller-chosen tag.
     fn on_compute_done(&mut self, _ctx: &mut ActorContext<'_, M>, _tag: u64) {}
+
+    /// Called when a timer previously armed with
+    /// [`ActorContext::set_timer`] fires.  Timers on dead nodes never fire.
+    fn on_timer(&mut self, _ctx: &mut ActorContext<'_, M>, _tag: u64) {}
 }
 
 /// Operations an actor can request during a callback.  They are buffered and
@@ -50,6 +56,8 @@ pub trait Actor<M> {
 enum Op<M> {
     Send { to: ActorId, msg: M, bytes: u64 },
     Compute { tag: u64, work: Duration },
+    Timer { tag: u64, delay: Duration },
+    KillNode { node: NodeId },
     Halt,
 }
 
@@ -109,6 +117,25 @@ impl<'a, M> ActorContext<'a, M> {
         self.ops.push(Op::Compute { tag, work });
     }
 
+    /// Arms a one-shot timer: [`Actor::on_timer`] fires with `tag` after
+    /// `delay` of virtual time, unless this actor's node has died by then.
+    /// Unlike [`ActorContext::compute`], timers do not occupy the CPU —
+    /// they model wall-clock waits (heartbeat periods, sweep intervals,
+    /// retransmit deadlines).
+    pub fn set_timer(&mut self, tag: u64, delay: Duration) {
+        self.ops.push(Op::Timer { tag, delay });
+    }
+
+    /// Kills a node immediately (chaos directed *by an actor* rather than
+    /// scheduled ahead of time in a [`FaultPlan`]) — the hook a driver's
+    /// fault-injection logic uses to anchor kills on protocol events
+    /// ("the first transform task was just dispatched") instead of virtual
+    /// times.  The node stops computing, sending and receiving; messages
+    /// already in flight toward it are dropped at delivery.
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.ops.push(Op::KillNode { node });
+    }
+
     /// Stops the simulation after the current callback.
     pub fn halt(&mut self) {
         self.ops.push(Op::Halt);
@@ -119,7 +146,31 @@ impl<'a, M> ActorContext<'a, M> {
 enum Event<M> {
     Deliver { from: ActorId, to: ActorId, msg: M },
     ComputeDone { actor: ActorId, tag: u64 },
+    Timer { actor: ActorId, tag: u64 },
     NodeFailure { node: NodeId },
+}
+
+/// What a link-fault hook decides about one inter-node send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// Deliver normally under the network model.
+    Deliver,
+    /// Drop the message in transit (it is charged to the sender's NIC but
+    /// never arrives — counted in `messages_dropped`).
+    Drop,
+    /// Deliver, but add `extra` to the arrival time on top of the modelled
+    /// latency — the substrate for delay storms and deterministic reorder
+    /// jitter.
+    Delay(Duration),
+}
+
+/// A pluggable per-send fault hook: called for every inter-node send with
+/// the current virtual time and the endpoints, before the network model
+/// schedules delivery.  Implementations must be deterministic functions of
+/// their inputs and their own (seeded) state for runs to be reproducible.
+pub trait LinkFault<M> {
+    /// Judges one send.
+    fn judge(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: &M) -> LinkVerdict;
 }
 
 struct QueuedEvent<M> {
@@ -198,6 +249,8 @@ pub struct ClusterSim<M> {
     faults: FaultPlan,
     max_events: u64,
     halted: bool,
+    link_fault: Option<Box<dyn LinkFault<M>>>,
+    clock: Option<Arc<AtomicU64>>,
 }
 
 impl<M> ClusterSim<M> {
@@ -221,12 +274,30 @@ impl<M> ClusterSim<M> {
             faults: config.faults,
             max_events: config.max_events,
             halted: false,
+            link_fault: None,
+            clock: None,
         })
     }
 
     /// Number of nodes in the cluster.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Installs a per-send [`LinkFault`] hook (drops, delays, partitions,
+    /// reorder jitter).  At most one hook is active; drivers compose
+    /// multiple fault kinds inside it.
+    pub fn set_link_fault(&mut self, fault: Box<dyn LinkFault<M>>) {
+        self.link_fault = Some(fault);
+    }
+
+    /// Binds an external clock cell: the simulator stores the current
+    /// virtual time (nanoseconds since start) into it whenever the clock
+    /// advances.  A driver can wrap the same cell in a `telemetry::Clock`
+    /// so spans and histograms measure exact virtual time.
+    pub fn bind_clock(&mut self, cell: Arc<AtomicU64>) {
+        cell.store(self.now.as_nanos(), Ordering::Relaxed);
+        self.clock = Some(cell);
     }
 
     /// Registers an actor on a node and returns its id.
@@ -293,6 +364,18 @@ impl<M> ClusterSim<M> {
                     let done = self.nodes[from_node.0].reserve_cpu(self.now, work);
                     self.push_event(done, Event::ComputeDone { actor: from, tag });
                 }
+                Op::Timer { tag, delay } => {
+                    if !self.nodes[from_node.0].alive {
+                        continue;
+                    }
+                    self.push_event(self.now + delay, Event::Timer { actor: from, tag });
+                }
+                Op::KillNode { node } => {
+                    if node.0 < self.nodes.len() && self.nodes[node.0].alive {
+                        self.nodes[node.0].alive = false;
+                        self.metrics.node_failures += 1;
+                    }
+                }
                 Op::Halt => self.halted = true,
             }
         }
@@ -319,11 +402,32 @@ impl<M> ClusterSim<M> {
             return;
         }
 
+        // Consult the link-fault hook before the network model runs.  A
+        // dropped message still occupies the sender's NIC (the bytes were
+        // transmitted — they just never arrive).
+        let verdict = match &mut self.link_fault {
+            Some(hook) => hook.judge(self.now, from_node, to_node, &msg),
+            None => LinkVerdict::Deliver,
+        };
+
         let occupancy = self.network.sender_occupancy(bytes);
         let tx_done = self.nodes[from_node.0].reserve_tx(self.now, occupancy, bytes);
+        if let LinkVerdict::Drop = verdict {
+            self.metrics.messages_dropped += 1;
+            self.metrics.network_bytes += bytes;
+            return;
+        }
         let arrival = tx_done + self.network.latency;
         let rx_occupancy = self.network.serialization_time(bytes);
-        let delivered = self.nodes[to_node.0].reserve_rx(arrival, rx_occupancy, bytes);
+        let delivered = if let LinkVerdict::Delay(extra) = verdict {
+            // The network holds the frame: it bypasses the receive-NIC
+            // FIFO reservation (which would otherwise preserve send order)
+            // and lands when the network releases it — this is what lets a
+            // delay verdict genuinely reorder deliveries.
+            arrival + extra + rx_occupancy
+        } else {
+            self.nodes[to_node.0].reserve_rx(arrival, rx_occupancy, bytes)
+        };
         self.metrics.network_bytes += bytes;
         self.push_event(delivered, Event::Deliver { from, to, msg });
     }
@@ -355,6 +459,9 @@ impl<M> ClusterSim<M> {
                 return Err(SimError::EventBudgetExhausted { processed });
             }
             self.now = self.now.max(next.time);
+            if let Some(cell) = &self.clock {
+                cell.store(self.now.as_nanos(), Ordering::Relaxed);
+            }
             match next.event {
                 Event::Deliver { from, to, msg } => {
                     let to_node = self.actor_nodes[to.0];
@@ -371,6 +478,13 @@ impl<M> ClusterSim<M> {
                         continue;
                     }
                     self.dispatch(actor, |a, ctx| a.on_compute_done(ctx, tag));
+                }
+                Event::Timer { actor, tag } => {
+                    let node = self.actor_nodes[actor.0];
+                    if !self.nodes[node.0].alive {
+                        continue;
+                    }
+                    self.dispatch(actor, |a, ctx| a.on_timer(ctx, tag));
                 }
                 Event::NodeFailure { node } => {
                     if node.0 < self.nodes.len() {
@@ -622,6 +736,180 @@ mod tests {
             let me = ctx.self_id();
             ctx.send(me, 0, 1);
         }
+    }
+
+    /// An actor that re-arms a periodic timer and counts the ticks.
+    struct Ticker {
+        period: Duration,
+        ticks: std::rc::Rc<std::cell::Cell<u32>>,
+        stop_after: u32,
+    }
+    impl Actor<u8> for Ticker {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u8>) {
+            ctx.set_timer(1, self.period);
+        }
+        fn on_message(&mut self, _ctx: &mut ActorContext<'_, u8>, _from: ActorId, _msg: u8) {}
+        fn on_timer(&mut self, ctx: &mut ActorContext<'_, u8>, tag: u64) {
+            assert_eq!(tag, 1);
+            self.ticks.set(self.ticks.get() + 1);
+            if self.ticks.get() < self.stop_after {
+                ctx.set_timer(1, self.period);
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_periodically_on_virtual_time() {
+        let mut sim: ClusterSim<u8> = ClusterSim::new(SimConfig::lan_of_workstations(1)).unwrap();
+        let ticks = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Ticker {
+                period: Duration::from_millis(50),
+                ticks: ticks.clone(),
+                stop_after: 4,
+            }),
+        )
+        .unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(ticks.get(), 4);
+        assert_eq!(outcome.finished_at, SimTime::from_nanos(200_000_000));
+    }
+
+    #[test]
+    fn timers_on_killed_nodes_never_fire() {
+        let mut config = SimConfig::lan_of_workstations(1);
+        config.faults = FaultPlan::kill_at(NodeId(0), SimTime::from_nanos(75_000_000));
+        let mut sim: ClusterSim<u8> = ClusterSim::new(config).unwrap();
+        let ticks = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Ticker {
+                period: Duration::from_millis(50),
+                ticks: ticks.clone(),
+                stop_after: 10,
+            }),
+        )
+        .unwrap();
+        let outcome = sim.run().unwrap();
+        // Only the 50 ms tick precedes the 75 ms kill.
+        assert_eq!(ticks.get(), 1);
+        assert!(!outcome.halted);
+    }
+
+    /// An actor that kills a target node on start, then messages it.
+    struct Assassin {
+        victim_node: NodeId,
+        victim_actor: ActorId,
+    }
+    impl Actor<u8> for Assassin {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u8>) {
+            ctx.kill_node(self.victim_node);
+            ctx.send(self.victim_actor, 1, 100);
+        }
+        fn on_message(&mut self, _ctx: &mut ActorContext<'_, u8>, _from: ActorId, _msg: u8) {}
+    }
+
+    #[test]
+    fn actor_directed_kills_take_effect_immediately() {
+        let mut sim: ClusterSim<u8> = ClusterSim::new(SimConfig::lan_of_workstations(2)).unwrap();
+        let sink = sim.add_actor(NodeId(1), Box::new(Sink)).unwrap();
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Assassin {
+                victim_node: NodeId(1),
+                victim_actor: sink,
+            }),
+        )
+        .unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.metrics.node_failures, 1);
+        assert_eq!(outcome.metrics.messages_delivered, 0);
+        assert_eq!(outcome.metrics.messages_dropped, 1);
+    }
+
+    /// Drops the first send, delays the second by a fixed amount, then
+    /// delivers everything else untouched.
+    struct DropThenDelay {
+        seen: u32,
+    }
+    impl LinkFault<u32> for DropThenDelay {
+        fn judge(&mut self, _now: SimTime, _from: NodeId, _to: NodeId, _msg: &u32) -> LinkVerdict {
+            self.seen += 1;
+            match self.seen {
+                1 => LinkVerdict::Drop,
+                2 => LinkVerdict::Delay(Duration::from_secs(1)),
+                _ => LinkVerdict::Deliver,
+            }
+        }
+    }
+
+    /// Sends `count` messages to a peer on start; the peer records arrival
+    /// times.
+    struct Burst {
+        peer: ActorId,
+        count: u32,
+    }
+    impl Actor<u32> for Burst {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u32>) {
+            for i in 0..self.count {
+                ctx.send(self.peer, i, 100);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut ActorContext<'_, u32>, _from: ActorId, _msg: u32) {}
+    }
+    struct Arrivals {
+        log: std::rc::Rc<std::cell::RefCell<Vec<(u32, SimTime)>>>,
+    }
+    impl Actor<u32> for Arrivals {
+        fn on_message(&mut self, ctx: &mut ActorContext<'_, u32>, _from: ActorId, msg: u32) {
+            self.log.borrow_mut().push((msg, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn link_faults_drop_and_delay_sends() {
+        let mut sim: ClusterSim<u32> = ClusterSim::new(SimConfig::lan_of_workstations(2)).unwrap();
+        sim.set_link_fault(Box::new(DropThenDelay { seen: 0 }));
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = sim
+            .add_actor(NodeId(1), Box::new(Arrivals { log: log.clone() }))
+            .unwrap();
+        sim.add_actor(NodeId(0), Box::new(Burst { peer: rx, count: 3 }))
+            .unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.metrics.messages_dropped, 1);
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        // Message 2 (plain) arrives before message 1 (delayed a second):
+        // the delay verdict reorders deliveries.
+        assert_eq!(log[0].0, 2);
+        assert_eq!(log[1].0, 1);
+        assert!(log[1].1.since(log[0].1) >= Duration::from_secs_f64(0.9));
+    }
+
+    #[test]
+    fn bound_clock_tracks_virtual_time() {
+        use std::sync::atomic::Ordering;
+        let mut sim: ClusterSim<u8> = ClusterSim::new(SimConfig::lan_of_workstations(1)).unwrap();
+        let cell = Arc::new(AtomicU64::new(u64::MAX));
+        sim.bind_clock(cell.clone());
+        assert_eq!(cell.load(Ordering::Relaxed), 0);
+        let ticks = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Ticker {
+                period: Duration::from_millis(10),
+                ticks,
+                stop_after: 3,
+            }),
+        )
+        .unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(cell.load(Ordering::Relaxed), outcome.finished_at.as_nanos());
+        assert_eq!(cell.load(Ordering::Relaxed), 30_000_000);
     }
 
     #[test]

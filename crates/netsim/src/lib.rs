@@ -38,7 +38,9 @@ pub mod time;
 pub mod trace;
 pub mod wirecost;
 
-pub use cluster::{Actor, ActorContext, ActorId, ClusterSim, SimConfig, SimOutcome};
+pub use cluster::{
+    Actor, ActorContext, ActorId, ClusterSim, LinkFault, LinkVerdict, SimConfig, SimOutcome,
+};
 pub use cost::{CostModel, WorkstationClass};
 pub use fault::FaultPlan;
 pub use link::NetworkModel;

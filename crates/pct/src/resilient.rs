@@ -440,6 +440,7 @@ pub struct ResilientPct {
     workers: usize,
     level: usize,
     granularity: GranularityPolicy,
+    detector: DetectorConfig,
 }
 
 impl ResilientPct {
@@ -451,6 +452,10 @@ impl ResilientPct {
             workers: workers.max(1),
             level: level.max(1),
             granularity: GranularityPolicy::PerWorkerMultiple(2),
+            detector: DetectorConfig {
+                heartbeat_period_ms: 50,
+                miss_threshold: 8,
+            },
         }
     }
 
@@ -458,6 +463,21 @@ impl ResilientPct {
     pub fn with_granularity(mut self, granularity: GranularityPolicy) -> Self {
         self.granularity = granularity;
         self
+    }
+
+    /// Overrides the failure-detector parameters (sweep interval and
+    /// silence threshold).  The default matches the historical constant
+    /// (50 ms heartbeats, declared failed after 8 misses); the simulator
+    /// sweeps this to measure detection latency as a parameter instead of
+    /// inheriting a constant.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// The failure-detector parameters this pipeline runs with.
+    pub fn detector(&self) -> DetectorConfig {
+        self.detector
     }
 
     /// Number of logical workers (replica groups).
@@ -509,16 +529,8 @@ impl ResilientPct {
         let mut manager_ctx = runtime.context(MANAGER)?;
 
         let groups: Vec<String> = (0..self.workers).map(|w| format!("worker{w}")).collect();
-        let mut state = ResilientManagerState::build(
-            &runtime,
-            &groups,
-            self.level,
-            DetectorConfig {
-                heartbeat_period_ms: 50,
-                miss_threshold: 8,
-            },
-            attack,
-        )?;
+        let mut state =
+            ResilientManagerState::build(&runtime, &groups, self.level, self.detector, attack)?;
 
         let ledger = hsi::CloneLedger::snapshot();
         let result = run_resilient_manager(
@@ -934,6 +946,19 @@ mod tests {
         let regen = &report.regenerations[0];
         assert_eq!(regen.failed.group, "worker0");
         assert!(regen.replacement.incarnation >= 2);
+    }
+
+    #[test]
+    fn detector_config_is_swappable() {
+        let custom = ResilientPct::new(PctConfig::paper(), 2, 2).with_detector(DetectorConfig {
+            heartbeat_period_ms: 10,
+            miss_threshold: 3,
+        });
+        assert_eq!(custom.detector().heartbeat_period_ms, 10);
+        assert_eq!(custom.detector().miss_threshold, 3);
+        // The default stays the historical constant.
+        let d = ResilientPct::new(PctConfig::paper(), 2, 2).detector();
+        assert_eq!((d.heartbeat_period_ms, d.miss_threshold), (50, 8));
     }
 
     #[test]

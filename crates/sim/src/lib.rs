@@ -1,0 +1,100 @@
+//! Deterministic cluster simulator: thousands of seeded fault scenarios
+//! per second on virtual time.
+//!
+//! The e2e chaos matrix proves the resilient pipeline survives a handful
+//! of kill schedules in wall-clock time.  This crate proves it for
+//! *families* of schedules: a seeded discrete-event [`SimHarness`] drives
+//! the real fusion protocol — real [`pct::messages::PctMessage`]s carrying
+//! real pixel data through [`pct::distributed::handle_task`] — as actors
+//! on the [`netsim`] cluster model, so every scenario's fused output can
+//! be compared byte-for-byte against [`pct::SequentialPct`] while the
+//! clock is purely virtual.
+//!
+//! The pieces:
+//!
+//! * [`SimClock`] — a `telemetry::Clock` bound to the simulator's virtual
+//!   clock, so spans, histograms and detection-latency measurements are
+//!   exact virtual time instead of jittery wall clock.
+//! * [`Scenario`] — one seeded experiment: topology (members + spares +
+//!   stragglers), workload shape, failure-detector parameters
+//!   ([`resilience::DetectorConfig`], a swept parameter rather than a
+//!   constant), and the composed fault schedule — [`netsim::FaultPlan`]
+//!   machine kills, [`service::ChaosPlan`] phase-anchored member kills
+//!   (including kills *during* regeneration), [`pct::resilient::AttackPlan`]
+//!   after-N-results kills and transit loss, plus message
+//!   delay/reorder/partition injectors over the link model.
+//! * [`SimHarness`] — builds the cluster, runs the scenario to completion
+//!   on virtual time, and returns a [`ScenarioReport`]: the fused image,
+//!   the virtual makespan, detection/regeneration counts and latencies,
+//!   a deterministic event trace, the telemetry span tree and the
+//!   histogram snapshot — an assertable record instead of printf
+//!   forensics.
+//! * [`Sweep`] — a property-style sweep runner ("any 2 kills at any phase
+//!   × any topology up to 8 nodes ⇒ byte-identical output, bounded
+//!   virtual makespan"): seeded scenario enumeration, per-cube reference
+//!   caching, and a pass table.
+//!
+//! **Seed/replay contract.** Everything is a pure function of the
+//! scenario (and sweep) seed: the same seed reproduces the same event
+//! order — including ties, which pop in insertion-sequence order — the
+//! same trace byte-for-byte, and the same fused image.  A failing sweep
+//! row is reproduced by constructing the sweep with the same seed and
+//! running the named scenario alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actors;
+mod clock;
+mod harness;
+mod scenario;
+mod sweep;
+mod trace;
+
+pub use clock::SimClock;
+pub use harness::{ScenarioReport, SimFailure, SimHarness};
+pub use scenario::{
+    member_name, CubeSpec, LinkDelay, Partition, ReorderJitter, Scenario, Straggler,
+};
+pub use sweep::{Sweep, SweepReport, SweepRow};
+pub use trace::{render_span_tree, TraceLog};
+
+/// A tiny deterministic RNG (splitmix64) used for scenario generation and
+/// reorder jitter.  Not cryptographic; chosen because its sequence is a
+/// pure function of the seed on every platform.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for bound 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// A coin flip with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}

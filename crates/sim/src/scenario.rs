@@ -1,0 +1,364 @@
+//! The scenario DSL: one seeded experiment over the simulated cluster.
+
+use hsi::{CubeDims, HyperCube, SceneConfig, SceneGenerator};
+use netsim::{Duration, FaultPlan, NetworkModel};
+use pct::resilient::AttackPlan;
+use pct::PctConfig;
+use resilience::DetectorConfig;
+use service::{ChaosPhase, ChaosPlan};
+
+/// Routing name of simulated member `i` (`m0`, `m1`, …).  Used by
+/// [`ChaosPlan`] and [`AttackPlan`] entries inside a [`Scenario`].
+pub fn member_name(i: usize) -> String {
+    format!("m{i}")
+}
+
+/// Parses a [`member_name`] back to its index.
+pub(crate) fn member_index(name: &str) -> Option<usize> {
+    name.strip_prefix('m')?.parse().ok()
+}
+
+/// The synthetic cube a scenario fuses.  Kept tiny so thousands of
+/// scenarios run per second; the byte-identity oracle does not care about
+/// size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeSpec {
+    /// Cube width in pixels.
+    pub width: usize,
+    /// Cube height in pixels.
+    pub height: usize,
+    /// Spectral bands.
+    pub bands: usize,
+    /// Scene generator seed.
+    pub seed: u64,
+}
+
+impl CubeSpec {
+    /// A small default cube.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            width: 12,
+            height: 10,
+            bands: 4,
+            seed,
+        }
+    }
+
+    /// A cache key identifying the generated cube (and therefore the
+    /// sequential reference output).
+    pub fn key(&self) -> (usize, usize, usize, u64) {
+        (self.width, self.height, self.bands, self.seed)
+    }
+
+    /// Generates the cube deterministically.
+    pub fn generate(&self) -> HyperCube {
+        SceneGenerator::new(SceneConfig {
+            dims: CubeDims::new(self.width, self.height, self.bands),
+            seed: self.seed,
+            noise_sigma: 0.01,
+            full_scale: 4095.0,
+            targets: Vec::new(),
+            open_field_fraction: 0.4,
+        })
+        .expect("tiny scene config is valid")
+        .generate()
+    }
+}
+
+/// A node-pair partition window: messages between the manager and
+/// `member` are dropped in both directions while `from <= now < until`.
+/// Heartbeats lost to a partition produce *false-positive* detections —
+/// the protocol must still converge to the byte-identical output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The member cut off from the manager.
+    pub member: usize,
+    /// Window start (virtual time since simulation start).
+    pub from: Duration,
+    /// Window end (exclusive).
+    pub until: Duration,
+}
+
+/// A constant extra transit delay on every message to or from `member`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkDelay {
+    /// The member whose link is slow.
+    pub member: usize,
+    /// Extra one-way delay added on top of the modelled latency.
+    pub extra: Duration,
+}
+
+/// Deterministic reorder jitter: every inter-node send gets an extra
+/// delay drawn from `[0, max)` by a seeded splitmix64 stream, which
+/// genuinely reorders deliveries while staying a pure function of the
+/// scenario seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderJitter {
+    /// Upper bound (exclusive) of the per-message jitter.
+    pub max: Duration,
+    /// Stream seed (folded with the scenario seed by the harness).
+    pub salt: u64,
+}
+
+/// A slow node: `member` computes at `speed` times the reference rate
+/// (0.25 = a 4× straggler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Straggler {
+    /// The slow member.
+    pub member: usize,
+    /// Relative CPU speed in `(0, 1]`.
+    pub speed: f64,
+}
+
+/// One seeded experiment: topology, workload, detector parameters and the
+/// composed fault schedule.  Everything observable about a run is a pure
+/// function of this value.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name, shown in pass tables.
+    pub name: String,
+    /// Scenario seed: folds into jitter streams and the trace header.
+    pub seed: u64,
+    /// The cube to fuse.
+    pub cube: CubeSpec,
+    /// Pipeline configuration (screening angle, output components).
+    pub config: PctConfig,
+    /// Active worker members at start (`m0` … `m{members-1}`).
+    pub members: usize,
+    /// Spare members (`m{members}` …) held for regeneration.
+    pub spares: usize,
+    /// Sub-cubes in the seeded screening chain.
+    pub screen_tasks: usize,
+    /// Sub-cubes in the transform fan-out.
+    pub transform_tasks: usize,
+    /// Failure-detector parameters — the swept quantity: heartbeat period
+    /// and silence threshold, both on *virtual* time.
+    pub detector: DetectorConfig,
+    /// The LAN model messages travel over, costed in real wire bytes.
+    pub network: NetworkModel,
+    /// Machine kills at fixed virtual times.  `NodeId(i)` in this plan
+    /// addresses *member* `i`; the harness maps it onto the member's
+    /// cluster node.
+    pub machine_kills: FaultPlan,
+    /// Phase-anchored member kills (fired immediately before the first
+    /// task of the anchor phase is dispatched).  Member routing names use
+    /// [`member_name`]; the job id is ignored (the simulator runs one
+    /// job).
+    pub chaos: ChaosPlan,
+    /// After-N-results kills and transit loss, with [`member_name`]
+    /// victims.
+    pub attack: AttackPlan,
+    /// Manager↔member partition windows.
+    pub partitions: Vec<Partition>,
+    /// Constant per-member link delays.
+    pub link_delays: Vec<LinkDelay>,
+    /// Seeded reorder jitter, if any.
+    pub reorder: Option<ReorderJitter>,
+    /// Slow nodes.
+    pub stragglers: Vec<Straggler>,
+    /// If set, the first member regeneration is itself attacked: the spare
+    /// being brought up is killed while its activation is in flight.
+    pub kill_during_regeneration: bool,
+    /// Virtual makespan bound the run must finish under.
+    pub makespan_bound: Duration,
+    /// Event budget safety valve.
+    pub max_events: u64,
+}
+
+impl Scenario {
+    /// A baseline scenario with no faults: 3 members, 1 spare, the tiny
+    /// cube, paper detector parameters scaled to virtual time.
+    pub fn baseline(name: impl Into<String>, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            seed,
+            cube: CubeSpec::tiny(1),
+            config: PctConfig::paper(),
+            members: 3,
+            spares: 1,
+            screen_tasks: 3,
+            transform_tasks: 3,
+            detector: DetectorConfig {
+                heartbeat_period_ms: 20,
+                miss_threshold: 4,
+            },
+            network: NetworkModel::fast_ethernet_100baset(),
+            machine_kills: FaultPlan::none(),
+            chaos: ChaosPlan::none(),
+            attack: AttackPlan::none(),
+            partitions: Vec::new(),
+            link_delays: Vec::new(),
+            reorder: None,
+            stragglers: Vec::new(),
+            kill_during_regeneration: false,
+            makespan_bound: Duration::from_secs(30),
+            max_events: 2_000_000,
+        }
+    }
+
+    /// Adds a phase-anchored member kill (builder style).
+    pub fn with_chaos_kill(mut self, phase: ChaosPhase, member: usize) -> Self {
+        self.chaos.kills.push(service::PhaseKill {
+            job: 1,
+            phase,
+            member: member_name(member),
+        });
+        self
+    }
+
+    /// Total members including spares.
+    pub fn total_members(&self) -> usize {
+        self.members + self.spares
+    }
+
+    /// Number of kills the schedule can inject (chaos + attack victims +
+    /// machine kills + the kill-during-regeneration rider).
+    pub fn scheduled_kills(&self) -> usize {
+        self.chaos.kills.len()
+            + self.attack.victims.len()
+            + self.machine_kills.len()
+            + usize::from(self.kill_during_regeneration)
+    }
+
+    /// A generous-but-finite virtual makespan bound derived from the
+    /// scenario's own disruption schedule: the fault-free run takes well
+    /// under a second of virtual time on the tiny cubes, and each
+    /// disruption can cost at most a few detection windows plus
+    /// retransmit backoff.
+    pub fn derived_makespan_bound(&self) -> Duration {
+        let detect_window_ms = self
+            .detector
+            .heartbeat_period_ms
+            .saturating_mul(self.detector.miss_threshold as u64 + 1);
+        // Mirrors the manager's retransmit base: max(4 windows, 1 s).
+        let retransmit_ms = (detect_window_ms * 4).max(1_000);
+        let disruptions =
+            (self.scheduled_kills() + self.partitions.len() + self.attack.drop_sends.len() + 2)
+                as u64;
+        let mut bound = Duration::from_millis(
+            2_000 + disruptions * (detect_window_ms * 12 + retransmit_ms * 4),
+        );
+        for p in &self.partitions {
+            bound = bound + p.until + p.until;
+        }
+        for (t, _) in self.machine_kills.failures() {
+            bound += t.since(netsim::SimTime::ZERO);
+        }
+        for d in &self.link_delays {
+            bound += d.extra.saturating_mul(64);
+        }
+        if let Some(j) = &self.reorder {
+            bound += j.max.saturating_mul(64);
+        }
+        let min_speed = self
+            .stragglers
+            .iter()
+            .map(|s| s.speed)
+            .fold(1.0_f64, f64::min)
+            .max(0.01);
+        bound.mul_f64(1.0 / min_speed)
+    }
+
+    /// Validates internal consistency: member references in range and at
+    /// least one member guaranteed to survive the schedule.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.members == 0 {
+            return Err("scenario needs at least one active member".into());
+        }
+        if self.scheduled_kills() >= self.total_members() {
+            return Err(format!(
+                "schedule kills {} of {} members — nobody left to finish the job",
+                self.scheduled_kills(),
+                self.total_members()
+            ));
+        }
+        let check = |idx: usize, what: &str| {
+            if idx >= self.total_members() {
+                Err(format!("{what} references member {idx} out of range"))
+            } else {
+                Ok(())
+            }
+        };
+        for kill in &self.chaos.kills {
+            let idx = member_index(&kill.member)
+                .ok_or_else(|| format!("chaos kill member {:?} is not m<i>", kill.member))?;
+            check(idx, "chaos kill")?;
+        }
+        for victim in &self.attack.victims {
+            let idx = member_index(victim)
+                .ok_or_else(|| format!("attack victim {victim:?} is not m<i>"))?;
+            check(idx, "attack victim")?;
+        }
+        for (target, _) in &self.attack.drop_sends {
+            let idx = member_index(target)
+                .ok_or_else(|| format!("drop_sends target {target:?} is not m<i>"))?;
+            check(idx, "drop_sends")?;
+        }
+        for (_, node) in self.machine_kills.failures() {
+            check(node.0, "machine kill")?;
+        }
+        for p in &self.partitions {
+            check(p.member, "partition")?;
+        }
+        for d in &self.link_delays {
+            check(d.member, "link delay")?;
+        }
+        for s in &self.stragglers {
+            check(s.member, "straggler")?;
+            if !(s.speed > 0.0 && s.speed <= 1.0) {
+                return Err(format!("straggler speed {} outside (0, 1]", s.speed));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{NodeId, SimTime};
+
+    #[test]
+    fn member_names_round_trip() {
+        assert_eq!(member_name(3), "m3");
+        assert_eq!(member_index("m3"), Some(3));
+        assert_eq!(member_index("worker0#0"), None);
+    }
+
+    #[test]
+    fn cube_spec_generates_deterministically() {
+        let a = CubeSpec::tiny(7).generate();
+        let b = CubeSpec::tiny(7).generate();
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(CubeSpec::tiny(7).key(), (12, 10, 4, 7));
+    }
+
+    #[test]
+    fn validation_rejects_total_annihilation() {
+        let mut sc = Scenario::baseline("all-dead", 1);
+        sc.members = 2;
+        sc.spares = 0;
+        sc = sc
+            .with_chaos_kill(ChaosPhase::Screen, 0)
+            .with_chaos_kill(ChaosPhase::Transform, 1);
+        assert!(sc.validate().is_err());
+        let ok = Scenario::baseline("one-kill", 1).with_chaos_kill(ChaosPhase::Screen, 0);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_references() {
+        let mut sc = Scenario::baseline("bad", 1);
+        sc.machine_kills = FaultPlan::kill_at(NodeId(99), SimTime::from_secs_f64(0.1));
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn derived_bound_grows_with_disruptions() {
+        let calm = Scenario::baseline("calm", 1);
+        let stormy = Scenario::baseline("stormy", 1)
+            .with_chaos_kill(ChaosPhase::Screen, 0)
+            .with_chaos_kill(ChaosPhase::Transform, 1);
+        assert!(stormy.derived_makespan_bound() > calm.derived_makespan_bound());
+    }
+}

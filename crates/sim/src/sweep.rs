@@ -1,0 +1,414 @@
+//! The property-style sweep runner: seeded enumeration of fault scenarios
+//! and the pass/fail evidence table.
+
+use crate::harness::{ScenarioReport, SimFailure, SimHarness};
+use crate::scenario::{
+    member_name, CubeSpec, LinkDelay, Partition, ReorderJitter, Scenario, Straggler,
+};
+use crate::SplitMix64;
+use hsi::HyperCube;
+use netsim::{Duration, FaultPlan, NodeId, SimTime};
+use pct::SequentialPct;
+use service::ChaosPhase;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Cube cache keyed by [`crate::CubeSpec::key`]: the generated cube plus
+/// the raw bytes of its sequential reference image.
+type CubeCache = BTreeMap<(usize, usize, usize, u64), (Arc<HyperCube>, Vec<u8>)>;
+
+/// The scenario families a sweep cycles through, in order, so any sweep of
+/// at least this many scenarios covers every family (and every
+/// [`ChaosPhase`]).
+const KINDS: [&str; 7] = [
+    "screen-kill",
+    "derive-kill",
+    "transform-kill",
+    "double-kill",
+    "regen-kill",
+    "machine-kill",
+    "mischief",
+];
+
+const PHASES: [ChaosPhase; 3] = [
+    ChaosPhase::Screen,
+    ChaosPhase::Derive,
+    ChaosPhase::Transform,
+];
+
+/// One row of sweep evidence.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Scenario name (`s0042-double-kill-m3s1`).
+    pub name: String,
+    /// Scenario seed (derived from the sweep seed).
+    pub seed: u64,
+    /// Scenario family.
+    pub kind: String,
+    /// Byte-identity AND makespan bound held.
+    pub passed: bool,
+    /// Fused image identical to the sequential reference.
+    pub byte_identical: bool,
+    /// Virtual makespan under the scenario's bound.
+    pub within_bound: bool,
+    /// Virtual makespan.
+    pub makespan: Duration,
+    /// The scenario's bound.
+    pub bound: Duration,
+    /// Kills injected.
+    pub kills: u32,
+    /// True-positive detections.
+    pub detections: u32,
+    /// False-positive detections.
+    pub false_positives: u32,
+    /// Completed regenerations.
+    pub regenerations: u32,
+    /// Retransmissions.
+    pub retransmits: u32,
+    /// Duplicate results discarded.
+    pub duplicates: u32,
+    /// Detection latencies in virtual nanoseconds.
+    pub detection_latency_ns: Vec<u64>,
+}
+
+/// The outcome of a full sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One row per scenario, in sweep order.
+    pub rows: Vec<SweepRow>,
+    /// Full report of the scenario with the worst virtual makespan.
+    pub worst: Option<ScenarioReport>,
+}
+
+impl SweepReport {
+    /// Number of passing rows.
+    pub fn passed(&self) -> usize {
+        self.rows.iter().filter(|r| r.passed).count()
+    }
+
+    /// Whether every row passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.rows.len()
+    }
+
+    /// The worst virtual makespan across the sweep.
+    pub fn worst_makespan(&self) -> Duration {
+        self.rows
+            .iter()
+            .map(|r| r.makespan)
+            .fold(Duration::ZERO, |a, b| if b > a { b } else { a })
+    }
+
+    /// All detection latencies across the sweep, sorted ascending.
+    pub fn detection_latencies_ns(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.detection_latency_ns.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// The `q`-quantile (0..=1) of detection latency in virtual
+    /// nanoseconds, or `None` when no detections happened.
+    pub fn detection_latency_quantile_ns(&self, q: f64) -> Option<u64> {
+        let all = self.detection_latencies_ns();
+        if all.is_empty() {
+            return None;
+        }
+        let idx = ((all.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(all[idx])
+    }
+
+    /// A per-family pass table.
+    pub fn pass_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>5} {:>6} {:>6} {:>9} {:>9} {:>11} {:>17}",
+            "kind",
+            "runs",
+            "pass",
+            "ident",
+            "bound",
+            "kills",
+            "detects",
+            "regens",
+            "worst_ms(virtual)"
+        );
+        for kind in KINDS {
+            let rows: Vec<&SweepRow> = self.rows.iter().filter(|r| r.kind == kind).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let worst = rows
+                .iter()
+                .map(|r| r.makespan)
+                .fold(Duration::ZERO, |a, b| if b > a { b } else { a });
+            let _ = writeln!(
+                out,
+                "{:<16} {:>5} {:>5} {:>6} {:>6} {:>9} {:>9} {:>11} {:>17.1}",
+                kind,
+                rows.len(),
+                rows.iter().filter(|r| r.passed).count(),
+                rows.iter().filter(|r| r.byte_identical).count(),
+                rows.iter().filter(|r| r.within_bound).count(),
+                rows.iter().map(|r| r.kills).sum::<u32>(),
+                rows.iter().map(|r| r.detections).sum::<u32>(),
+                rows.iter().map(|r| r.regenerations).sum::<u32>(),
+                worst.as_secs_f64() * 1e3,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>5} {:>6} {:>6} {:>9} {:>9} {:>11} {:>17.1}",
+            "TOTAL",
+            self.rows.len(),
+            self.passed(),
+            self.rows.iter().filter(|r| r.byte_identical).count(),
+            self.rows.iter().filter(|r| r.within_bound).count(),
+            self.rows.iter().map(|r| r.kills).sum::<u32>(),
+            self.rows.iter().map(|r| r.detections).sum::<u32>(),
+            self.rows.iter().map(|r| r.regenerations).sum::<u32>(),
+            self.worst_makespan().as_secs_f64() * 1e3,
+        );
+        out
+    }
+}
+
+/// A seeded sweep: `count` scenarios enumerated from `seed`, cycling
+/// through every scenario family.  The whole sweep — which scenarios are
+/// generated and everything each one does — is a pure function of the
+/// seed, so "reproduce row `s0042-…`" is: construct the same sweep,
+/// [`Sweep::scenarios`], pick index 42, run it alone under a
+/// [`SimHarness`].
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    seed: u64,
+    count: usize,
+}
+
+impl Sweep {
+    /// A sweep of `count` scenarios from `seed`.
+    pub fn new(seed: u64, count: usize) -> Self {
+        Self { seed, count }
+    }
+
+    /// The sweep seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of scenarios.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Enumerates the sweep's scenarios deterministically.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.count).map(|i| generate(&mut rng, i)).collect()
+    }
+
+    /// Runs every scenario against its cached sequential reference.
+    /// Returns `Err` if any scenario fails to *converge* (protocol stall /
+    /// event-budget exhaustion); scenarios that converge to a wrong image
+    /// or blow their makespan bound are reported as failing rows instead.
+    pub fn run(&self) -> Result<SweepReport, SimFailure> {
+        let mut cache: CubeCache = BTreeMap::new();
+        let mut rows = Vec::with_capacity(self.count);
+        let mut worst: Option<ScenarioReport> = None;
+        for sc in self.scenarios() {
+            let (cube, reference) = cache.entry(sc.cube.key()).or_insert_with(|| {
+                let cube = Arc::new(sc.cube.generate());
+                let reference = SequentialPct::new(sc.config)
+                    .run(&cube)
+                    .expect("sequential reference on a valid cube")
+                    .image
+                    .raw()
+                    .to_vec();
+                (cube, reference)
+            });
+            let report = SimHarness::new(sc.clone()).run_on(Arc::clone(cube))?;
+            let byte_identical = report.image.raw() == &reference[..];
+            rows.push(SweepRow {
+                name: sc.name.clone(),
+                seed: sc.seed,
+                kind: kind_of(&sc.name),
+                passed: byte_identical && report.within_bound,
+                byte_identical,
+                within_bound: report.within_bound,
+                makespan: report.makespan,
+                bound: report.makespan_bound,
+                kills: report.kills_injected,
+                detections: report.detections,
+                false_positives: report.false_positives,
+                regenerations: report.regenerations,
+                retransmits: report.retransmits,
+                duplicates: report.duplicates,
+                detection_latency_ns: report.detection_latency_ns.clone(),
+            });
+            if worst.as_ref().is_none_or(|w| report.makespan > w.makespan) {
+                worst = Some(report);
+            }
+        }
+        Ok(SweepReport { rows, worst })
+    }
+}
+
+fn kind_of(name: &str) -> String {
+    KINDS
+        .iter()
+        .find(|k| name.contains(*k))
+        .map(|k| k.to_string())
+        .unwrap_or_else(|| "other".to_string())
+}
+
+/// Generates scenario `index` of a sweep.  Topology stays within the
+/// contract's 8-node ceiling (1 manager + members + spares ≤ 8).
+fn generate(rng: &mut SplitMix64, index: usize) -> Scenario {
+    let kind = KINDS[index % KINDS.len()];
+    let members = rng.range(2, 5);
+    let spares = rng.range(1, 2);
+    let dims_palette = [(12, 10, 4), (10, 12, 4), (14, 8, 3), (8, 14, 5)];
+    let (width, height, bands) = dims_palette[rng.range(0, dims_palette.len() - 1)];
+    let cube = CubeSpec {
+        width,
+        height,
+        bands,
+        seed: 1 + rng.below(2),
+    };
+    let periods = [5u64, 10, 20, 50];
+    let misses = [2u32, 3, 4, 8];
+    let mut sc = Scenario::baseline(String::new(), 0);
+    sc.seed = rng.next_u64();
+    sc.cube = cube;
+    sc.members = members;
+    sc.spares = spares;
+    sc.screen_tasks = rng.range(2, 4);
+    sc.transform_tasks = rng.range(2, 5);
+    sc.detector.heartbeat_period_ms = periods[rng.range(0, periods.len() - 1)];
+    sc.detector.miss_threshold = misses[rng.range(0, misses.len() - 1)];
+
+    match kind {
+        "screen-kill" => {
+            sc = sc.with_chaos_kill(ChaosPhase::Screen, rng.range(0, members - 1));
+        }
+        "derive-kill" => {
+            sc = sc.with_chaos_kill(ChaosPhase::Derive, rng.range(0, members - 1));
+        }
+        "transform-kill" => {
+            sc = sc.with_chaos_kill(ChaosPhase::Transform, rng.range(0, members - 1));
+        }
+        "double-kill" => {
+            let first = rng.range(0, members - 1);
+            let second = (first + 1 + rng.range(0, members - 2)) % members;
+            sc = sc
+                .with_chaos_kill(PHASES[rng.range(0, 2)], first)
+                .with_chaos_kill(PHASES[rng.range(0, 2)], second);
+        }
+        "regen-kill" => {
+            sc = sc.with_chaos_kill(PHASES[rng.range(0, 2)], rng.range(0, members - 1));
+            sc.kill_during_regeneration = true;
+        }
+        "machine-kill" => {
+            let at = SimTime::from_nanos(Duration::from_millis(20 + rng.below(100)).as_nanos());
+            sc.machine_kills = FaultPlan::kill_at(NodeId(rng.range(0, members - 1)), at);
+            if rng.chance(1, 2) {
+                let from = Duration::from_millis(10 + rng.below(30));
+                sc.partitions.push(Partition {
+                    member: rng.range(0, members - 1),
+                    from,
+                    until: from + Duration::from_millis(30 + rng.below(50)),
+                });
+            }
+        }
+        _ => {
+            // "mischief": no kills — partitions, transit loss, jitter,
+            // slow links and stragglers must all converge byte-identically.
+            let from = Duration::from_millis(5 + rng.below(30));
+            sc.partitions.push(Partition {
+                member: rng.range(0, members - 1),
+                from,
+                until: from + Duration::from_millis(30 + rng.below(60)),
+            });
+            sc.attack
+                .drop_sends
+                .push((member_name(rng.range(0, members - 1)), 1 + rng.range(0, 1)));
+            sc.reorder = Some(ReorderJitter {
+                max: Duration::from_micros(200 + rng.below(1_800)),
+                salt: rng.next_u64(),
+            });
+            sc.link_delays.push(LinkDelay {
+                member: rng.range(0, members - 1),
+                extra: Duration::from_micros(50 + rng.below(450)),
+            });
+            sc.stragglers.push(Straggler {
+                member: rng.range(0, members - 1),
+                speed: [0.5, 0.25][rng.range(0, 1)],
+            });
+        }
+    }
+    // Independent riders on the kill families: slow nodes and jittery
+    // links compose with every kill schedule.
+    if kind != "mischief" {
+        if rng.chance(1, 4) {
+            sc.stragglers.push(Straggler {
+                member: rng.range(0, members - 1),
+                speed: [0.5, 0.25][rng.range(0, 1)],
+            });
+        }
+        if rng.chance(1, 4) {
+            sc.reorder = Some(ReorderJitter {
+                max: Duration::from_micros(100 + rng.below(900)),
+                salt: rng.next_u64(),
+            });
+        }
+        if rng.chance(1, 4) {
+            sc.link_delays.push(LinkDelay {
+                member: rng.range(0, members - 1),
+                extra: Duration::from_micros(50 + rng.below(250)),
+            });
+        }
+    }
+    sc.name = format!("s{index:04}-{kind}-m{members}s{spares}");
+    sc.makespan_bound = sc.derived_makespan_bound();
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_enumeration_is_deterministic_and_covers_every_kind() {
+        let a = Sweep::new(99, 21).scenarios();
+        let b = Sweep::new(99, 21).scenarios();
+        assert_eq!(a.len(), 21);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+        }
+        for kind in KINDS {
+            assert!(
+                a.iter().any(|s| s.name.contains(kind)),
+                "kind {kind} missing"
+            );
+        }
+        for sc in &a {
+            sc.validate().expect("generated scenarios validate");
+        }
+    }
+
+    #[test]
+    fn small_sweep_passes_end_to_end() {
+        let report = Sweep::new(7, 14).run().expect("sweep converges");
+        assert!(report.all_passed(), "\n{}", report.pass_table());
+        assert!(report.rows.iter().any(|r| r.detections > 0));
+        let table = report.pass_table();
+        assert!(table.contains("TOTAL"));
+        assert!(report.worst.is_some());
+    }
+}

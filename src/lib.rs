@@ -15,4 +15,5 @@ pub use pct;
 pub use resilience;
 pub use scp;
 pub use service;
+pub use sim;
 pub use telemetry;
